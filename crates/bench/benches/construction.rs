@@ -1,0 +1,33 @@
+//! E4 — Theorem 15 / Lemma 19: cost of the content-oblivious Robbins-cycle
+//! construction (Algorithm 4) across graph families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdn_bench::construction_cost;
+use fdn_graph::{generators, Graph, NodeId};
+
+fn cases() -> Vec<(String, Graph)> {
+    let mut v: Vec<(String, Graph)> = vec![
+        ("cycle8".into(), generators::cycle(8).unwrap()),
+        ("figure3".into(), generators::figure3()),
+        ("theta123".into(), generators::theta(1, 2, 3).unwrap()),
+        ("complete5".into(), generators::complete(5).unwrap()),
+    ];
+    for n in [6usize, 8, 10] {
+        v.push((format!("random{n}"), generators::random_two_edge_connected(n, n / 2, 42).unwrap()));
+    }
+    v
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robbins_construction");
+    group.sample_size(10);
+    for (name, g) in cases() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| construction_cost(g, NodeId(0), 9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

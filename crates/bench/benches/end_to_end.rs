@@ -1,0 +1,29 @@
+//! E6 — Theorem 2: end-to-end cost (construction + online simulation) of a
+//! broadcast workload over fully-defective networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdn_bench::end_to_end_cost;
+use fdn_graph::{generators, Graph};
+
+fn cases() -> Vec<(String, Graph)> {
+    vec![
+        ("figure3".into(), generators::figure3()),
+        ("theta112".into(), generators::theta(1, 1, 2).unwrap()),
+        ("cycle8".into(), generators::cycle(8).unwrap()),
+        ("random8".into(), generators::random_two_edge_connected(8, 4, 1).unwrap()),
+    ]
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2_end_to_end");
+    group.sample_size(10);
+    for (name, g) in cases() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| end_to_end_cost(g, 13))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

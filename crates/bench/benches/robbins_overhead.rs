@@ -1,0 +1,38 @@
+//! E3 — Lemmas 13/14: per-message overhead of the Robbins-cycle simulator
+//! (Algorithm 3) on non-simple cycles of various 2-edge-connected graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdn_bench::message_overhead;
+use fdn_core::Encoding;
+use fdn_graph::{generators, robbins, Graph, NodeId};
+
+fn cases() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("figure1", generators::figure1()),
+        ("theta123", generators::theta(1, 2, 3).unwrap()),
+        ("wheel8", generators::wheel(8).unwrap()),
+        ("petersen", generators::petersen()),
+        ("random12", generators::random_two_edge_connected(12, 6, 3).unwrap()),
+    ]
+}
+
+fn bench_robbins_binary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robbins_cycle_binary");
+    group.sample_size(10);
+    for (name, g) in cases() {
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        for payload in [1usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{name}_m{payload}B")),
+                &(g.clone(), cycle.clone(), payload),
+                |b, (g, cycle, payload)| {
+                    b.iter(|| message_overhead(g, cycle, Encoding::binary(), *payload, 5))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_robbins_binary);
+criterion_main!(benches);

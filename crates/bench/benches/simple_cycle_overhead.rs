@@ -1,0 +1,46 @@
+//! E1/E2 — Lemmas 7 and 9: per-message overhead of the simple-cycle
+//! simulator (Algorithm 1 unary data phase vs Algorithm 2 binary data phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdn_bench::message_overhead;
+use fdn_core::Encoding;
+use fdn_graph::{generators, robbins, NodeId};
+
+fn bench_binary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simple_cycle_binary");
+    group.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        for payload in [1usize, 16] {
+            let g = generators::cycle(n).unwrap();
+            let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_m{payload}B")),
+                &(g, cycle, payload),
+                |b, (g, cycle, payload)| {
+                    b.iter(|| message_overhead(g, cycle, Encoding::binary(), *payload, 3))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_unary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simple_cycle_unary");
+    group.sample_size(10);
+    // Unary is exponential in the message length (Lemma 7); only the empty
+    // payload (2 header bytes) is feasible.
+    for n in [4usize, 6] {
+        let g = generators::cycle(n).unwrap();
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m0B")),
+            &(g, cycle),
+            |b, (g, cycle)| b.iter(|| message_overhead(g, cycle, Encoding::unary(), 0, 3)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binary, bench_unary);
+criterion_main!(benches);

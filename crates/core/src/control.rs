@@ -1,0 +1,188 @@
+//! Control messages of the Robbins-cycle construction (Algorithms 4–6).
+//!
+//! The construction's coordination — learning the IDs of a newly formed
+//! cycle (Algorithm 5), electing the next ear root or detecting completion
+//! (Algorithm 6), and the cycle-switch hand-shakes of Algorithm 4(b) — is
+//! carried as ordinary simulated messages over the content-oblivious engine
+//! of the *current* cycle. This module defines their payload encoding.
+
+use fdn_graph::NodeId;
+
+use crate::error::CoreError;
+
+/// A control message exchanged during the construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Algorithm 5: the ID string collected so far, forwarded node-to-node
+    /// along the new cycle.
+    LearnIdCollect { ids: Vec<NodeId> },
+    /// Algorithm 5: the root's final `⟨done, new_cycle⟩` broadcast.
+    LearnIdDone { cycle: Vec<NodeId> },
+    /// Algorithm 4(b): `⟨EarClosedAt, z⟩`.
+    EarClosedAt { z: NodeId },
+    /// Algorithm 4(b): `⟨ready⟩`.
+    Ready,
+    /// Algorithm 4(b): `⟨NewCycle, C_{i+1}⟩`.
+    NewCycle { cycle: Vec<NodeId> },
+    /// Algorithm 6: `⟨check edges⟩`.
+    CheckEdges,
+    /// Algorithm 6: `⟨has/no unexplored edges, id⟩`.
+    EdgeReport { id: NodeId, has_unexplored: bool },
+    /// Algorithm 6: `⟨new root, id⟩`.
+    NewRoot { id: NodeId },
+    /// Algorithm 6: `⟨completed⟩`.
+    Completed,
+}
+
+const TAG_COLLECT: u8 = 1;
+const TAG_DONE: u8 = 2;
+const TAG_EAR_CLOSED: u8 = 3;
+const TAG_READY: u8 = 4;
+const TAG_NEW_CYCLE: u8 = 5;
+const TAG_CHECK_EDGES: u8 = 6;
+const TAG_EDGE_REPORT: u8 = 7;
+const TAG_NEW_ROOT: u8 = 8;
+const TAG_COMPLETED: u8 = 9;
+
+fn push_ids(out: &mut Vec<u8>, ids: &[NodeId]) {
+    for id in ids {
+        debug_assert!(id.0 <= u8::MAX as u32);
+        out.push(id.0 as u8);
+    }
+}
+
+fn parse_ids(bytes: &[u8]) -> Vec<NodeId> {
+    bytes.iter().map(|&b| NodeId(u32::from(b))).collect()
+}
+
+impl ControlMsg {
+    /// Serializes the control message into a wire payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ControlMsg::LearnIdCollect { ids } => {
+                out.push(TAG_COLLECT);
+                push_ids(&mut out, ids);
+            }
+            ControlMsg::LearnIdDone { cycle } => {
+                out.push(TAG_DONE);
+                push_ids(&mut out, cycle);
+            }
+            ControlMsg::EarClosedAt { z } => {
+                out.push(TAG_EAR_CLOSED);
+                out.push(z.0 as u8);
+            }
+            ControlMsg::Ready => out.push(TAG_READY),
+            ControlMsg::NewCycle { cycle } => {
+                out.push(TAG_NEW_CYCLE);
+                push_ids(&mut out, cycle);
+            }
+            ControlMsg::CheckEdges => out.push(TAG_CHECK_EDGES),
+            ControlMsg::EdgeReport { id, has_unexplored } => {
+                out.push(TAG_EDGE_REPORT);
+                out.push(id.0 as u8);
+                out.push(u8::from(*has_unexplored));
+            }
+            ControlMsg::NewRoot { id } => {
+                out.push(TAG_NEW_ROOT);
+                out.push(id.0 as u8);
+            }
+            ControlMsg::Completed => out.push(TAG_COMPLETED),
+        }
+        out
+    }
+
+    /// Parses a wire payload back into a control message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedWireMessage`] on an unknown tag or a
+    /// truncated body.
+    pub fn from_payload(bytes: &[u8]) -> Result<Self, CoreError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or_else(|| CoreError::MalformedWireMessage("empty control payload".into()))?;
+        let need = |len: usize| {
+            if rest.len() == len {
+                Ok(())
+            } else {
+                Err(CoreError::MalformedWireMessage(format!(
+                    "control message tag {tag} expects {len} body bytes, got {}",
+                    rest.len()
+                )))
+            }
+        };
+        match tag {
+            TAG_COLLECT => Ok(ControlMsg::LearnIdCollect { ids: parse_ids(rest) }),
+            TAG_DONE => Ok(ControlMsg::LearnIdDone { cycle: parse_ids(rest) }),
+            TAG_EAR_CLOSED => {
+                need(1)?;
+                Ok(ControlMsg::EarClosedAt { z: NodeId(u32::from(rest[0])) })
+            }
+            TAG_READY => {
+                need(0)?;
+                Ok(ControlMsg::Ready)
+            }
+            TAG_NEW_CYCLE => Ok(ControlMsg::NewCycle { cycle: parse_ids(rest) }),
+            TAG_CHECK_EDGES => {
+                need(0)?;
+                Ok(ControlMsg::CheckEdges)
+            }
+            TAG_EDGE_REPORT => {
+                need(2)?;
+                Ok(ControlMsg::EdgeReport {
+                    id: NodeId(u32::from(rest[0])),
+                    has_unexplored: rest[1] != 0,
+                })
+            }
+            TAG_NEW_ROOT => {
+                need(1)?;
+                Ok(ControlMsg::NewRoot { id: NodeId(u32::from(rest[0])) })
+            }
+            TAG_COMPLETED => {
+                need(0)?;
+                Ok(ControlMsg::Completed)
+            }
+            other => Err(CoreError::MalformedWireMessage(format!("unknown control tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = vec![
+            ControlMsg::LearnIdCollect { ids: ids(&[0, 3, 7]) },
+            ControlMsg::LearnIdCollect { ids: vec![] },
+            ControlMsg::LearnIdDone { cycle: ids(&[1, 2, 3, 1]) },
+            ControlMsg::EarClosedAt { z: NodeId(9) },
+            ControlMsg::Ready,
+            ControlMsg::NewCycle { cycle: ids(&[0, 1, 2, 0, 3]) },
+            ControlMsg::CheckEdges,
+            ControlMsg::EdgeReport { id: NodeId(4), has_unexplored: true },
+            ControlMsg::EdgeReport { id: NodeId(5), has_unexplored: false },
+            ControlMsg::NewRoot { id: NodeId(2) },
+            ControlMsg::Completed,
+        ];
+        for m in msgs {
+            let payload = m.to_payload();
+            assert_eq!(ControlMsg::from_payload(&payload).unwrap(), m, "roundtrip failed for {m:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ControlMsg::from_payload(&[]).is_err());
+        assert!(ControlMsg::from_payload(&[255]).is_err());
+        assert!(ControlMsg::from_payload(&[TAG_EAR_CLOSED]).is_err());
+        assert!(ControlMsg::from_payload(&[TAG_EDGE_REPORT, 1]).is_err());
+        assert!(ControlMsg::from_payload(&[TAG_READY, 1]).is_err());
+    }
+}

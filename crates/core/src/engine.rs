@@ -1,0 +1,946 @@
+//! The per-node content-oblivious engine for cycles — Algorithms 1 and 3.
+//!
+//! [`RobbinsEngine`] is a faithful state-machine rendering of the paper's
+//! Algorithm 3(a)+(b) (token phase + data phase over a Robbins cycle), with
+//! the Algorithm 2 binary encoding as an alternative data phase. A node on a
+//! *simple* cycle is just the special case of a single occurrence
+//! (`k_u = 1`), in which the engine degenerates to Algorithm 1 — the
+//! simple-cycle simulator of Theorem 4 is therefore the same engine fed with
+//! a [`LocalCycleView::from_simple`] view.
+//!
+//! The engine is deliberately independent of the network-simulation layer: it
+//! consumes *pulse arrival* events (`on_pulse(from)`) and message enqueue
+//! requests, and produces pulse send requests and decoded message
+//! deliveries. The [`crate::reactors`] module adapts it to the
+//! `fdn-netsim::Reactor` interface; the Robbins-cycle construction drives it
+//! directly.
+//!
+//! The paper's blocking pseudo-code ("wait until …") is rendered as explicit
+//! *wait points* plus per-neighbour pending-pulse counters; the internal
+//! `progress()` loop consumes pending pulses exactly as the blocking code
+//! would. Comments reference the pseudo-code line numbers of Algorithm 3
+//! (and Algorithm 2 for the binary data phase).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fdn_graph::cycle::{CycleDirection, LocalCycleView};
+use fdn_graph::NodeId;
+
+use crate::encoding::{self, Encoding};
+use crate::error::CoreError;
+use crate::wire::WireMessage;
+
+/// A pulse send request produced by the engine: the pulse must be sent to
+/// this neighbour. Pulses are content-less; receivers ignore whatever bytes
+/// actually travel.
+pub type PulseTo = NodeId;
+
+/// The wait points of Algorithm 3, plus the data-phase sub-machines.
+#[derive(Debug)]
+enum State {
+    /// Line 1: waiting for the queue to become non-empty or for a clockwise
+    /// REQUEST pulse.
+    AwaitTrigger,
+    /// Line 3: waiting to receive one REQUEST per occurrence, i.e. per
+    /// counterclockwise neighbour with multiplicity.
+    AwaitRequests { remaining: BTreeMap<NodeId, usize> },
+    /// Line 8: waiting for a TOKEN (counterclockwise) or the first DATA
+    /// (clockwise) pulse.
+    AwaitPulse,
+    /// Data phase as the token holder (Algorithm 3(b) lines 19–30, or the
+    /// Algorithm 2 sender).
+    Sender(SenderState),
+    /// Data phase as a non-holder (Algorithm 3(b) lines 32–44, or the
+    /// Algorithm 2 receiver).
+    Receiver(ReceiverState),
+}
+
+/// The sequence of full-cycle circulations a sender must perform for the
+/// current message.
+#[derive(Debug)]
+enum PulsePlan {
+    /// Unary: `d` clockwise DATA circulations followed by one
+    /// counterclockwise END circulation.
+    Unary { data_remaining: u128, end_pending: bool },
+    /// Binary: one circulation per bit of the frame `Z` (clockwise for 1,
+    /// counterclockwise for 0).
+    Binary { bits: Vec<bool>, idx: usize },
+}
+
+impl PulsePlan {
+    fn next(&mut self) -> Option<CycleDirection> {
+        match self {
+            PulsePlan::Unary { data_remaining, end_pending } => {
+                if *data_remaining > 0 {
+                    *data_remaining -= 1;
+                    Some(CycleDirection::Clockwise)
+                } else if *end_pending {
+                    *end_pending = false;
+                    Some(CycleDirection::Counterclockwise)
+                } else {
+                    None
+                }
+            }
+            PulsePlan::Binary { bits, idx } => {
+                let bit = *bits.get(*idx)?;
+                *idx += 1;
+                Some(if bit { CycleDirection::Clockwise } else { CycleDirection::Counterclockwise })
+            }
+        }
+    }
+}
+
+/// Progress of one pulse travelling around the whole cycle, sequenced through
+/// the sender's occurrences (Algorithm 3(b) lines 21–30).
+#[derive(Debug, Clone, Copy)]
+struct Circulation {
+    dir: CycleDirection,
+    /// Clockwise: the occurrence whose `next` was last sent to (counting up).
+    /// Counterclockwise: counting down from `k - 1`.
+    step: usize,
+    /// The neighbour the engine is waiting to hear the pulse back from.
+    awaiting: NodeId,
+}
+
+#[derive(Debug)]
+struct SenderState {
+    message: WireMessage,
+    plan: PulsePlan,
+    current: Option<Circulation>,
+}
+
+#[derive(Debug)]
+struct UnaryReceiver {
+    /// Occurrence at which the next clockwise DATA pulse is expected.
+    cw_occ: usize,
+    /// Number of complete DATA circulations observed (counted at
+    /// occurrence 0).
+    count: u128,
+    /// `None` while still in the DATA loop; `Some(i)` while forwarding the
+    /// END pulse, waiting for it at occurrence `i` (counting down).
+    end_occ: Option<usize>,
+}
+
+#[derive(Debug)]
+struct BinaryReceiver {
+    cw_occ: usize,
+    ccw_occ: usize,
+    bits: Vec<bool>,
+    zero_run: usize,
+    terminal: bool,
+}
+
+#[derive(Debug)]
+enum ReceiverState {
+    Unary(UnaryReceiver),
+    Binary(BinaryReceiver),
+}
+
+/// The per-node engine of the content-oblivious cycle simulator.
+///
+/// Feed it pulse arrivals with [`on_pulse`](Self::on_pulse) and simulated
+/// messages with [`enqueue`](Self::enqueue); drain the pulses it wants to
+/// send with [`take_outgoing`](Self::take_outgoing) and the messages it has
+/// decoded with [`take_delivered`](Self::take_delivered).
+#[derive(Debug)]
+pub struct RobbinsEngine {
+    node: NodeId,
+    view: LocalCycleView,
+    dir_from: BTreeMap<NodeId, CycleDirection>,
+    is_token_holder: bool,
+    encoding: Encoding,
+    queue: VecDeque<WireMessage>,
+    pending: BTreeMap<NodeId, usize>,
+    state: State,
+    outgoing: Vec<PulseTo>,
+    delivered: Vec<WireMessage>,
+    pulses_sent: u64,
+    pulses_received: u64,
+    epochs_completed: u64,
+    error: Option<CoreError>,
+}
+
+impl RobbinsEngine {
+    /// Creates the engine for one node.
+    ///
+    /// * `view` — the node's local view of the cycle, numbered so that the
+    ///   token lies in segment 0 (Remark 4).
+    /// * `is_token_holder` — exactly one node in the whole cycle starts as
+    ///   the token holder (its occurrence 0 is the token occurrence).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid encoding parameters or a view that uses
+    /// an edge in both directions.
+    pub fn new(
+        view: LocalCycleView,
+        is_token_holder: bool,
+        encoding: Encoding,
+    ) -> Result<Self, CoreError> {
+        encoding.validate()?;
+        let node = view.node();
+        let mut dir_from = BTreeMap::new();
+        for occ in view.occurrences() {
+            for (nbr, dir) in
+                [(occ.prev, CycleDirection::Clockwise), (occ.next, CycleDirection::Counterclockwise)]
+            {
+                if let Some(existing) = dir_from.insert(nbr, dir) {
+                    if existing != dir {
+                        return Err(CoreError::InvalidCycle(format!(
+                            "edge ({nbr}, {node}) is used in both directions"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(RobbinsEngine {
+            node,
+            view,
+            dir_from,
+            is_token_holder,
+            encoding,
+            queue: VecDeque::new(),
+            pending: BTreeMap::new(),
+            state: State::AwaitTrigger,
+            outgoing: Vec::new(),
+            delivered: Vec::new(),
+            pulses_sent: 0,
+            pulses_received: 0,
+            epochs_completed: 0,
+            error: None,
+        })
+    }
+
+    /// The node this engine runs at.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether this node currently holds the token.
+    pub fn is_token_holder(&self) -> bool {
+        self.is_token_holder
+    }
+
+    /// Number of pulses this node has asked to send so far.
+    pub fn pulses_sent(&self) -> u64 {
+        self.pulses_sent
+    }
+
+    /// Number of pulses this node has received so far.
+    pub fn pulses_received(&self) -> u64 {
+        self.pulses_received
+    }
+
+    /// Number of epochs (one simulated message each) this node has completed.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Number of messages still waiting in the node's queue `Q_u`.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the engine is parked at the top of the token phase with
+    /// nothing queued and no unconsumed pulse (the quiescence condition of
+    /// Theorem 6/12).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, State::AwaitTrigger)
+            && self.queue.is_empty()
+            && self.pending.values().all(|&c| c == 0)
+    }
+
+    /// A latched fatal error, if the engine observed a protocol violation
+    /// (which, given faithful channels, indicates a bug).
+    pub fn error(&self) -> Option<&CoreError> {
+        self.error.as_ref()
+    }
+
+    /// Whether `other` is one of this node's neighbours on the cycle (pulses
+    /// from any other node do not belong to this engine).
+    pub fn is_cycle_neighbor(&self, other: NodeId) -> bool {
+        self.dir_from.contains_key(&other)
+    }
+
+    /// Enqueues a simulated message emitted by the inner protocol `π`
+    /// (Algorithm 3, "Handling messages sent by π").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the message cannot be represented in the wire
+    /// format or exceeds the unary pulse budget. The queue is left unchanged
+    /// on error.
+    pub fn enqueue(&mut self, message: WireMessage) -> Result<(), CoreError> {
+        let bytes = message.to_bytes()?;
+        if let Encoding::Unary { max_pulses } = self.encoding {
+            let d = encoding::unary_value(&bytes)?;
+            if d > max_pulses {
+                return Err(CoreError::MessageTooLargeForUnary { pulses_required: d, max: max_pulses });
+            }
+        }
+        self.queue.push_back(message);
+        self.progress();
+        Ok(())
+    }
+
+    /// Records the arrival of a pulse from neighbour `from` and advances the
+    /// state machine. Pulse content is ignored — the engine is
+    /// content-oblivious by construction.
+    pub fn on_pulse(&mut self, from: NodeId) {
+        if !self.dir_from.contains_key(&from) {
+            self.fail(format!("pulse from {from}, which is not a cycle neighbour of {}", self.node));
+            return;
+        }
+        self.pulses_received += 1;
+        *self.pending.entry(from).or_insert(0) += 1;
+        self.progress();
+    }
+
+    /// Drains the pulses the engine wants to send (in order).
+    pub fn take_outgoing(&mut self) -> Vec<PulseTo> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Drains the messages decoded since the last call. Every node decodes
+    /// every simulated message; the caller filters by destination
+    /// (Algorithm 3(b) line 40).
+    pub fn take_delivered(&mut self) -> Vec<WireMessage> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    // ---------------------------------------------------------------------
+    // Internals
+    // ---------------------------------------------------------------------
+
+    fn k(&self) -> usize {
+        self.view.occurrence_count()
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some(CoreError::ProtocolViolation(msg));
+        }
+    }
+
+    fn emit(&mut self, to: NodeId) {
+        self.pulses_sent += 1;
+        self.outgoing.push(to);
+    }
+
+    fn pending_count(&self, from: NodeId) -> usize {
+        self.pending.get(&from).copied().unwrap_or(0)
+    }
+
+    /// First pending neighbour (in id order) whose pulses travel in `dir`.
+    fn pending_in_dir(&self, dir: CycleDirection) -> Option<NodeId> {
+        self.pending
+            .iter()
+            .find(|(nbr, &count)| count > 0 && self.dir_from[nbr] == dir)
+            .map(|(&nbr, _)| nbr)
+    }
+
+    /// Consumes one pending pulse from `from`; returns false if none pending.
+    fn consume_from(&mut self, from: NodeId) -> bool {
+        match self.pending.get_mut(&from) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn complete_epoch(&mut self) {
+        self.epochs_completed += 1;
+        self.state = State::AwaitTrigger;
+    }
+
+    fn deliver_decoded(&mut self, bytes: &[u8]) {
+        match WireMessage::from_bytes(bytes) {
+            Ok(msg) => self.delivered.push(msg),
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Starts transmitting the next queued message as the token holder
+    /// (Algorithm 3(b) lines 19–20 / Algorithm 2 lines 2–4).
+    fn begin_sending(&mut self) {
+        let message = self.queue.pop_front().expect("begin_sending requires a queued message");
+        let bytes = match message.to_bytes() {
+            Ok(b) => b,
+            Err(e) => {
+                self.error = Some(e);
+                return;
+            }
+        };
+        let plan = match self.encoding {
+            Encoding::Unary { .. } => match encoding::unary_value(&bytes) {
+                Ok(d) => PulsePlan::Unary { data_remaining: d, end_pending: true },
+                Err(e) => {
+                    self.error = Some(e);
+                    return;
+                }
+            },
+            Encoding::Binary { l } => {
+                PulsePlan::Binary { bits: encoding::frame(&bytes, l), idx: 0 }
+            }
+        };
+        self.state = State::Sender(SenderState { message, plan, current: None });
+    }
+
+    /// Begins a new circulation of one pulse around the whole cycle, emitting
+    /// its first hop.
+    fn start_circulation(&mut self, dir: CycleDirection) -> Circulation {
+        let k = self.k();
+        match dir {
+            CycleDirection::Clockwise => {
+                // Lines 22–24: for i in 0..k: send to next[i]; wait from
+                // prev[(i+1) mod k].
+                let to = self.view.next(0);
+                self.emit(to);
+                Circulation { dir, step: 0, awaiting: self.view.prev(1 % k) }
+            }
+            CycleDirection::Counterclockwise => {
+                // Lines 27–29: for i in (0..k).rev(): send to prev[(i+1) mod k];
+                // wait from next[i].
+                let to = self.view.prev(0); // (k-1 + 1) mod k == 0
+                self.emit(to);
+                Circulation { dir, step: k - 1, awaiting: self.view.next(k - 1) }
+            }
+        }
+    }
+
+    /// The wait-point interpreter: repeatedly tries to make progress at the
+    /// current wait point by consuming pending pulses / queued messages,
+    /// until it gets stuck (which is the normal "waiting" condition).
+    fn progress(&mut self) {
+        while self.error.is_none() && self.step_once() {}
+    }
+
+    fn step_once(&mut self) -> bool {
+        match &self.state {
+            State::AwaitTrigger => self.step_await_trigger(),
+            State::AwaitRequests { .. } => self.step_await_requests(),
+            State::AwaitPulse => self.step_await_pulse(),
+            State::Sender(_) => self.step_sender(),
+            State::Receiver(ReceiverState::Unary(_)) => self.step_receiver_unary(),
+            State::Receiver(ReceiverState::Binary(_)) => self.step_receiver_binary(),
+        }
+    }
+
+    /// Line 1: the token phase begins once the queue is non-empty or a
+    /// clockwise REQUEST arrives.
+    fn step_await_trigger(&mut self) -> bool {
+        let triggered =
+            !self.queue.is_empty() || self.pending_in_dir(CycleDirection::Clockwise).is_some();
+        if !triggered {
+            return false;
+        }
+        // Line 2: send a REQUEST pulse to next_{u,i} for all i.
+        for i in 0..self.k() {
+            let to = self.view.next(i);
+            self.emit(to);
+        }
+        // Line 3: one REQUEST is owed per occurrence, i.e. per
+        // counterclockwise neighbour with multiplicity.
+        let remaining = self.view.prev_multiplicities().into_iter().collect();
+        self.state = State::AwaitRequests { remaining };
+        true
+    }
+
+    /// Line 3: consume one REQUEST per owed occurrence, then (lines 4–7) the
+    /// holder releases the token.
+    fn step_await_requests(&mut self) -> bool {
+        let needs: Vec<(NodeId, usize)> = match &self.state {
+            State::AwaitRequests { remaining } => {
+                remaining.iter().map(|(&nbr, &need)| (nbr, need)).collect()
+            }
+            _ => unreachable!("step_await_requests called in a different state"),
+        };
+        let mut progressed = false;
+        let mut new_remaining = BTreeMap::new();
+        for (nbr, mut need) in needs {
+            while need > 0 && self.consume_from(nbr) {
+                need -= 1;
+                progressed = true;
+            }
+            new_remaining.insert(nbr, need);
+        }
+        let done = new_remaining.values().all(|&need| need == 0);
+        self.state = State::AwaitRequests { remaining: new_remaining };
+        if done {
+            if self.is_token_holder {
+                // Lines 5–6: release the token counterclockwise.
+                self.is_token_holder = false;
+                let to = self.view.prev(0);
+                self.emit(to);
+            }
+            self.state = State::AwaitPulse;
+            return true;
+        }
+        progressed
+    }
+
+    /// Line 8: the next pulse is either the TOKEN (counterclockwise) or the
+    /// first DATA pulse of the epoch (clockwise).
+    fn step_await_pulse(&mut self) -> bool {
+        if let Some(from) = self.pending_in_dir(CycleDirection::Counterclockwise) {
+            // Lines 9–16: a counterclockwise pulse here is the TOKEN, and the
+            // segment-0 invariant says it arrives from next_{u, k-1}.
+            let expected = self.view.next(self.k() - 1);
+            if from != expected {
+                self.fail(format!("token pulse arrived from {from}, expected from {expected}"));
+                return false;
+            }
+            self.consume_from(from);
+            // Line 10: RotateEdges().
+            self.view.rotate_edges();
+            if !self.queue.is_empty() {
+                // Lines 11–12: become the token holder and start the data
+                // phase (the first pulse is emitted by the sender step).
+                self.is_token_holder = true;
+                self.begin_sending();
+            } else {
+                // Line 14: forward the TOKEN counterclockwise.
+                let to = self.view.prev(0);
+                self.emit(to);
+            }
+            return true;
+        }
+        if self.pending_in_dir(CycleDirection::Clockwise).is_some() {
+            // A clockwise pulse here is the first DATA pulse of the epoch; it
+            // is left pending and consumed by the receiver ("including the
+            // DATA pulse received in the preceding token phase").
+            let receiver = match self.encoding {
+                Encoding::Unary { .. } => {
+                    ReceiverState::Unary(UnaryReceiver { cw_occ: 0, count: 0, end_occ: None })
+                }
+                Encoding::Binary { .. } => ReceiverState::Binary(BinaryReceiver {
+                    cw_occ: 0,
+                    ccw_occ: self.k() - 1,
+                    bits: Vec::new(),
+                    zero_run: 0,
+                    terminal: false,
+                }),
+            };
+            self.state = State::Receiver(receiver);
+            return true;
+        }
+        false
+    }
+
+    /// Data phase, token holder: drive the current circulation or start the
+    /// next one; when the plan is exhausted the epoch ends.
+    fn step_sender(&mut self) -> bool {
+        let current = match &self.state {
+            State::Sender(s) => s.current,
+            _ => unreachable!("step_sender called in a different state"),
+        };
+        match current {
+            Some(circ) => {
+                if !self.consume_from(circ.awaiting) {
+                    return false;
+                }
+                let k = self.k();
+                let next_circ = match circ.dir {
+                    CycleDirection::Clockwise => {
+                        if circ.step + 1 < k {
+                            let step = circ.step + 1;
+                            let to = self.view.next(step);
+                            self.emit(to);
+                            Some(Circulation {
+                                dir: circ.dir,
+                                step,
+                                awaiting: self.view.prev((step + 1) % k),
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                    CycleDirection::Counterclockwise => {
+                        if circ.step > 0 {
+                            let step = circ.step - 1;
+                            let to = self.view.prev((step + 1) % k);
+                            self.emit(to);
+                            Some(Circulation { dir: circ.dir, step, awaiting: self.view.next(step) })
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let State::Sender(s) = &mut self.state {
+                    s.current = next_circ;
+                }
+                true
+            }
+            None => {
+                let next_dir = match &mut self.state {
+                    State::Sender(s) => s.plan.next(),
+                    _ => unreachable!(),
+                };
+                match next_dir {
+                    Some(dir) => {
+                        let circ = self.start_circulation(dir);
+                        if let State::Sender(s) = &mut self.state {
+                            s.current = Some(circ);
+                        }
+                        true
+                    }
+                    None => {
+                        // The whole message has circulated: the epoch is over
+                        // for the sender. Per Remark 3, a broadcasting sender
+                        // also processes its own message (it serves as the
+                        // synchronization point for the construction).
+                        let message = match &self.state {
+                            State::Sender(s) => s.message.clone(),
+                            _ => unreachable!(),
+                        };
+                        if message.is_for(self.node) {
+                            self.delivered.push(message);
+                        }
+                        self.complete_epoch();
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    /// Data phase, non-holder, unary encoding (Algorithm 3(b) lines 32–44).
+    fn step_receiver_unary(&mut self) -> bool {
+        let (cw_occ, count, end_occ) = match &self.state {
+            State::Receiver(ReceiverState::Unary(r)) => (r.cw_occ, r.count, r.end_occ),
+            _ => unreachable!("step_receiver_unary called in a different state"),
+        };
+        let k = self.k();
+        if let Some(eo) = end_occ {
+            // Lines 41–44: forward the END at the remaining occurrences,
+            // counting down.
+            let from = self.view.next(eo);
+            if !self.consume_from(from) {
+                return false;
+            }
+            let to = self.view.prev(eo);
+            self.emit(to);
+            if eo == 0 {
+                self.complete_epoch();
+            } else if let State::Receiver(ReceiverState::Unary(r)) = &mut self.state {
+                r.end_occ = Some(eo - 1);
+            }
+            return true;
+        }
+        // Line 37: a counterclockwise pulse ends the DATA loop; it arrives at
+        // occurrence k-1 first.
+        let end_from = self.view.next(k - 1);
+        if self.pending_count(end_from) > 0 {
+            self.consume_from(end_from);
+            // Lines 38–40: decode the unary count and deliver.
+            match encoding::unary_decode(count) {
+                Ok(bytes) => self.deliver_decoded(&bytes),
+                Err(e) => {
+                    self.error = Some(e);
+                    return false;
+                }
+            }
+            if self.error.is_some() {
+                return false;
+            }
+            // Line 43 (i = k-1): forward the END pulse.
+            let to = self.view.prev(k - 1);
+            self.emit(to);
+            if k == 1 {
+                self.complete_epoch();
+            } else if let State::Receiver(ReceiverState::Unary(r)) = &mut self.state {
+                r.end_occ = Some(k - 2);
+            }
+            return true;
+        }
+        // Lines 33–36: the next DATA pulse is owed at occurrence cw_occ.
+        let data_from = self.view.prev(cw_occ);
+        if self.pending_count(data_from) > 0 {
+            self.consume_from(data_from);
+            let to = self.view.next(cw_occ);
+            self.emit(to);
+            if let State::Receiver(ReceiverState::Unary(r)) = &mut self.state {
+                if cw_occ == 0 {
+                    r.count += 1;
+                }
+                r.cw_occ = (cw_occ + 1) % k;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Data phase, non-holder, binary encoding (Algorithm 2 receiver lifted
+    /// to non-simple cycles; see DESIGN.md for the occurrence-cursor rule).
+    fn step_receiver_binary(&mut self) -> bool {
+        let l = match self.encoding {
+            Encoding::Binary { l } => l,
+            Encoding::Unary { .. } => unreachable!("binary receiver under unary encoding"),
+        };
+        let k = self.k();
+        let (cw_occ, ccw_occ, terminal) = match &self.state {
+            State::Receiver(ReceiverState::Binary(r)) => (r.cw_occ, r.ccw_occ, r.terminal),
+            _ => unreachable!("step_receiver_binary called in a different state"),
+        };
+        // Counterclockwise pulses (0-bits / terminal zeros) are expected at
+        // occurrence ccw_occ, counting down.
+        let ccw_from = self.view.next(ccw_occ);
+        if self.pending_count(ccw_from) > 0 {
+            self.consume_from(ccw_from);
+            let mut now_terminal = terminal;
+            if let State::Receiver(ReceiverState::Binary(r)) = &mut self.state {
+                if ccw_occ == k - 1 {
+                    // First arrival of this pulse: record a 0 bit.
+                    r.bits.push(false);
+                    r.zero_run += 1;
+                    if r.zero_run == l {
+                        r.terminal = true;
+                    }
+                }
+                r.ccw_occ = (ccw_occ + k - 1) % k;
+                now_terminal = r.terminal;
+            }
+            let to = self.view.prev(ccw_occ);
+            self.emit(to);
+            if now_terminal && ccw_occ == 0 {
+                // The last trailing zero has been forwarded at every
+                // occurrence: parse the recorded frame and finish the epoch.
+                let bits = match &mut self.state {
+                    State::Receiver(ReceiverState::Binary(r)) => std::mem::take(&mut r.bits),
+                    _ => unreachable!(),
+                };
+                match encoding::parse_frame(&bits, l) {
+                    Ok(bytes) => self.deliver_decoded(&bytes),
+                    Err(e) => {
+                        self.error = Some(e);
+                        return false;
+                    }
+                }
+                if self.error.is_some() {
+                    return false;
+                }
+                self.complete_epoch();
+            }
+            return true;
+        }
+        // Clockwise pulses (1-bits) are expected at occurrence cw_occ — but
+        // only until the terminal is detected; afterwards any clockwise pulse
+        // is a next-epoch REQUEST and must stay pending.
+        let cw_from = self.view.prev(cw_occ);
+        if !terminal && self.pending_count(cw_from) > 0 {
+            self.consume_from(cw_from);
+            let to = self.view.next(cw_occ);
+            self.emit(to);
+            if let State::Receiver(ReceiverState::Binary(r)) = &mut self.state {
+                if cw_occ == 0 {
+                    r.bits.push(true);
+                    r.zero_run = 0;
+                }
+                r.cw_occ = (cw_occ + 1) % k;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireDest;
+    use fdn_graph::cycle::Occurrence;
+
+    fn simple_view(node: u32, prev: u32, next: u32) -> LocalCycleView {
+        LocalCycleView::from_simple(NodeId(node), NodeId(prev), NodeId(next))
+    }
+
+    #[test]
+    fn engine_construction_and_accessors() {
+        let e = RobbinsEngine::new(simple_view(1, 0, 2), false, Encoding::binary()).unwrap();
+        assert_eq!(e.node(), NodeId(1));
+        assert!(!e.is_token_holder());
+        assert!(e.is_idle());
+        assert_eq!(e.pulses_sent(), 0);
+        assert_eq!(e.pulses_received(), 0);
+        assert_eq!(e.epochs_completed(), 0);
+        assert_eq!(e.queue_len(), 0);
+        assert!(e.error().is_none());
+        assert!(e.is_cycle_neighbor(NodeId(0)));
+        assert!(e.is_cycle_neighbor(NodeId(2)));
+        assert!(!e.is_cycle_neighbor(NodeId(3)));
+    }
+
+    #[test]
+    fn rejects_invalid_encoding_and_bad_view() {
+        assert!(RobbinsEngine::new(simple_view(1, 0, 2), false, Encoding::Binary { l: 1 }).is_err());
+        // A neighbour appearing both as prev and as next means the edge is
+        // used in both directions — not a Robbins cycle.
+        let bad = LocalCycleView::new(
+            NodeId(1),
+            vec![
+                Occurrence { prev: NodeId(0), next: NodeId(2) },
+                Occurrence { prev: NodeId(2), next: NodeId(3) },
+            ],
+        );
+        assert!(RobbinsEngine::new(bad, false, Encoding::binary()).is_err());
+    }
+
+    #[test]
+    fn enqueue_validates_unary_budget() {
+        let mut e =
+            RobbinsEngine::new(simple_view(0, 2, 1), true, Encoding::Unary { max_pulses: 100 })
+                .unwrap();
+        let big = WireMessage::to_node(NodeId(0), NodeId(1), vec![0xFF, 0xFF]);
+        assert!(matches!(e.enqueue(big), Err(CoreError::MessageTooLargeForUnary { .. })));
+        assert_eq!(e.queue_len(), 0);
+        // Even an empty payload needs 2 header bytes -> d = 65537 > 100.
+        let small = WireMessage::to_node(NodeId(0), NodeId(1), vec![]);
+        assert!(e.enqueue(small).is_err());
+    }
+
+    #[test]
+    fn pulse_from_non_neighbor_latches_error() {
+        let mut e = RobbinsEngine::new(simple_view(1, 0, 2), false, Encoding::binary()).unwrap();
+        e.on_pulse(NodeId(7));
+        assert!(matches!(e.error(), Some(CoreError::ProtocolViolation(_))));
+    }
+
+    #[test]
+    fn holder_with_queued_message_requests_and_waits() {
+        // Node 0 on the 3-cycle 0 -> 1 -> 2 -> 0, holder, binary encoding.
+        let mut e = RobbinsEngine::new(simple_view(0, 2, 1), true, Encoding::binary()).unwrap();
+        e.enqueue(WireMessage::broadcast(NodeId(0), vec![])).unwrap();
+        // Line 2: a clockwise REQUEST to its next (node 1).
+        assert_eq!(e.take_outgoing(), vec![NodeId(1)]);
+        assert!(!e.is_idle());
+        // When the REQUEST from its prev (node 2) arrives, it releases the
+        // token counterclockwise (to node 2).
+        e.on_pulse(NodeId(2));
+        assert_eq!(e.take_outgoing(), vec![NodeId(2)]);
+        assert!(!e.is_token_holder());
+        // The token comes back around the cycle (from node 1): node 0
+        // re-acquires it and starts the data phase with a clockwise pulse
+        // (the frame's leading 1) to node 1.
+        e.on_pulse(NodeId(1));
+        assert!(e.is_token_holder());
+        assert_eq!(e.take_outgoing(), vec![NodeId(1)]);
+    }
+
+    /// Hand-driven relay loop over a simple cycle of `engines`.
+    fn relay(engines: &mut [RobbinsEngine], mut inflight: Vec<(NodeId, NodeId)>, limit: usize) {
+        let mut steps = 0;
+        while let Some((from, to)) = inflight.pop() {
+            steps += 1;
+            assert!(steps < limit, "exchange did not terminate within {limit} deliveries");
+            let idx = to.index();
+            engines[idx].on_pulse(from);
+            assert!(engines[idx].error().is_none(), "engine {idx}: {:?}", engines[idx].error());
+            for next_to in engines[idx].take_outgoing() {
+                inflight.push((to, next_to));
+            }
+        }
+    }
+
+    fn simple_cycle_engines(n: u32, holder: u32, encoding: Encoding) -> Vec<RobbinsEngine> {
+        (0..n)
+            .map(|i| {
+                let view = simple_view(i, (i + n - 1) % n, (i + 1) % n);
+                RobbinsEngine::new(view, i == holder, encoding).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn three_node_manual_binary_exchange_delivers_message() {
+        let mut engines = simple_cycle_engines(3, 0, Encoding::binary());
+        engines[0].enqueue(WireMessage::broadcast(NodeId(0), vec![0xA5])).unwrap();
+        let inflight: Vec<(NodeId, NodeId)> =
+            engines[0].take_outgoing().into_iter().map(|to| (NodeId(0), to)).collect();
+        relay(&mut engines, inflight, 10_000);
+        for (i, e) in engines.iter_mut().enumerate() {
+            let delivered = e.take_delivered();
+            assert_eq!(delivered.len(), 1, "engine {i} delivered {delivered:?}");
+            assert_eq!(delivered[0].src, NodeId(0));
+            assert_eq!(delivered[0].dest, WireDest::Broadcast);
+            assert_eq!(delivered[0].payload, vec![0xA5]);
+            assert_eq!(e.epochs_completed(), 1);
+        }
+        assert_eq!(engines.iter().filter(|e| e.is_token_holder()).count(), 1);
+        assert!(engines.iter().all(RobbinsEngine::is_idle));
+    }
+
+    #[test]
+    fn three_node_manual_unary_exchange_delivers_message() {
+        let mut engines = simple_cycle_engines(3, 0, Encoding::unary());
+        // Node 1 wants to send to node 2; it must first obtain the token.
+        engines[1].enqueue(WireMessage::to_node(NodeId(1), NodeId(2), vec![])).unwrap();
+        let inflight: Vec<(NodeId, NodeId)> =
+            engines[1].take_outgoing().into_iter().map(|to| (NodeId(1), to)).collect();
+        relay(&mut engines, inflight, 1_000_000);
+        // Node 2 received the message addressed to it; node 0 decoded it too
+        // (and would discard it at the reactor layer); node 1 sent it.
+        let d2 = engines[2].take_delivered();
+        assert_eq!(d2.len(), 1);
+        assert!(d2[0].is_for(NodeId(2)));
+        assert_eq!(d2[0].src, NodeId(1));
+        let d0 = engines[0].take_delivered();
+        assert_eq!(d0.len(), 1);
+        assert!(!d0[0].is_for(NodeId(0)));
+        assert!(engines[1].take_delivered().is_empty());
+        assert!(engines[1].is_token_holder());
+    }
+
+    #[test]
+    fn multiple_messages_from_multiple_senders() {
+        let mut engines = simple_cycle_engines(4, 0, Encoding::binary());
+        engines[2].enqueue(WireMessage::broadcast(NodeId(2), vec![1, 2])).unwrap();
+        engines[3].enqueue(WireMessage::broadcast(NodeId(3), vec![3])).unwrap();
+        let mut inflight: Vec<(NodeId, NodeId)> = Vec::new();
+        for i in [2usize, 3] {
+            for to in engines[i].take_outgoing() {
+                inflight.push((NodeId(i as u32), to));
+            }
+        }
+        relay(&mut engines, inflight, 100_000);
+        for (i, e) in engines.iter_mut().enumerate() {
+            let delivered = e.take_delivered();
+            assert_eq!(delivered.len(), 2, "engine {i}");
+            let mut srcs: Vec<u32> = delivered.iter().map(|m| m.src.0).collect();
+            srcs.sort();
+            assert_eq!(srcs, vec![2, 3]);
+            assert_eq!(e.epochs_completed(), 2);
+        }
+        assert!(engines.iter().all(RobbinsEngine::is_idle));
+    }
+
+    #[test]
+    fn non_simple_cycle_delivers_broadcast() {
+        // The figure-1 Robbins cycle 3 0 1 2 3 4 1 2 (node 3 and others occur
+        // twice); the token holder is the node at position 0 (node 3).
+        let cycle = fdn_graph::RobbinsCycle::new(
+            [3u32, 0, 1, 2, 3, 4, 1, 2].iter().map(|&x| NodeId(x)).collect(),
+        )
+        .unwrap();
+        let mut engines: Vec<RobbinsEngine> = (0..5)
+            .map(|i| {
+                let view = cycle.local_view(NodeId(i)).unwrap();
+                RobbinsEngine::new(view, i == 3, Encoding::binary()).unwrap()
+            })
+            .collect();
+        engines[4].enqueue(WireMessage::broadcast(NodeId(4), vec![0x5A, 0x11])).unwrap();
+        let inflight: Vec<(NodeId, NodeId)> =
+            engines[4].take_outgoing().into_iter().map(|to| (NodeId(4), to)).collect();
+        relay(&mut engines, inflight, 100_000);
+        for (i, e) in engines.iter_mut().enumerate() {
+            let delivered = e.take_delivered();
+            assert_eq!(delivered.len(), 1, "engine {i}");
+            assert_eq!(delivered[0].payload, vec![0x5A, 0x11]);
+            assert_eq!(e.epochs_completed(), 1, "engine {i}");
+        }
+        assert!(engines.iter().all(RobbinsEngine::is_idle));
+        assert_eq!(engines.iter().filter(|e| e.is_token_holder()).count(), 1);
+        assert!(engines[4].is_token_holder());
+    }
+}

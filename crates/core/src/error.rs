@@ -1,0 +1,120 @@
+//! Error type for the content-oblivious simulators.
+
+use std::fmt;
+
+use fdn_graph::{GraphError, NodeId};
+use fdn_netsim::SimError;
+
+/// Errors surfaced by the `fdn-core` simulators and the construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The network is not 2-edge-connected; the paper proves no simulation is
+    /// possible (Theorem 3).
+    NotTwoEdgeConnected,
+    /// The graph has more nodes than the compact wire format supports.
+    TooManyNodes { nodes: usize, max: usize },
+    /// A message is too large to be unary-encoded within the configured pulse
+    /// budget (the paper's unary encoding is exponential in the message
+    /// length; use binary encoding for anything non-trivial).
+    MessageTooLargeForUnary { pulses_required: u128, max: u128 },
+    /// A received pulse pattern could not be decoded into a message.
+    MalformedFrame(String),
+    /// A wire message could not be parsed.
+    MalformedWireMessage(String),
+    /// The binary-encoding padding parameter `L` must be at least 2.
+    InvalidPaddingParameter { l: usize },
+    /// A node id referenced by the cycle or the simulator is out of range.
+    NodeOutOfRange { node: NodeId },
+    /// A structural problem with the provided cycle.
+    InvalidCycle(String),
+    /// An engine invariant was violated (indicates a bug or a non-faithful
+    /// channel, e.g. message deletion).
+    ProtocolViolation(String),
+    /// An underlying graph error.
+    Graph(GraphError),
+    /// An underlying simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotTwoEdgeConnected => {
+                write!(f, "network is not 2-edge-connected; fully-defective simulation is impossible")
+            }
+            CoreError::TooManyNodes { nodes, max } => {
+                write!(f, "graph has {nodes} nodes but the wire format supports at most {max}")
+            }
+            CoreError::MessageTooLargeForUnary { pulses_required, max } => write!(
+                f,
+                "unary encoding needs {pulses_required} pulses, above the configured limit of {max}"
+            ),
+            CoreError::MalformedFrame(msg) => write!(f, "malformed pulse frame: {msg}"),
+            CoreError::MalformedWireMessage(msg) => write!(f, "malformed wire message: {msg}"),
+            CoreError::InvalidPaddingParameter { l } => {
+                write!(f, "padding parameter L must be >= 2, got {l}")
+            }
+            CoreError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
+            CoreError::InvalidCycle(msg) => write!(f, "invalid cycle: {msg}"),
+            CoreError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let errs: Vec<CoreError> = vec![
+            CoreError::NotTwoEdgeConnected,
+            CoreError::TooManyNodes { nodes: 300, max: 254 },
+            CoreError::MessageTooLargeForUnary { pulses_required: 1 << 40, max: 1 << 20 },
+            CoreError::MalformedFrame("x".into()),
+            CoreError::MalformedWireMessage("y".into()),
+            CoreError::InvalidPaddingParameter { l: 1 },
+            CoreError::NodeOutOfRange { node: NodeId(9) },
+            CoreError::InvalidCycle("z".into()),
+            CoreError::ProtocolViolation("w".into()),
+            CoreError::Graph(GraphError::NotConnected),
+            CoreError::Sim(SimError::StepLimitExceeded { limit: 3 }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = GraphError::NotTwoEdgeConnected.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = SimError::StepLimitExceeded { limit: 1 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CoreError::NotTwoEdgeConnected).is_none());
+    }
+}

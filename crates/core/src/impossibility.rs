@@ -1,0 +1,317 @@
+//! The §6 impossibility harness (Theorem 20).
+//!
+//! The paper proves that no deterministic two-party protocol that *commits to
+//! an output* can compute a non-constant function over a fully-defective
+//! channel: once the channel may rewrite every message, a party's behaviour
+//! can only depend on *how many* messages it has received, and the adversary
+//! that rewrites everything to `1` collapses any two executions with the same
+//! message counts.
+//!
+//! This module provides an executable companion to the proof:
+//!
+//! * [`CountingParty`] — the proof's normal form of a two-party protocol
+//!   under total corruption: the next action is a function of the input and
+//!   the number of messages received so far (the sequence
+//!   `B_y = (0, action_0), (1, action_1), …` of the proof);
+//! * [`find_counterexample`] — for a protocol family and a target function,
+//!   searches for inputs on which the all-ones adversary makes a committing
+//!   party output a wrong value or never output, exactly mirroring the
+//!   case analysis in the proof of Theorem 20;
+//! * [`NonCommittingCounter`] — the §6 example showing why the theorem needs
+//!   output commitment: a protocol that keeps *revising* its output computes
+//!   `f` in the limit, but never irrevocably commits.
+
+use std::fmt;
+
+/// The action a party takes after processing one received message (or, for
+/// step 0, at start-up) — the `send_k` / `SendAndOutput_{k,r}` alphabet of
+/// the Theorem 20 proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Send `k` messages to the peer.
+    Send { count: u32 },
+    /// Send `k` messages and irrevocably write `output`.
+    SendAndOutput { count: u32, output: u64 },
+}
+
+impl Action {
+    /// Number of messages transmitted by this action.
+    pub fn sends(self) -> u32 {
+        match self {
+            Action::Send { count } | Action::SendAndOutput { count, .. } => count,
+        }
+    }
+
+    /// The committed output, if the action commits one.
+    pub fn output(self) -> Option<u64> {
+        match self {
+            Action::Send { .. } => None,
+            Action::SendAndOutput { output, .. } => Some(output),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Send { count } => write!(f, "send {count}"),
+            Action::SendAndOutput { count, output } => write!(f, "send {count} and output {output}"),
+        }
+    }
+}
+
+/// A deterministic two-party protocol in the normal form of the Theorem 20
+/// proof: because the fully-defective channel destroys all content, the
+/// behaviour of a party with a fixed input is completely described by the
+/// action it takes after having received `t` messages, for `t = 0, 1, 2, …`.
+pub trait CountingParty {
+    /// The action taken after `received` messages have arrived (`received = 0`
+    /// is the start-up action). Must be deterministic.
+    fn action(&self, input: u64, received: u32) -> Action;
+}
+
+/// The outcome of executing a two-party counting protocol under the all-ones
+/// adversary until quiescence (or a step limit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoPartyOutcome {
+    /// Alice's committed output, if she ever committed.
+    pub alice_output: Option<u64>,
+    /// Bob's committed output, if he ever committed.
+    pub bob_output: Option<u64>,
+    /// Total messages delivered before quiescence.
+    pub deliveries: u64,
+    /// Whether the execution reached quiescence within the step limit.
+    pub quiescent: bool,
+}
+
+/// Executes a two-party protocol (both parties running `protocol`) on inputs
+/// `(x, y)` over the fully-defective single link with the all-ones adversary.
+/// Since the parties never see content, only the *number* of deliveries
+/// matters; the execution is simulated directly on message counts with an
+/// alternating (fair) scheduler.
+pub fn run_two_party<P: CountingParty>(
+    protocol: &P,
+    x: u64,
+    y: u64,
+    max_deliveries: u64,
+) -> TwoPartyOutcome {
+    // in_flight[i] = messages currently travelling towards party i.
+    let mut in_flight = [0u64; 2];
+    let mut received = [0u32; 2];
+    let mut committed: [Option<u64>; 2] = [None, None];
+    let inputs = [x, y];
+
+    // Start-up actions.
+    for party in 0..2 {
+        let action = protocol.action(inputs[party], 0);
+        in_flight[1 - party] += u64::from(action.sends());
+        if committed[party].is_none() {
+            committed[party] = action.output();
+        }
+    }
+
+    let mut deliveries = 0u64;
+    while deliveries < max_deliveries {
+        // Deliver to the party with the larger backlog (fair enough for a
+        // deterministic counting protocol; any schedule gives the same counts
+        // in the limit).
+        let party = if in_flight[0] >= in_flight[1] { 0 } else { 1 };
+        if in_flight[party] == 0 {
+            break;
+        }
+        in_flight[party] -= 1;
+        deliveries += 1;
+        received[party] += 1;
+        let action = protocol.action(inputs[party], received[party]);
+        in_flight[1 - party] += u64::from(action.sends());
+        if committed[party].is_none() {
+            committed[party] = action.output();
+        }
+    }
+    TwoPartyOutcome {
+        alice_output: committed[0],
+        bob_output: committed[1],
+        deliveries,
+        quiescent: in_flight[0] == 0 && in_flight[1] == 0,
+    }
+}
+
+/// A counterexample produced by [`find_counterexample`]: inputs on which the
+/// protocol fails under total corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Alice's input.
+    pub x: u64,
+    /// Bob's input.
+    pub y: u64,
+    /// The correct value `f(x, y)`.
+    pub expected: u64,
+    /// What Bob actually committed to (or `None` if he never output).
+    pub bob_output: Option<u64>,
+}
+
+/// Searches the input grid `domain × domain` for a pair on which the
+/// protocol, run under the all-ones adversary, either never outputs or
+/// commits to a wrong value of `f` — the dichotomy at the heart of the
+/// Theorem 20 proof. Returns `None` only if the protocol appears correct on
+/// the whole grid (impossible for a non-constant `f`, by the theorem).
+pub fn find_counterexample<P, F>(
+    protocol: &P,
+    f: F,
+    domain: &[u64],
+    max_deliveries: u64,
+) -> Option<Counterexample>
+where
+    P: CountingParty,
+    F: Fn(u64, u64) -> u64,
+{
+    for &x in domain {
+        for &y in domain {
+            let outcome = run_two_party(protocol, x, y, max_deliveries);
+            let expected = f(x, y);
+            let wrong = match outcome.bob_output {
+                None => true,
+                Some(out) => out != expected,
+            };
+            if wrong {
+                return Some(Counterexample { x, y, expected, bob_output: outcome.bob_output });
+            }
+        }
+    }
+    None
+}
+
+/// The naive "exchange and add" protocol in counting normal form: each party
+/// sends `input` messages, then after receiving `t` messages outputs
+/// `own input + t` once the peer's stream is assumed complete. Correct on a
+/// noiseless channel only if message *contents* are trusted; under total
+/// corruption it is exactly the kind of committing protocol Theorem 20 rules
+/// out (it has to guess when the peer is done).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveSumProtocol {
+    /// How many received messages the party waits for before committing.
+    pub commit_after: u32,
+}
+
+impl CountingParty for NaiveSumProtocol {
+    fn action(&self, input: u64, received: u32) -> Action {
+        if received == 0 {
+            // Send a unary encoding of the input.
+            Action::Send { count: input as u32 }
+        } else if received == self.commit_after {
+            Action::SendAndOutput { count: 0, output: input + u64::from(received) }
+        } else {
+            Action::Send { count: 0 }
+        }
+    }
+}
+
+/// The §6 counterexample to a *weaker* requirement: a party that never
+/// commits but keeps a revisable output register `f(x, count)` converges to
+/// the correct value once all of the peer's messages have arrived — which is
+/// precisely why Theorem 20 must require an irrevocable output (or
+/// termination).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NonCommittingCounter;
+
+impl NonCommittingCounter {
+    /// The revisable output after `received` messages, for a party with
+    /// `input`, computing `f(x, y) = x + y` in the limit.
+    pub fn current_estimate(&self, input: u64, received: u32) -> u64 {
+        input + u64::from(received)
+    }
+
+    /// Runs the §6 protocol (each party sends `input` pulses and counts what
+    /// it receives) and returns both parties' final *revisable* estimates,
+    /// which are correct even under total corruption.
+    pub fn run(&self, x: u64, y: u64) -> (u64, u64) {
+        // Every pulse is delivered eventually; content is irrelevant.
+        (self.current_estimate(x, y as u32), self.current_estimate(y, x as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_accessors() {
+        let a = Action::Send { count: 3 };
+        assert_eq!(a.sends(), 3);
+        assert_eq!(a.output(), None);
+        let b = Action::SendAndOutput { count: 1, output: 9 };
+        assert_eq!(b.sends(), 1);
+        assert_eq!(b.output(), Some(9));
+        assert!(a.to_string().contains("send 3"));
+        assert!(b.to_string().contains("output 9"));
+    }
+
+    #[test]
+    fn naive_sum_works_when_the_guess_happens_to_match() {
+        // If Bob commits after exactly x messages and Alice's input is x, the
+        // output is correct — the theorem only says it cannot be correct for
+        // *all* inputs.
+        let p = NaiveSumProtocol { commit_after: 5 };
+        let outcome = run_two_party(&p, 5, 7, 10_000);
+        assert_eq!(outcome.bob_output, Some(12));
+        assert!(outcome.quiescent);
+    }
+
+    #[test]
+    fn naive_sum_has_a_counterexample_for_every_commit_threshold() {
+        // Theorem 20 in action: whatever the committing rule, some input pair
+        // breaks it under total corruption.
+        for commit_after in 1..10u32 {
+            let p = NaiveSumProtocol { commit_after };
+            let domain: Vec<u64> = (0..12).collect();
+            let cex = find_counterexample(&p, |x, y| x + y, &domain, 10_000)
+                .expect("a committing protocol must fail somewhere");
+            // The counterexample is genuine: re-running confirms it.
+            let outcome = run_two_party(&p, cex.x, cex.y, 10_000);
+            assert_eq!(outcome.bob_output, cex.bob_output);
+            assert_ne!(outcome.bob_output, Some(cex.expected));
+        }
+    }
+
+    #[test]
+    fn silent_protocol_never_outputs() {
+        struct Silent;
+        impl CountingParty for Silent {
+            fn action(&self, _input: u64, _received: u32) -> Action {
+                Action::Send { count: 0 }
+            }
+        }
+        let outcome = run_two_party(&Silent, 3, 4, 1_000);
+        assert_eq!(outcome.alice_output, None);
+        assert_eq!(outcome.bob_output, None);
+        assert!(outcome.quiescent);
+        assert_eq!(outcome.deliveries, 0);
+        assert!(find_counterexample(&Silent, |x, y| x + y, &[0, 1], 100).is_some());
+    }
+
+    #[test]
+    fn non_committing_counter_converges_to_the_sum() {
+        let p = NonCommittingCounter;
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let (a, b) = p.run(x, y);
+                assert_eq!(a, x + y);
+                assert_eq!(b, x + y);
+            }
+        }
+        assert_eq!(p.current_estimate(5, 0), 5);
+    }
+
+    #[test]
+    fn step_limit_halts_chatty_protocols() {
+        struct Chatty;
+        impl CountingParty for Chatty {
+            fn action(&self, _input: u64, _received: u32) -> Action {
+                Action::Send { count: 1 }
+            }
+        }
+        let outcome = run_two_party(&Chatty, 0, 0, 500);
+        assert_eq!(outcome.deliveries, 500);
+        assert!(!outcome.quiescent);
+    }
+}

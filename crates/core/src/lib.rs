@@ -1,0 +1,42 @@
+//! Content-oblivious simulation over fully-defective networks.
+//!
+//! This crate is the core of the reproduction of *Distributed Computations in
+//! Fully-Defective Networks* (Censor-Hillel, Cohen, Gelles, Sela — PODC
+//! 2022). A *fully-defective* network may arbitrarily corrupt the content of
+//! every message on every link (but can neither delete nor inject messages).
+//! The paper shows that any asynchronous algorithm `π` for the noiseless
+//! network can still be simulated, as long as the network is
+//! 2-edge-connected, by making every node ignore message *content* entirely
+//! and act only on the link and order of arriving *pulses*.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`encoding`] — the unary and binary (padded) pulse encodings
+//!   (Algorithm 1(b), Algorithm 2);
+//! * [`engine`] — the per-node token/data phase state machine over a cycle
+//!   (Algorithm 1 for simple cycles, Algorithm 3 for Robbins cycles);
+//! * [`reactors`] — adapters that run an inner protocol over a given cycle on
+//!   the `fdn-netsim` simulator (Theorems 4 and 10);
+//! * [`construction`] — the content-oblivious distributed construction of a
+//!   Robbins cycle by ear decomposition (Algorithms 4–6, Theorem 15);
+//! * [`full`] — the end-to-end compiler of Theorem 2: construct the Robbins
+//!   cycle, then simulate `π` over it;
+//! * [`impossibility`] — the §6 two-party impossibility harness (Theorem 20).
+
+pub mod construction;
+pub mod control;
+pub mod encoding;
+pub mod engine;
+pub mod error;
+pub mod full;
+pub mod impossibility;
+pub mod reactors;
+pub mod wire;
+
+pub use construction::{construction_simulators, ConstructionNode, ConstructionSimulator};
+pub use encoding::Encoding;
+pub use engine::RobbinsEngine;
+pub use error::CoreError;
+pub use full::{full_simulators, FullSimulator};
+pub use reactors::{cycle_simulators, CycleSimulator};
+pub use wire::{WireDest, WireMessage};

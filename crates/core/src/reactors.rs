@@ -1,0 +1,318 @@
+//! Netsim adapters: run an inner protocol over a given cycle on a
+//! fully-defective network (Theorems 4 and 10).
+//!
+//! [`CycleSimulator`] wraps one inner-protocol instance and one
+//! [`RobbinsEngine`] per node. Fed with a *simple* cycle it is the Theorem 4
+//! simulator (Algorithm 1/2); fed with a Robbins cycle of a 2-edge-connected
+//! graph it is the Theorem 10 simulator (Algorithm 3). The end-to-end
+//! Theorem 2 compiler, which first *constructs* the Robbins cycle, lives in
+//! [`crate::full`].
+
+use fdn_graph::cycle::LocalCycleView;
+use fdn_graph::{connectivity, Graph, NodeId, RobbinsCycle};
+use fdn_netsim::{Context, InnerProtocol, ProtocolIo, Reactor};
+
+use crate::encoding::Encoding;
+use crate::engine::RobbinsEngine;
+use crate::error::CoreError;
+use crate::wire::WireMessage;
+
+/// A content-less pulse payload. The byte value is irrelevant — receivers
+/// ignore content — but it must be non-empty because the noise model may not
+/// delete messages.
+pub const PULSE: [u8; 1] = [0];
+
+/// One node of the cycle simulator: an inner protocol `π` plus the
+/// content-oblivious engine that carries its messages over the
+/// fully-defective cycle.
+#[derive(Debug)]
+pub struct CycleSimulator<P> {
+    inner: P,
+    engine: RobbinsEngine,
+    node: NodeId,
+    graph_neighbors: Vec<NodeId>,
+    error: Option<CoreError>,
+}
+
+impl<P: InnerProtocol> CycleSimulator<P> {
+    /// Creates the simulator node.
+    ///
+    /// * `view` — the node's local view of the cycle (`k` occurrences with
+    ///   `prev`/`next` each);
+    /// * `is_token_holder` — true for exactly one node;
+    /// * `graph_neighbors` — the node's neighbours in the *graph* (what the
+    ///   inner protocol believes its neighbourhood is).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction errors.
+    pub fn new(
+        view: LocalCycleView,
+        is_token_holder: bool,
+        encoding: Encoding,
+        graph_neighbors: Vec<NodeId>,
+        inner: P,
+    ) -> Result<Self, CoreError> {
+        let node = view.node();
+        let engine = RobbinsEngine::new(view, is_token_holder, encoding)?;
+        Ok(CycleSimulator { inner, engine, node, graph_neighbors, error: None })
+    }
+
+    /// Read access to the wrapped inner protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Read access to the underlying engine (pulse counters, token state).
+    pub fn engine(&self) -> &RobbinsEngine {
+        &self.engine
+    }
+
+    /// The first error observed by this node (an engine protocol violation or
+    /// a message that could not be encoded), if any.
+    pub fn error(&self) -> Option<&CoreError> {
+        self.error.as_ref().or_else(|| self.engine.error())
+    }
+
+    fn pump(&mut self, ctx: &mut Context) {
+        // Move decoded messages into the inner protocol, collect what it
+        // emits, and flush the engine's pulses to the network — repeating
+        // until a fixed point, since deliveries can trigger new sends.
+        loop {
+            let delivered = self.engine.take_delivered();
+            let mut emitted = Vec::new();
+            for msg in &delivered {
+                if msg.is_for(self.node) && msg.src != self.node {
+                    let mut io = ProtocolIo::new(self.node, self.graph_neighbors.clone());
+                    self.inner.on_deliver(msg.src, &msg.payload, &mut io);
+                    emitted.extend(io.take_sends());
+                }
+            }
+            for m in emitted {
+                let wire = WireMessage::from_protocol(self.node, m);
+                if let Err(e) = self.engine.enqueue(wire) {
+                    if self.error.is_none() {
+                        self.error = Some(e);
+                    }
+                }
+            }
+            let pulses = self.engine.take_outgoing();
+            if pulses.is_empty() && self.engine.take_delivered().is_empty() {
+                // Nothing new was produced; note take_delivered() above is
+                // empty unless a re-entrant decode happened, which cannot
+                // occur without new pulses.
+                break;
+            }
+            for to in pulses {
+                ctx.send(to, PULSE.to_vec());
+            }
+        }
+    }
+}
+
+impl<P: InnerProtocol> Reactor for CycleSimulator<P> {
+    fn on_start(&mut self, ctx: &mut Context) {
+        let mut io = ProtocolIo::new(self.node, self.graph_neighbors.clone());
+        self.inner.on_init(&mut io);
+        for m in io.take_sends() {
+            let wire = WireMessage::from_protocol(self.node, m);
+            if let Err(e) = self.engine.enqueue(wire) {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, _payload: &[u8], ctx: &mut Context) {
+        // Content-oblivious: the payload is ignored entirely.
+        self.engine.on_pulse(from);
+        self.pump(ctx);
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.inner.output()
+    }
+}
+
+/// Builds one [`CycleSimulator`] per node of `graph` for the given Robbins
+/// cycle. The token holder is the node at the cycle's position 0 (Remark 4).
+///
+/// # Errors
+///
+/// Returns an error if the graph is not 2-edge-connected, the cycle is not a
+/// valid Robbins cycle of the graph, or the graph is too large for the wire
+/// format.
+pub fn cycle_simulators<P, F>(
+    graph: &Graph,
+    cycle: &RobbinsCycle,
+    encoding: Encoding,
+    mut factory: F,
+) -> Result<Vec<CycleSimulator<P>>, CoreError>
+where
+    P: InnerProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    if graph.node_count() > crate::wire::MAX_NODE_ID as usize + 1 {
+        return Err(CoreError::TooManyNodes {
+            nodes: graph.node_count(),
+            max: crate::wire::MAX_NODE_ID as usize + 1,
+        });
+    }
+    if !connectivity::is_two_edge_connected(graph) {
+        return Err(CoreError::NotTwoEdgeConnected);
+    }
+    cycle.validate(graph).map_err(|e| CoreError::InvalidCycle(e.to_string()))?;
+    let holder = cycle.root();
+    graph
+        .nodes()
+        .map(|v| {
+            let view = cycle
+                .local_view(v)
+                .ok_or_else(|| CoreError::InvalidCycle(format!("node {v} not on the cycle")))?;
+            CycleSimulator::new(
+                view,
+                v == holder,
+                encoding,
+                graph.neighbors(v).to_vec(),
+                factory(v),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdn_graph::{generators, robbins};
+    use fdn_netsim::{FullCorruption, RandomScheduler, Simulation};
+    use fdn_protocols::{FloodBroadcast, TokenRingCounter};
+
+    #[test]
+    fn broadcast_over_fully_defective_simple_cycle() {
+        let n = 6usize;
+        let g = generators::cycle(n).unwrap();
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        let nodes = cycle_simulators(&g, &cycle, Encoding::binary(), |v| {
+            FloodBroadcast::new(v, NodeId(2), vec![0xBE, 0xEF])
+        })
+        .unwrap();
+        let mut sim = Simulation::new(g, nodes)
+            .unwrap()
+            .with_noise(FullCorruption::new(11))
+            .with_scheduler(RandomScheduler::new(7));
+        sim.run().unwrap();
+        for v in 0..n {
+            assert_eq!(
+                sim.node(NodeId(v as u32)).output(),
+                Some(vec![0xBE, 0xEF]),
+                "node {v} did not adopt the broadcast value"
+            );
+            assert!(sim.node(NodeId(v as u32)).error().is_none());
+        }
+    }
+
+    #[test]
+    fn token_ring_over_fully_defective_simple_cycle_binary() {
+        let n = 5usize;
+        let g = generators::cycle(n).unwrap();
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        let nodes = cycle_simulators(&g, &cycle, Encoding::binary(), |v| {
+            TokenRingCounter::new(v, NodeId(0), n as u32)
+        })
+        .unwrap();
+        let mut sim = Simulation::new(g.clone(), nodes)
+            .unwrap()
+            .with_noise(FullCorruption::new(3))
+            .with_scheduler(RandomScheduler::new(5));
+        sim.run().unwrap();
+        let out = sim.node(NodeId(0)).output().unwrap();
+        assert_eq!(out, (n as u64).to_be_bytes().to_vec());
+        for v in g.nodes() {
+            assert!(sim.node(v).error().is_none());
+        }
+    }
+
+    #[test]
+    fn broadcast_over_fully_defective_simple_cycle_unary() {
+        // Unary encoding is exponential in the message length, so the unary
+        // test uses an empty payload (the 2 header bytes alone already cost
+        // ~2^16 DATA circulations).
+        let n = 4usize;
+        let g = generators::cycle(n).unwrap();
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        let nodes = cycle_simulators(&g, &cycle, Encoding::unary(), |v| {
+            FloodBroadcast::new(v, NodeId(1), vec![])
+        })
+        .unwrap();
+        let mut sim = Simulation::new(g.clone(), nodes)
+            .unwrap()
+            .with_noise(FullCorruption::new(9))
+            .with_scheduler(RandomScheduler::new(2));
+        sim.run().unwrap();
+        for v in g.nodes() {
+            assert_eq!(sim.node(v).output(), Some(vec![]));
+            assert!(sim.node(v).error().is_none(), "node {v}: {:?}", sim.node(v).error());
+        }
+    }
+
+    #[test]
+    fn unary_reports_oversized_messages() {
+        // An 8-byte payload is far beyond the unary budget; the node must
+        // surface MessageTooLargeForUnary instead of silently dropping it.
+        let g = generators::cycle(4).unwrap();
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        let nodes = cycle_simulators(&g, &cycle, Encoding::unary(), |v| {
+            TokenRingCounter::new(v, NodeId(0), 4)
+        })
+        .unwrap();
+        let mut sim = Simulation::new(g, nodes).unwrap();
+        sim.run().unwrap();
+        assert!(matches!(
+            sim.node(NodeId(0)).error(),
+            Some(CoreError::MessageTooLargeForUnary { .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_over_fully_defective_nonsimple_cycle() {
+        // Figure-1 style graph whose Robbins cycle is non-simple.
+        let g = generators::figure1();
+        let cycle = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        assert!(cycle.len() > g.node_count(), "cycle should be non-simple");
+        for seed in 0..4 {
+            let nodes = cycle_simulators(&g, &cycle, Encoding::binary(), |v| {
+                FloodBroadcast::new(v, NodeId(4), vec![seed as u8, 0x42])
+            })
+            .unwrap();
+            let mut sim = Simulation::new(g.clone(), nodes)
+                .unwrap()
+                .with_noise(FullCorruption::new(seed))
+                .with_scheduler(RandomScheduler::new(seed * 31 + 1));
+            sim.run().unwrap();
+            for v in g.nodes() {
+                assert_eq!(sim.node(v).output(), Some(vec![seed as u8, 0x42]));
+                assert!(sim.node(v).error().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_2ec_graphs_and_bad_cycles() {
+        let g = generators::barbell(3).unwrap();
+        let fake_cycle =
+            RobbinsCycle::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let res = cycle_simulators(&g, &fake_cycle, Encoding::binary(), |v| {
+            FloodBroadcast::new(v, NodeId(0), vec![1])
+        });
+        assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)));
+
+        let g = generators::cycle(5).unwrap();
+        let wrong = RobbinsCycle::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let res = cycle_simulators(&g, &wrong, Encoding::binary(), |v| {
+            FloodBroadcast::new(v, NodeId(0), vec![1])
+        });
+        assert!(matches!(res, Err(CoreError::InvalidCycle(_))));
+    }
+}

@@ -1,0 +1,192 @@
+//! The wire format of simulated messages.
+//!
+//! Whatever the inner protocol `π` asks to send is wrapped as
+//! `(message, source, destination)` — exactly the triple the paper's
+//! simulators enqueue (Algorithm 1/3, "Handling messages sent by π"). The
+//! destination may be a single node or `*` (the broadcast extension of
+//! Remark 3, used pervasively by the Robbins-cycle construction).
+//!
+//! The byte encoding is deliberately compact (2 header bytes) because the
+//! simulators pay `Θ(|C|)` pulses *per bit* under the binary encoding and
+//! `Θ(2^{bits})` under the unary encoding.
+
+use fdn_graph::NodeId;
+use fdn_netsim::{Dest, ProtocolMsg};
+
+use crate::error::CoreError;
+
+/// Maximum node id representable by the wire format (id 255 is reserved as
+/// the broadcast marker).
+pub const MAX_NODE_ID: u32 = 254;
+
+/// Destination of a simulated message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireDest {
+    /// A single destination node.
+    Node(NodeId),
+    /// Every node on the cycle (Remark 3).
+    Broadcast,
+}
+
+impl From<Dest> for WireDest {
+    fn from(d: Dest) -> Self {
+        match d {
+            Dest::Node(v) => WireDest::Node(v),
+            Dest::Broadcast => WireDest::Broadcast,
+        }
+    }
+}
+
+/// A simulated message in flight: the inner protocol's payload plus the
+/// source and destination the simulator must route it between.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WireMessage {
+    /// The node whose inner protocol emitted the message.
+    pub src: NodeId,
+    /// Where it should be delivered.
+    pub dest: WireDest,
+    /// The inner protocol's payload.
+    pub payload: Vec<u8>,
+}
+
+impl WireMessage {
+    /// Wraps a message emitted by the inner protocol at `src`.
+    pub fn from_protocol(src: NodeId, msg: ProtocolMsg) -> Self {
+        WireMessage { src, dest: msg.dest.into(), payload: msg.payload }
+    }
+
+    /// Convenience constructor for a point-to-point message.
+    pub fn to_node(src: NodeId, dest: NodeId, payload: Vec<u8>) -> Self {
+        WireMessage { src, dest: WireDest::Node(dest), payload }
+    }
+
+    /// Convenience constructor for a broadcast message.
+    pub fn broadcast(src: NodeId, payload: Vec<u8>) -> Self {
+        WireMessage { src, dest: WireDest::Broadcast, payload }
+    }
+
+    /// Whether the message should be handed to the inner protocol of `node`.
+    pub fn is_for(&self, node: NodeId) -> bool {
+        match self.dest {
+            WireDest::Node(v) => v == node,
+            WireDest::Broadcast => true,
+        }
+    }
+
+    /// Serializes to the compact wire format: `[src][dest|0xFF][payload…]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::TooManyNodes`] if an id exceeds [`MAX_NODE_ID`].
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CoreError> {
+        if self.src.0 > MAX_NODE_ID {
+            return Err(CoreError::TooManyNodes {
+                nodes: self.src.0 as usize + 1,
+                max: MAX_NODE_ID as usize + 1,
+            });
+        }
+        let dest_byte = match self.dest {
+            WireDest::Broadcast => 0xFF,
+            WireDest::Node(v) => {
+                if v.0 > MAX_NODE_ID {
+                    return Err(CoreError::TooManyNodes {
+                        nodes: v.0 as usize + 1,
+                        max: MAX_NODE_ID as usize + 1,
+                    });
+                }
+                v.0 as u8
+            }
+        };
+        let mut out = Vec::with_capacity(2 + self.payload.len());
+        out.push(self.src.0 as u8);
+        out.push(dest_byte);
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Parses the compact wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedWireMessage`] if the buffer is shorter
+    /// than the 2-byte header.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        if bytes.len() < 2 {
+            return Err(CoreError::MalformedWireMessage(format!(
+                "need at least 2 header bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let src = NodeId(u32::from(bytes[0]));
+        let dest =
+            if bytes[1] == 0xFF { WireDest::Broadcast } else { WireDest::Node(NodeId(u32::from(bytes[1]))) };
+        Ok(WireMessage { src, dest, payload: bytes[2..].to_vec() })
+    }
+
+    /// The serialized length in bits (the `|M| = |m| + O(log n)` of the
+    /// paper's cost accounting).
+    pub fn bit_len(&self) -> usize {
+        (2 + self.payload.len()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_node_dest() {
+        let m = WireMessage::to_node(NodeId(3), NodeId(7), vec![1, 2, 3]);
+        let bytes = m.to_bytes().unwrap();
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(WireMessage::from_bytes(&bytes).unwrap(), m);
+        assert_eq!(m.bit_len(), 40);
+        assert!(m.is_for(NodeId(7)));
+        assert!(!m.is_for(NodeId(3)));
+    }
+
+    #[test]
+    fn roundtrip_broadcast() {
+        let m = WireMessage::broadcast(NodeId(0), vec![]);
+        let bytes = m.to_bytes().unwrap();
+        assert_eq!(bytes, vec![0, 0xFF]);
+        let back = WireMessage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert!(back.is_for(NodeId(42)));
+    }
+
+    #[test]
+    fn roundtrip_empty_payload_and_binary_payload() {
+        for payload in [vec![], vec![0u8], vec![0xFF, 0x00, 0x7F]] {
+            let m = WireMessage::to_node(NodeId(1), NodeId(2), payload);
+            assert_eq!(WireMessage::from_bytes(&m.to_bytes().unwrap()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn rejects_large_ids_and_short_buffers() {
+        let m = WireMessage::to_node(NodeId(255), NodeId(0), vec![]);
+        assert!(matches!(m.to_bytes(), Err(CoreError::TooManyNodes { .. })));
+        let m = WireMessage::to_node(NodeId(0), NodeId(300), vec![]);
+        assert!(matches!(m.to_bytes(), Err(CoreError::TooManyNodes { .. })));
+        assert!(matches!(
+            WireMessage::from_bytes(&[5]),
+            Err(CoreError::MalformedWireMessage(_))
+        ));
+    }
+
+    #[test]
+    fn from_protocol_msg() {
+        let m = WireMessage::from_protocol(
+            NodeId(4),
+            ProtocolMsg { dest: Dest::Broadcast, payload: vec![9] },
+        );
+        assert_eq!(m.dest, WireDest::Broadcast);
+        assert_eq!(m.src, NodeId(4));
+        let m = WireMessage::from_protocol(
+            NodeId(4),
+            ProtocolMsg { dest: Dest::Node(NodeId(1)), payload: vec![9] },
+        );
+        assert_eq!(m.dest, WireDest::Node(NodeId(1)));
+    }
+}

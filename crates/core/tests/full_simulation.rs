@@ -1,0 +1,141 @@
+//! End-to-end tests for the Theorem 2 compiler: construct a Robbins cycle on
+//! the fully-defective network, then simulate the inner protocol over it, and
+//! check that every node's output matches the noiseless baseline execution.
+
+use fdn_core::full::full_simulators;
+use fdn_core::{CoreError, Encoding};
+use fdn_graph::{generators, Graph, NodeId};
+use fdn_netsim::{FullCorruption, RandomScheduler, Reactor, Simulation};
+use fdn_protocols::util::{decode_u64, run_direct};
+use fdn_protocols::{EchoAggregate, FloodBroadcast, GossipAllToAll, MaxIdLeaderElection};
+
+/// Runs the Theorem-2 simulator for a protocol factory on a fully-defective
+/// network and returns the per-node outputs.
+fn run_full<P, F>(graph: &Graph, factory: F, seed: u64) -> Vec<Option<Vec<u8>>>
+where
+    P: fdn_netsim::InnerProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    let nodes = full_simulators(graph, NodeId(0), Encoding::binary(), factory).expect("valid input");
+    let mut sim = Simulation::new(graph.clone(), nodes)
+        .expect("node count matches")
+        .with_noise(FullCorruption::new(seed))
+        .with_scheduler(RandomScheduler::new(seed.wrapping_mul(31).wrapping_add(7)));
+    sim.run().expect("simulation failed");
+    for v in graph.nodes() {
+        assert!(sim.node(v).error().is_none(), "node {v} error: {:?}", sim.node(v).error());
+        assert!(sim.node(v).is_online(), "node {v} never finished the construction");
+    }
+    sim.outputs()
+}
+
+#[test]
+fn broadcast_matches_baseline_on_figure3() {
+    let g = generators::figure3();
+    let value = vec![0xC0, 0x01];
+    let baseline = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(2), value.clone()), 0).unwrap();
+    for seed in 0..3u64 {
+        let defective = run_full(&g, |v| FloodBroadcast::new(v, NodeId(2), value.clone()), seed);
+        assert_eq!(defective, baseline, "seed {seed}");
+    }
+}
+
+#[test]
+fn broadcast_matches_baseline_on_random_graphs() {
+    for seed in 0..3u64 {
+        let g = generators::random_two_edge_connected(7, 3, seed).unwrap();
+        let value = vec![seed as u8, 0xAB];
+        let baseline =
+            run_direct(&g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), 0).unwrap();
+        let defective = run_full(&g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), seed);
+        assert_eq!(defective, baseline, "seed {seed}");
+    }
+}
+
+#[test]
+fn leader_election_agrees_with_baseline() {
+    let g = generators::figure1();
+    let priorities = [12u64, 99, 5, 40, 63];
+    let baseline = run_direct(
+        &g,
+        |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]),
+        1,
+    )
+    .unwrap();
+    let defective =
+        run_full(&g, |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]), 11);
+    assert_eq!(defective, baseline);
+    for out in defective {
+        assert_eq!(decode_u64(&out.unwrap()), 99);
+    }
+}
+
+#[test]
+fn echo_aggregation_computes_the_global_sum() {
+    let g = generators::theta(1, 1, 2).unwrap();
+    let inputs: Vec<u64> = g.nodes().map(|v| u64::from(v.0) * 3 + 1).collect();
+    let expected: u64 = inputs.iter().sum();
+    let outputs = run_full(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), 5);
+    assert_eq!(decode_u64(outputs[0].as_ref().unwrap()), expected);
+}
+
+#[test]
+fn gossip_all_to_all_over_fully_defective_network() {
+    let g = generators::figure3();
+    let n = g.node_count();
+    let expected: Vec<u8> =
+        (0..n as u64).flat_map(|i| (i + 7).to_be_bytes().to_vec()).collect();
+    let outputs = run_full(&g, |v| GossipAllToAll::new(v, n, u64::from(v.0) + 7), 3);
+    for (v, out) in outputs.iter().enumerate() {
+        assert_eq!(out.as_deref(), Some(&expected[..]), "node {v}");
+    }
+}
+
+#[test]
+fn cc_init_is_positive_and_cycle_is_agreed() {
+    let g = generators::figure3();
+    let nodes = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+        FloodBroadcast::new(v, NodeId(0), vec![1])
+    })
+    .unwrap();
+    let mut sim = Simulation::new(g.clone(), nodes)
+        .unwrap()
+        .with_noise(FullCorruption::new(2))
+        .with_scheduler(RandomScheduler::new(4));
+    sim.run().unwrap();
+    let mut cycles = Vec::new();
+    for v in g.nodes() {
+        let node = sim.node(v);
+        assert!(node.construction_pulses() > 0, "node {v} sent no pre-processing pulses");
+        cycles.push(node.cycle().expect("online").clone());
+    }
+    for c in &cycles {
+        assert_eq!(c.seq(), cycles[0].seq());
+        c.validate(&g).unwrap();
+        assert!(c.covers_all_edges(&g));
+    }
+}
+
+#[test]
+fn rejects_non_two_edge_connected_networks() {
+    let g = generators::two_party();
+    let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+        FloodBroadcast::new(v, NodeId(0), vec![1])
+    });
+    assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)));
+
+    let g = generators::barbell(3).unwrap();
+    let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+        FloodBroadcast::new(v, NodeId(0), vec![1])
+    });
+    assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)));
+}
+
+#[test]
+fn rejects_bad_root_and_oversized_graphs() {
+    let g = generators::cycle(4).unwrap();
+    assert!(full_simulators(&g, NodeId(17), Encoding::binary(), |v| {
+        FloodBroadcast::new(v, NodeId(0), vec![1])
+    })
+    .is_err());
+}

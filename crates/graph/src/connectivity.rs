@@ -1,0 +1,209 @@
+//! Connectivity, bridge finding and 2-edge-connectivity tests.
+//!
+//! The paper's positive result (Theorems 1, 2) requires the network to be
+//! 2-edge-connected; its negative result (Theorem 3) shows that a bridge makes
+//! non-trivial computation impossible. The simulators in `fdn-core` therefore
+//! validate their input graphs with [`is_two_edge_connected`] before running.
+
+use crate::graph::{Edge, Graph, NodeId};
+
+/// Returns `true` if the graph is connected (the empty graph and the
+/// single-node graph are considered connected).
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![NodeId(0)];
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(u) = stack.pop() {
+        for &v in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+/// Finds all bridges (cut edges) of the graph using an iterative
+/// Tarjan-style low-link DFS.
+///
+/// A bridge is an edge whose removal disconnects its endpoints. The returned
+/// list is sorted.
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n]; // discovery time
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative DFS frame: (node, parent, index into the neighbour list).
+    let mut stack: Vec<(NodeId, Option<NodeId>, usize)> = Vec::new();
+
+    for start in g.nodes() {
+        if disc[start.index()] != usize::MAX {
+            continue;
+        }
+        disc[start.index()] = timer;
+        low[start.index()] = timer;
+        timer += 1;
+        stack.push((start, None, 0));
+        while let Some(&mut (u, parent, ref mut idx)) = stack.last_mut() {
+            let neighbors = g.neighbors(u);
+            if *idx < neighbors.len() {
+                let v = neighbors[*idx];
+                *idx += 1;
+                // Skip exactly one traversal of the tree edge back to the
+                // parent; since the graph is simple there is only one such
+                // edge and skipping it once is enough.
+                if Some(v) == parent && disc[v.index()] + 1 == disc[u.index()] {
+                    continue;
+                }
+                if disc[v.index()] == usize::MAX {
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push((v, Some(u), 0));
+                } else if Some(v) != parent {
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if low[u.index()] > disc[p.index()] {
+                        out.push(Edge::new(p, u));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Returns `true` if the graph is connected, has at least two nodes and
+/// contains no bridge — i.e. it is 2-edge-connected.
+///
+/// This is exactly the precondition of the paper's Theorem 1/2 simulators.
+pub fn is_two_edge_connected(g: &Graph) -> bool {
+    g.node_count() >= 2 && is_connected(g) && bridges(g).is_empty()
+}
+
+/// Brute-force bridge test used by property tests to cross-check [`bridges`]:
+/// removes each edge in turn and checks connectivity of its endpoints.
+pub fn bridges_bruteforce(g: &Graph) -> Vec<Edge> {
+    let mut out = Vec::new();
+    for e in g.edges() {
+        if !connected_avoiding(g, e.lo(), e.hi(), e) {
+            out.push(e);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// BFS reachability from `src` to `dst` that is not allowed to traverse
+/// `forbidden`.
+fn connected_avoiding(g: &Graph, src: NodeId, dst: NodeId, forbidden: Edge) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![src];
+    seen[src.index()] = true;
+    while let Some(u) = stack.pop() {
+        if u == dst {
+            return true;
+        }
+        for &v in g.neighbors(u) {
+            if Edge::new(u, v) == forbidden || seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            stack.push(v);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_is_two_edge_connected() {
+        for n in 3..12 {
+            let g = generators::cycle(n).unwrap();
+            assert!(is_connected(&g));
+            assert!(bridges(&g).is_empty());
+            assert!(is_two_edge_connected(&g));
+        }
+    }
+
+    #[test]
+    fn path_has_all_bridges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(is_connected(&g));
+        let b = bridges(&g);
+        assert_eq!(b.len(), 3);
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn barbell_has_single_bridge() {
+        let g = generators::barbell(4).unwrap();
+        let b = bridges(&g);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b, bridges_bruteforce(&g));
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!is_connected(&g));
+        assert!(!is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn single_node_and_empty() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_two_edge_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn figure1_graph_is_2ec() {
+        let g = generators::figure1();
+        assert!(is_two_edge_connected(&g));
+    }
+
+    #[test]
+    fn bridges_match_bruteforce_on_families() {
+        let graphs = vec![
+            generators::cycle(7).unwrap(),
+            generators::complete(5).unwrap(),
+            generators::theta(2, 3, 4).unwrap(),
+            generators::wheel(6).unwrap(),
+            generators::barbell(3).unwrap(),
+            generators::figure1(),
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap(),
+        ];
+        for g in graphs {
+            assert_eq!(bridges(&g), bridges_bruteforce(&g), "mismatch on {g}");
+        }
+    }
+
+    #[test]
+    fn two_parallel_paths_no_bridge() {
+        // theta graph: two nodes joined by three disjoint paths.
+        let g = generators::theta(1, 2, 3).unwrap();
+        assert!(bridges(&g).is_empty());
+        assert!(is_two_edge_connected(&g));
+    }
+}

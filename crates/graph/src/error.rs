@@ -1,0 +1,73 @@
+//! Error type for graph construction and structural algorithms.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors returned by graph construction and the structural algorithms in
+/// this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was outside the graph's node range.
+    NodeOutOfRange { node: NodeId, node_count: usize },
+    /// A self-loop was requested; the paper's model uses simple graphs.
+    SelfLoop { node: NodeId },
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge { u: NodeId, v: NodeId },
+    /// An algorithm that requires connectivity was run on a disconnected graph.
+    NotConnected,
+    /// An algorithm that requires 2-edge-connectivity was run on a graph with
+    /// a bridge (or on a disconnected graph).
+    NotTwoEdgeConnected,
+    /// A cycle sequence failed validation.
+    InvalidCycle(String),
+    /// A generator was asked for a graph it cannot build (e.g. too few nodes).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} not allowed"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::NotTwoEdgeConnected => write!(f, "graph is not 2-edge-connected"),
+            GraphError::InvalidCycle(msg) => write!(f, "invalid cycle: {msg}"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_style() {
+        let errs = [
+            GraphError::NodeOutOfRange { node: NodeId(7), node_count: 3 },
+            GraphError::SelfLoop { node: NodeId(1) },
+            GraphError::DuplicateEdge { u: NodeId(0), v: NodeId(1) },
+            GraphError::NotConnected,
+            GraphError::NotTwoEdgeConnected,
+            GraphError::InvalidCycle("bad".into()),
+            GraphError::InvalidParameter("bad".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::NotConnected);
+        assert_eq!(e.to_string(), "graph is not connected");
+    }
+}

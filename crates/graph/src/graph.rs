@@ -1,0 +1,340 @@
+//! The undirected simple graph type used throughout the workspace.
+
+use std::fmt;
+
+use crate::error::GraphError;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Nodes of a graph with `n` nodes are `NodeId(0) .. NodeId(n-1)`. The paper
+/// assumes nodes have unique IDs known to their neighbours (the `KT1`
+/// assumption, relaxable per Remark 6); we use the index itself as the ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+/// An undirected edge, stored with its endpoints in ascending order.
+///
+/// `Edge::new(u, v) == Edge::new(v, u)`, which makes the type usable as a key
+/// for per-edge bookkeeping regardless of direction of travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl Edge {
+    /// Creates the normalized undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (the graphs in this crate are simple).
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loops are not representable as edges");
+        if u < v {
+            Edge { lo: u, hi: v }
+        } else {
+            Edge { lo: v, hi: u }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Both endpoints as a tuple `(lo, hi)`.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns the endpoint other than `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not an endpoint of this edge.
+    pub fn other(self, u: NodeId) -> NodeId {
+        if u == self.lo {
+            self.hi
+        } else if u == self.hi {
+            self.lo
+        } else {
+            panic!("{u} is not an endpoint of edge ({}, {})", self.lo, self.hi)
+        }
+    }
+
+    /// Whether `u` is one of the endpoints.
+    pub fn contains(self, u: NodeId) -> bool {
+        u == self.lo || u == self.hi
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lo, self.hi)
+    }
+}
+
+/// An undirected, simple graph over nodes `0..n`.
+///
+/// Neighbour lists are kept sorted so iteration order is deterministic, which
+/// in turn keeps the whole simulation pipeline reproducible for a fixed seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, self-loops or duplicate
+    /// edges.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(NodeId(u), NodeId(v))?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Checks that a node id is in range.
+    pub fn check_node(&self, u: NodeId) -> Result<(), GraphError> {
+        if u.index() < self.adj.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node: u, node_count: self.adj.len() })
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, if `u == v`, or if
+    /// the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        let (au, av) = (u.index(), v.index());
+        let pos_u = self.adj[au].binary_search(&v).unwrap_err();
+        self.adj[au].insert(pos_u, v);
+        let pos_v = self.adj[av].binary_search(&u).unwrap_err();
+        self.adj[av].insert(pos_v, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.adj.len() && self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// The sorted neighbour list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.index()]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// All undirected edges, each reported once with `lo < hi`, sorted.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in self.nodes() {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    out.push(Edge::new(u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(NodeId::from(5u32), NodeId(5));
+        assert_eq!(NodeId::from(5usize), NodeId(5));
+    }
+
+    #[test]
+    fn edge_normalizes_endpoints() {
+        let e1 = Edge::new(NodeId(2), NodeId(5));
+        let e2 = Edge::new(NodeId(5), NodeId(2));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.lo(), NodeId(2));
+        assert_eq!(e1.hi(), NodeId(5));
+        assert_eq!(e1.other(NodeId(2)), NodeId(5));
+        assert_eq!(e1.other(NodeId(5)), NodeId(2));
+        assert!(e1.contains(NodeId(2)));
+        assert!(!e1.contains(NodeId(3)));
+        assert_eq!(e1.endpoints(), (NodeId(2), NodeId(5)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(NodeId(1), NodeId(2)).other(NodeId(3));
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(g.degree(NodeId(2)), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.edges().len(), 4);
+        assert_eq!(g.to_string(), "Graph(n=4, m=4)");
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.add_edge(NodeId(0), NodeId(0)), Err(GraphError::SelfLoop { node: NodeId(0) }));
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(0)),
+            Err(GraphError::DuplicateEdge { u: NodeId(1), v: NodeId(0) })
+        );
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(9)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(0, 4), (0, 2), (0, 1), (0, 3)]).unwrap();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edges().len(), 0);
+        assert_eq!(g.min_degree(), 0);
+    }
+
+    #[test]
+    fn edges_sorted_and_unique() {
+        let g = Graph::from_edges(4, [(2, 3), (0, 1), (1, 2)]).unwrap();
+        let es = g.edges();
+        let mut sorted = es.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(es, sorted);
+        assert_eq!(es.len(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! In-flight messages.
+
+use fdn_graph::NodeId;
+
+/// A message travelling on a link: sender, receiver and the payload as it was
+/// sent. Noise is applied only at delivery time, so the envelope always
+/// carries the original content (the paper's communication-complexity
+/// accounting measures the *sent* length, before corruption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Payload exactly as handed to the channel by the sender.
+    pub payload: Vec<u8>,
+    /// Global send sequence number (used by FIFO/LIFO schedulers and for
+    /// deterministic tie-breaking).
+    pub seq: u64,
+}
+
+impl Envelope {
+    /// Payload length in bits, as counted by the paper's `CC` measures.
+    pub fn bits(&self) -> u64 {
+        self.payload.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_counts_payload_length() {
+        let e = Envelope { from: NodeId(0), to: NodeId(1), payload: vec![0xff, 0x00], seq: 7 };
+        assert_eq!(e.bits(), 16);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the network simulator.
+
+use std::fmt;
+
+use fdn_graph::{GraphError, NodeId};
+
+/// Errors surfaced by [`crate::Simulation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The number of reactors handed to the simulation does not match the
+    /// number of graph nodes.
+    NodeCountMismatch { nodes: usize, reactors: usize },
+    /// A reactor attempted to send to a node that is not its neighbour in the
+    /// communication graph.
+    NotNeighbor { from: NodeId, to: NodeId },
+    /// A reactor attempted to send an empty message; the paper's model always
+    /// transfers at least one bit (a pulse), and an empty payload could be
+    /// confused with a deleted message.
+    EmptyPayload { from: NodeId, to: NodeId },
+    /// The step limit was exhausted before the network reached quiescence.
+    StepLimitExceeded { limit: u64 },
+    /// An underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NodeCountMismatch { nodes, reactors } => {
+                write!(f, "graph has {nodes} nodes but {reactors} reactors were provided")
+            }
+            SimError::NotNeighbor { from, to } => {
+                write!(f, "node {from} attempted to send to non-neighbour {to}")
+            }
+            SimError::EmptyPayload { from, to } => {
+                write!(f, "node {from} attempted to send an empty message to {to}")
+            }
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} deliveries exceeded before quiescence")
+            }
+            SimError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let errs: Vec<SimError> = vec![
+            SimError::NodeCountMismatch { nodes: 3, reactors: 2 },
+            SimError::NotNeighbor { from: NodeId(0), to: NodeId(5) },
+            SimError::EmptyPayload { from: NodeId(0), to: NodeId(1) },
+            SimError::StepLimitExceeded { limit: 100 },
+            SimError::Graph(GraphError::NotConnected),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn graph_error_converts_and_sources() {
+        let e: SimError = GraphError::NotTwoEdgeConnected.into();
+        assert!(matches!(e, SimError::Graph(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SimError::StepLimitExceeded { limit: 1 }).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Deterministic asynchronous message-passing network simulator.
+//!
+//! This crate is the execution substrate for the reproduction of
+//! *Distributed Computations in Fully-Defective Networks* (PODC 2022). It
+//! models exactly the communication environment of the paper's Section 2:
+//!
+//! * every link is bidirectional and delivers each sent message after an
+//!   **arbitrary finite delay** (modelled by a pluggable [`Scheduler`] that
+//!   picks which in-flight message is delivered next);
+//! * channels are **not FIFO**;
+//! * the channel noise is **alteration noise**: a [`NoiseModel`] may rewrite
+//!   the content of every message arbitrarily, but can neither delete nor
+//!   inject messages — a *fully-defective* network corrupts everything;
+//! * nodes are event-driven state machines ([`Reactor`]): they act on start
+//!   and on every message reception.
+//!
+//! The crate also defines the [`InnerProtocol`] trait — the asynchronous
+//! black-box interface `π` that the paper's simulators wrap — together with
+//! [`DirectRunner`], which executes an inner protocol directly on a noiseless
+//! network and serves as the ground-truth baseline for the equivalence
+//! experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use fdn_graph::{generators, NodeId};
+//! use fdn_netsim::{Simulation, Reactor, Context};
+//!
+//! /// Each node forwards a token once and stops.
+//! struct Relay { fired: bool }
+//! impl Reactor for Relay {
+//!     fn on_start(&mut self, ctx: &mut Context) {
+//!         if ctx.node() == NodeId(0) {
+//!             ctx.send(NodeId(1), vec![1]);
+//!         }
+//!     }
+//!     fn on_message(&mut self, _from: NodeId, _payload: &[u8], ctx: &mut Context) {
+//!         if !self.fired {
+//!             self.fired = true;
+//!             let next = NodeId((ctx.node().0 + 1) % 4);
+//!             if next != NodeId(0) {
+//!                 ctx.send(next, vec![1]);
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let g = generators::cycle(4).unwrap();
+//! let nodes = (0..4).map(|_| Relay { fired: false }).collect();
+//! let mut sim = Simulation::new(g, nodes).unwrap();
+//! let report = sim.run().unwrap();
+//! assert!(report.quiescent);
+//! assert_eq!(sim.stats().sent_total, 3);
+//! ```
+
+pub mod envelope;
+pub mod error;
+pub mod noise;
+pub mod protocol;
+pub mod reactor;
+pub mod scheduler;
+pub mod sim;
+pub mod stats;
+pub mod transcript;
+
+pub use envelope::Envelope;
+pub use error::SimError;
+pub use noise::{BitFlip, ConstantOne, FullCorruption, NoiseModel, Noiseless, TargetedEdges};
+pub use protocol::{Dest, DirectRunner, InnerProtocol, ProtocolIo, ProtocolMsg};
+pub use reactor::{Context, Reactor};
+pub use scheduler::{EdgeDelayScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
+pub use sim::{RunReport, Simulation};
+pub use stats::Stats;
+pub use transcript::{Transcript, TranscriptEvent};

@@ -1,0 +1,233 @@
+//! Channel noise models.
+//!
+//! The paper's *fully-defective* network applies **alteration noise**: once a
+//! message `m ∈ {0,1}+` is sent, the receiver gets *some* `m' ∈ {0,1}+` — the
+//! content may be rewritten arbitrarily, but the message can neither be
+//! deleted nor can messages be injected. The models here implement exactly
+//! that contract: [`NoiseModel::corrupt`] always returns a non-empty payload
+//! and is invoked exactly once per sent message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use fdn_graph::graph::Edge;
+
+use crate::envelope::Envelope;
+
+/// A channel noise model. Implementations may keep internal state (e.g. an
+/// RNG) and are invoked once per delivered message.
+pub trait NoiseModel {
+    /// Produces the payload actually delivered to the receiver for a message
+    /// sent as `env.payload`. Must return a non-empty payload (the noise
+    /// cannot delete messages).
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8>;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str {
+        "noise"
+    }
+}
+
+/// The identity model: payloads are delivered untouched. Used for the
+/// noiseless baseline runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noiseless;
+
+impl NoiseModel for Noiseless {
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
+        env.payload.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "noiseless"
+    }
+}
+
+/// Total corruption: every payload is replaced by random bytes of random
+/// length (1..=8), irrespective of what was sent. This is the default model
+/// for all fully-defective experiments: a content-oblivious algorithm must
+/// behave identically under [`Noiseless`] and [`FullCorruption`].
+#[derive(Debug, Clone)]
+pub struct FullCorruption {
+    rng: StdRng,
+}
+
+impl FullCorruption {
+    /// Creates the model with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        FullCorruption { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl NoiseModel for FullCorruption {
+    fn corrupt(&mut self, _env: &Envelope) -> Vec<u8> {
+        let len = self.rng.gen_range(1..=8usize);
+        (0..len).map(|_| self.rng.gen()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "full-corruption"
+    }
+}
+
+/// Every payload is replaced by the single byte `1` — the canonical adversary
+/// of the Theorem 20 impossibility proof ("the adversary corrupts the content
+/// of any message to be '1'").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantOne;
+
+impl NoiseModel for ConstantOne {
+    fn corrupt(&mut self, _env: &Envelope) -> Vec<u8> {
+        vec![1]
+    }
+
+    fn name(&self) -> &'static str {
+        "constant-one"
+    }
+}
+
+/// Independent bit-flip noise with probability `p` per bit. Not used by the
+/// paper's model directly, but useful to show that content-carrying protocols
+/// break down long before total corruption.
+#[derive(Debug, Clone)]
+pub struct BitFlip {
+    p: f64,
+    rng: StdRng,
+}
+
+impl BitFlip {
+    /// Creates the model flipping each bit independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+        BitFlip { p, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl NoiseModel for BitFlip {
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
+        let mut out = env.payload.clone();
+        for byte in &mut out {
+            for bit in 0..8 {
+                if self.rng.gen_bool(self.p) {
+                    *byte ^= 1 << bit;
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-flip"
+    }
+}
+
+/// Applies an inner noise model only on a designated set of edges and leaves
+/// the rest of the network noiseless. This models the classical
+/// "f Byzantine edges" setting the paper contrasts itself with, and the
+/// single-bridge corruption of Theorem 3.
+pub struct TargetedEdges<N> {
+    edges: HashSet<Edge>,
+    inner: N,
+}
+
+impl<N: NoiseModel> TargetedEdges<N> {
+    /// Creates the model corrupting only the given undirected edges.
+    pub fn new<I: IntoIterator<Item = Edge>>(edges: I, inner: N) -> Self {
+        TargetedEdges { edges: edges.into_iter().collect(), inner }
+    }
+}
+
+impl<N: NoiseModel> NoiseModel for TargetedEdges<N> {
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
+        if self.edges.contains(&Edge::new(env.from, env.to)) {
+            self.inner.corrupt(env)
+        } else {
+            env.payload.clone()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "targeted-edges"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdn_graph::NodeId;
+
+    fn env(payload: Vec<u8>) -> Envelope {
+        Envelope { from: NodeId(0), to: NodeId(1), payload, seq: 0 }
+    }
+
+    #[test]
+    fn noiseless_is_identity() {
+        let mut n = Noiseless;
+        assert_eq!(n.corrupt(&env(vec![1, 2, 3])), vec![1, 2, 3]);
+        assert_eq!(n.name(), "noiseless");
+    }
+
+    #[test]
+    fn full_corruption_never_deletes_and_is_deterministic_per_seed() {
+        let mut a = FullCorruption::new(7);
+        let mut b = FullCorruption::new(7);
+        for i in 0..100u8 {
+            let e = env(vec![i]);
+            let ca = a.corrupt(&e);
+            let cb = b.corrupt(&e);
+            assert!(!ca.is_empty());
+            assert!(ca.len() <= 8);
+            assert_eq!(ca, cb);
+        }
+        assert_eq!(a.name(), "full-corruption");
+    }
+
+    #[test]
+    fn full_corruption_actually_changes_content() {
+        let mut n = FullCorruption::new(1);
+        let original = vec![0xAA; 4];
+        let changed = (0..50).any(|_| n.corrupt(&env(original.clone())) != original);
+        assert!(changed);
+    }
+
+    #[test]
+    fn constant_one() {
+        let mut n = ConstantOne;
+        assert_eq!(n.corrupt(&env(vec![9, 9, 9])), vec![1]);
+        assert_eq!(n.name(), "constant-one");
+    }
+
+    #[test]
+    fn bitflip_zero_probability_is_identity() {
+        let mut n = BitFlip::new(0.0, 3);
+        assert_eq!(n.corrupt(&env(vec![42, 43])), vec![42, 43]);
+    }
+
+    #[test]
+    fn bitflip_one_probability_inverts_everything() {
+        let mut n = BitFlip::new(1.0, 3);
+        assert_eq!(n.corrupt(&env(vec![0x0F])), vec![0xF0]);
+        assert_eq!(n.name(), "bit-flip");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bitflip_rejects_bad_probability() {
+        let _ = BitFlip::new(1.5, 0);
+    }
+
+    #[test]
+    fn targeted_edges_only_corrupts_listed_edges() {
+        let bridge = Edge::new(NodeId(0), NodeId(1));
+        let mut n = TargetedEdges::new([bridge], ConstantOne);
+        assert_eq!(n.corrupt(&env(vec![5, 6])), vec![1]);
+        let other = Envelope { from: NodeId(2), to: NodeId(3), payload: vec![5, 6], seq: 0 };
+        assert_eq!(n.corrupt(&other), vec![5, 6]);
+        assert_eq!(n.name(), "targeted-edges");
+    }
+}

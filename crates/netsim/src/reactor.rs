@@ -1,0 +1,96 @@
+//! The node runtime interface.
+
+use fdn_graph::NodeId;
+
+/// The per-event execution context handed to a [`Reactor`]: identifies the
+/// node, exposes its neighbourhood and collects outgoing messages.
+#[derive(Debug)]
+pub struct Context<'a> {
+    node: NodeId,
+    neighbors: &'a [NodeId],
+    outbox: Vec<(NodeId, Vec<u8>)>,
+}
+
+impl<'a> Context<'a> {
+    /// Creates a context for `node` with the given (sorted) neighbour list.
+    pub fn new(node: NodeId, neighbors: &'a [NodeId]) -> Self {
+        Context { node, neighbors, outbox: Vec::new() }
+    }
+
+    /// The node this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's neighbours in the communication graph.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Queues a message to neighbour `to`. Validity (non-empty payload,
+    /// `to` actually being a neighbour) is checked by the simulation engine
+    /// when the event handler returns.
+    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
+        self.outbox.push((to, payload));
+    }
+
+    /// Number of messages queued so far in this event.
+    pub fn pending_sends(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Drains the queued messages (used by the engine).
+    pub fn take_outbox(&mut self) -> Vec<(NodeId, Vec<u8>)> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// An event-driven node: the unit of execution of the simulator.
+///
+/// A reactor is invoked once at start-up and then once per delivered message.
+/// All its communication goes through the [`Context`]. The paper's simulators
+/// (`fdn-core`) and the noiseless baseline runner are implemented as
+/// reactors.
+pub trait Reactor {
+    /// Called once, before any message is delivered.
+    fn on_start(&mut self, ctx: &mut Context);
+
+    /// Called when a message from `from` is delivered with (possibly
+    /// corrupted) `payload`.
+    fn on_message(&mut self, from: NodeId, payload: &[u8], ctx: &mut Context);
+
+    /// The node's irrevocable output, if it has produced one.
+    fn output(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_sends() {
+        let neighbors = [NodeId(1), NodeId(2)];
+        let mut ctx = Context::new(NodeId(0), &neighbors);
+        assert_eq!(ctx.node(), NodeId(0));
+        assert_eq!(ctx.neighbors(), &neighbors);
+        assert_eq!(ctx.pending_sends(), 0);
+        ctx.send(NodeId(1), vec![1, 2]);
+        ctx.send(NodeId(2), vec![3]);
+        assert_eq!(ctx.pending_sends(), 2);
+        let out = ctx.take_outbox();
+        assert_eq!(out, vec![(NodeId(1), vec![1, 2]), (NodeId(2), vec![3])]);
+        assert_eq!(ctx.pending_sends(), 0);
+    }
+
+    #[test]
+    fn default_output_is_none() {
+        struct Silent;
+        impl Reactor for Silent {
+            fn on_start(&mut self, _ctx: &mut Context) {}
+            fn on_message(&mut self, _from: NodeId, _payload: &[u8], _ctx: &mut Context) {}
+        }
+        assert_eq!(Silent.output(), None);
+    }
+}

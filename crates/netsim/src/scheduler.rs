@@ -1,0 +1,194 @@
+//! Delivery schedulers: the source of asynchrony.
+//!
+//! The paper's model only promises that every sent message is delivered after
+//! an *arbitrary, finite* delay and that channels are not FIFO. In the
+//! simulator this adversarial freedom is captured by a [`Scheduler`]: at each
+//! step it selects which in-flight envelope is delivered next. Different
+//! schedulers produce different interleavings; the correctness experiments
+//! run each workload under many schedulers and seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use fdn_graph::graph::Edge;
+
+use crate::envelope::Envelope;
+
+/// Chooses which in-flight message to deliver next.
+pub trait Scheduler {
+    /// Returns the index (into `inflight`) of the envelope to deliver.
+    /// `inflight` is guaranteed to be non-empty.
+    fn next(&mut self, inflight: &[Envelope]) -> usize;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+/// Delivers a uniformly random in-flight message (seeded, hence
+/// reproducible). This is the default scheduler.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates the scheduler with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn next(&mut self, inflight: &[Envelope]) -> usize {
+        self.rng.gen_range(0..inflight.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Delivers messages in global send order (the most synchronous-looking
+/// schedule).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn next(&mut self, inflight: &[Envelope]) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.seq)
+            .map(|(i, _)| i)
+            .expect("inflight is non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Delivers the most recently sent message first — an adversarially
+/// "unfair" schedule that maximises reordering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifoScheduler;
+
+impl Scheduler for LifoScheduler {
+    fn next(&mut self, inflight: &[Envelope]) -> usize {
+        inflight
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.seq)
+            .map(|(i, _)| i)
+            .expect("inflight is non-empty")
+    }
+
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+}
+
+/// Starves a designated set of "slow" edges: messages on those edges are
+/// delivered only when nothing else is in flight, and among them the most
+/// recently sent goes first. Models an adversary that delays specific links
+/// as long as the model allows.
+#[derive(Debug, Clone)]
+pub struct EdgeDelayScheduler {
+    slow: HashSet<Edge>,
+    rng: StdRng,
+}
+
+impl EdgeDelayScheduler {
+    /// Creates the scheduler with the given slow edges and seed (used to pick
+    /// among the non-slow messages).
+    pub fn new<I: IntoIterator<Item = Edge>>(slow: I, seed: u64) -> Self {
+        EdgeDelayScheduler { slow: slow.into_iter().collect(), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for EdgeDelayScheduler {
+    fn next(&mut self, inflight: &[Envelope]) -> usize {
+        let fast: Vec<usize> = inflight
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| !self.slow.contains(&Edge::new(e.from, e.to)))
+            .map(|(i, _)| i)
+            .collect();
+        if fast.is_empty() {
+            inflight
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i)
+                .expect("inflight is non-empty")
+        } else {
+            fast[self.rng.gen_range(0..fast.len())]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "edge-delay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdn_graph::NodeId;
+
+    fn envs() -> Vec<Envelope> {
+        vec![
+            Envelope { from: NodeId(0), to: NodeId(1), payload: vec![1], seq: 10 },
+            Envelope { from: NodeId(1), to: NodeId(2), payload: vec![1], seq: 11 },
+            Envelope { from: NodeId(2), to: NodeId(3), payload: vec![1], seq: 12 },
+        ]
+    }
+
+    #[test]
+    fn fifo_picks_oldest() {
+        let mut s = FifoScheduler;
+        assert_eq!(s.next(&envs()), 0);
+        assert_eq!(s.name(), "fifo");
+    }
+
+    #[test]
+    fn lifo_picks_newest() {
+        let mut s = LifoScheduler;
+        assert_eq!(s.next(&envs()), 2);
+        assert_eq!(s.name(), "lifo");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let mut a = RandomScheduler::new(99);
+        let mut b = RandomScheduler::new(99);
+        for _ in 0..50 {
+            let ia = a.next(&envs());
+            let ib = b.next(&envs());
+            assert_eq!(ia, ib);
+            assert!(ia < 3);
+        }
+        assert_eq!(a.name(), "random");
+    }
+
+    #[test]
+    fn edge_delay_starves_slow_edges() {
+        let slow = Edge::new(NodeId(0), NodeId(1));
+        let mut s = EdgeDelayScheduler::new([slow], 5);
+        // Index 0 travels on the slow edge: never chosen while others exist.
+        for _ in 0..50 {
+            assert_ne!(s.next(&envs()), 0);
+        }
+        // When only slow-edge messages remain they are still delivered
+        // (finite delay), newest first.
+        let only_slow = vec![
+            Envelope { from: NodeId(0), to: NodeId(1), payload: vec![1], seq: 1 },
+            Envelope { from: NodeId(1), to: NodeId(0), payload: vec![1], seq: 2 },
+        ];
+        assert_eq!(s.next(&only_slow), 1);
+        assert_eq!(s.name(), "edge-delay");
+    }
+}

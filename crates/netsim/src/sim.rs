@@ -1,0 +1,471 @@
+//! The discrete-event simulation engine.
+
+use fdn_graph::{Graph, NodeId};
+
+use crate::envelope::Envelope;
+use crate::error::SimError;
+use crate::noise::{NoiseModel, Noiseless};
+use crate::reactor::{Context, Reactor};
+use crate::scheduler::{RandomScheduler, Scheduler};
+use crate::stats::Stats;
+use crate::transcript::{Transcript, TranscriptEvent};
+
+/// Default bound on the number of deliveries per run; generous enough for all
+/// experiments while still catching accidental non-termination.
+pub const DEFAULT_MAX_STEPS: u64 = 50_000_000;
+
+/// Summary of one [`Simulation::run_to_quiescence`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of deliveries performed.
+    pub steps: u64,
+    /// Whether the network reached quiescence (no message in flight).
+    pub quiescent: bool,
+}
+
+/// A deterministic asynchronous execution of a set of [`Reactor`]s over a
+/// communication graph, under a chosen [`Scheduler`] (asynchrony) and
+/// [`NoiseModel`] (channel corruption).
+pub struct Simulation<R> {
+    graph: Graph,
+    nodes: Vec<R>,
+    inflight: Vec<Envelope>,
+    noise: Box<dyn NoiseModel>,
+    scheduler: Box<dyn Scheduler>,
+    stats: Stats,
+    transcript: Option<Transcript>,
+    next_seq: u64,
+    steps: u64,
+    max_steps: u64,
+    started: bool,
+}
+
+impl<R: Reactor> Simulation<R> {
+    /// Creates a simulation of `nodes[i]` running at graph node `i`. Defaults:
+    /// noiseless channels, seeded random scheduler, no transcript recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeCountMismatch`] if `nodes.len()` differs from
+    /// the number of graph nodes.
+    pub fn new(graph: Graph, nodes: Vec<R>) -> Result<Self, SimError> {
+        if graph.node_count() != nodes.len() {
+            return Err(SimError::NodeCountMismatch {
+                nodes: graph.node_count(),
+                reactors: nodes.len(),
+            });
+        }
+        let n = graph.node_count();
+        Ok(Simulation {
+            graph,
+            nodes,
+            inflight: Vec::new(),
+            noise: Box::new(Noiseless),
+            scheduler: Box::new(RandomScheduler::new(0)),
+            stats: Stats::new(n),
+            transcript: None,
+            next_seq: 0,
+            steps: 0,
+            max_steps: DEFAULT_MAX_STEPS,
+            started: false,
+        })
+    }
+
+    /// Replaces the noise model (builder style).
+    pub fn with_noise(mut self, noise: impl NoiseModel + 'static) -> Self {
+        self.noise = Box::new(noise);
+        self
+    }
+
+    /// Replaces the scheduler (builder style).
+    pub fn with_scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Sets the delivery limit for [`run_to_quiescence`](Self::run_to_quiescence).
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Enables transcript recording (off by default; transcripts of long runs
+    /// can be large).
+    pub fn with_transcript(mut self) -> Self {
+        self.transcript = Some(Transcript::new());
+        self
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Read access to the reactor at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> &R {
+        &self.nodes[node.index()]
+    }
+
+    /// All reactors, indexed by node id.
+    pub fn nodes(&self) -> &[R] {
+        &self.nodes
+    }
+
+    /// Communication counters accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The recorded transcript, if recording was enabled.
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no message is in flight (and the run has started).
+    pub fn is_quiescent(&self) -> bool {
+        self.started && self.inflight.is_empty()
+    }
+
+    /// The outputs of all nodes, indexed by node id.
+    pub fn outputs(&self) -> Vec<Option<Vec<u8>>> {
+        self.nodes.iter().map(Reactor::output).collect()
+    }
+
+    /// Invokes every reactor's `on_start` (in node-id order) and queues the
+    /// messages they emit. Idempotent: a second call does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a reactor emits an invalid message.
+    pub fn start(&mut self) -> Result<(), SimError> {
+        if self.started {
+            return Ok(());
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            let node = NodeId(id as u32);
+            let neighbors = self.graph.neighbors(node).to_vec();
+            let mut ctx = Context::new(node, &neighbors);
+            self.nodes[id].on_start(&mut ctx);
+            let outbox = ctx.take_outbox();
+            self.enqueue_sends(node, outbox)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers a single message (chosen by the scheduler, corrupted by the
+    /// noise model) and queues whatever the receiving reactor sends in
+    /// response. Returns `false` if nothing was in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the receiving reactor emits an invalid message.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if !self.started {
+            self.start()?;
+        }
+        if self.inflight.is_empty() {
+            return Ok(false);
+        }
+        let idx = self.scheduler.next(&self.inflight);
+        debug_assert!(idx < self.inflight.len(), "scheduler returned an out-of-range index");
+        let env = self.inflight.swap_remove(idx);
+        let delivered_payload = self.noise.corrupt(&env);
+        debug_assert!(!delivered_payload.is_empty(), "noise must not delete messages");
+        self.stats.record_delivery();
+        self.steps += 1;
+        if let Some(t) = &mut self.transcript {
+            t.push(TranscriptEvent::Delivered {
+                from: env.from,
+                to: env.to,
+                payload: delivered_payload.clone(),
+            });
+        }
+        let to = env.to;
+        let neighbors = self.graph.neighbors(to).to_vec();
+        let mut ctx = Context::new(to, &neighbors);
+        self.nodes[to.index()].on_message(env.from, &delivered_payload, &mut ctx);
+        let outbox = ctx.take_outbox();
+        self.enqueue_sends(to, outbox)?;
+        Ok(true)
+    }
+
+    /// Runs until no message is in flight or the step limit is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] if the limit is hit, or any
+    /// error surfaced by [`step`](Self::step).
+    pub fn run_to_quiescence(&mut self) -> Result<RunReport, SimError> {
+        if !self.started {
+            self.start()?;
+        }
+        let start_steps = self.steps;
+        while !self.inflight.is_empty() {
+            if self.steps - start_steps >= self.max_steps {
+                return Err(SimError::StepLimitExceeded { limit: self.max_steps });
+            }
+            self.step()?;
+        }
+        Ok(RunReport { steps: self.steps - start_steps, quiescent: true })
+    }
+
+    /// Convenience: [`start`](Self::start) followed by
+    /// [`run_to_quiescence`](Self::run_to_quiescence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from starting or stepping.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        self.start()?;
+        self.run_to_quiescence()
+    }
+
+    /// Lets external drivers (e.g. benchmark harnesses measuring
+    /// `CCoverhead` of a single message) inject an event into a specific
+    /// reactor outside of a delivery: the closure receives the reactor and a
+    /// context, and any messages it queues enter the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the reactor emits an invalid message.
+    pub fn with_node_mut<F>(&mut self, node: NodeId, f: F) -> Result<(), SimError>
+    where
+        F: FnOnce(&mut R, &mut Context),
+    {
+        let neighbors = self.graph.neighbors(node).to_vec();
+        let mut ctx = Context::new(node, &neighbors);
+        f(&mut self.nodes[node.index()], &mut ctx);
+        let outbox = ctx.take_outbox();
+        self.enqueue_sends(node, outbox)
+    }
+
+    fn enqueue_sends(&mut self, from: NodeId, outbox: Vec<(NodeId, Vec<u8>)>) -> Result<(), SimError> {
+        for (to, payload) in outbox {
+            if !self.graph.has_edge(from, to) {
+                return Err(SimError::NotNeighbor { from, to });
+            }
+            if payload.is_empty() {
+                return Err(SimError::EmptyPayload { from, to });
+            }
+            let env = Envelope { from, to, payload, seq: self.next_seq };
+            self.next_seq += 1;
+            self.stats.record_send(&env);
+            if let Some(t) = &mut self.transcript {
+                t.push(TranscriptEvent::Sent {
+                    from: env.from,
+                    to: env.to,
+                    payload: env.payload.clone(),
+                });
+            }
+            self.inflight.push(env);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{ConstantOne, FullCorruption};
+    use crate::scheduler::{FifoScheduler, LifoScheduler};
+    use fdn_graph::generators;
+
+    /// Floods a single token around a ring exactly once.
+    struct RingOnce {
+        n: u32,
+        seen: bool,
+        payload_seen: Option<Vec<u8>>,
+    }
+
+    impl RingOnce {
+        fn new(n: u32) -> Self {
+            RingOnce { n, seen: false, payload_seen: None }
+        }
+    }
+
+    impl Reactor for RingOnce {
+        fn on_start(&mut self, ctx: &mut Context) {
+            if ctx.node() == NodeId(0) {
+                ctx.send(NodeId(1), vec![7, 7]);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, payload: &[u8], ctx: &mut Context) {
+            if !self.seen {
+                self.seen = true;
+                self.payload_seen = Some(payload.to_vec());
+                let next = NodeId((ctx.node().0 + 1) % self.n);
+                if next != NodeId(0) {
+                    ctx.send(next, vec![7, 7]);
+                }
+            }
+        }
+        fn output(&self) -> Option<Vec<u8>> {
+            self.payload_seen.clone()
+        }
+    }
+
+    fn ring_sim(n: usize) -> Simulation<RingOnce> {
+        let g = generators::cycle(n).unwrap();
+        let nodes = (0..n).map(|_| RingOnce::new(n as u32)).collect();
+        Simulation::new(g, nodes).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_node_count() {
+        let g = generators::cycle(4).unwrap();
+        let nodes = vec![RingOnce::new(4)];
+        assert!(matches!(Simulation::new(g, nodes), Err(SimError::NodeCountMismatch { .. })));
+    }
+
+    #[test]
+    fn runs_ring_to_quiescence() {
+        let mut sim = ring_sim(5);
+        let report = sim.run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.steps, 4); // 4 deliveries: node0 -> 1 -> 2 -> 3 -> 4
+        assert!(sim.is_quiescent());
+        assert_eq!(sim.stats().sent_total, 4);
+        assert_eq!(sim.stats().delivered_total, 4);
+        assert_eq!(sim.stats().bits_sent, 4 * 16);
+        // Node 0 never hears back; others saw the payload unchanged.
+        assert_eq!(sim.node(NodeId(0)).output(), None);
+        assert_eq!(sim.node(NodeId(3)).output(), Some(vec![7, 7]));
+        assert_eq!(sim.outputs().iter().filter(|o| o.is_some()).count(), 4);
+    }
+
+    #[test]
+    fn start_is_idempotent_and_step_reports_quiescence() {
+        let mut sim = ring_sim(3);
+        sim.start().unwrap();
+        sim.start().unwrap();
+        assert_eq!(sim.inflight_count(), 1);
+        assert!(sim.step().unwrap());
+        assert!(sim.step().unwrap());
+        assert!(!sim.step().unwrap());
+        assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn noise_corrupts_delivered_payloads_only() {
+        let mut sim = ring_sim(4).with_noise(ConstantOne);
+        sim.run().unwrap();
+        // Receivers saw the corrupted [1]; the stats still count sent bits.
+        assert_eq!(sim.node(NodeId(2)).output(), Some(vec![1]));
+        assert_eq!(sim.stats().bits_sent, 3 * 16);
+    }
+
+    #[test]
+    fn full_corruption_keeps_structure() {
+        let mut sim = ring_sim(6).with_noise(FullCorruption::new(3));
+        let report = sim.run().unwrap();
+        assert_eq!(report.steps, 5);
+        for id in 1..6 {
+            assert!(sim.node(NodeId(id)).output().is_some());
+        }
+    }
+
+    #[test]
+    fn schedulers_change_interleaving_but_not_totals() {
+        for seed in 0..5u64 {
+            let mut a = ring_sim(6).with_scheduler(RandomScheduler::new(seed));
+            let mut b = ring_sim(6).with_scheduler(FifoScheduler);
+            let mut c = ring_sim(6).with_scheduler(LifoScheduler);
+            assert_eq!(a.run().unwrap().steps, 5);
+            assert_eq!(b.run().unwrap().steps, 5);
+            assert_eq!(c.run().unwrap().steps, 5);
+        }
+    }
+
+    #[test]
+    fn transcript_records_sends_and_deliveries() {
+        let mut sim = ring_sim(3).with_transcript();
+        sim.run().unwrap();
+        let t = sim.transcript().unwrap();
+        assert_eq!(t.len(), 2 * 2); // 2 sends + 2 deliveries
+        assert_eq!(t.local(NodeId(1)).len(), 2); // delivered once, sent once
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        /// Two nodes bouncing a message forever.
+        struct PingPong;
+        impl Reactor for PingPong {
+            fn on_start(&mut self, ctx: &mut Context) {
+                if ctx.node() == NodeId(0) {
+                    ctx.send(NodeId(1), vec![1]);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _p: &[u8], ctx: &mut Context) {
+                ctx.send(from, vec![1]);
+            }
+        }
+        let g = generators::two_party();
+        let mut sim = Simulation::new(g, vec![PingPong, PingPong]).unwrap().with_max_steps(100);
+        assert_eq!(sim.run(), Err(SimError::StepLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn rejects_send_to_non_neighbor_and_empty_payload() {
+        struct BadSender {
+            empty: bool,
+        }
+        impl Reactor for BadSender {
+            fn on_start(&mut self, ctx: &mut Context) {
+                if ctx.node() == NodeId(0) {
+                    if self.empty {
+                        ctx.send(NodeId(1), vec![]);
+                    } else {
+                        ctx.send(NodeId(2), vec![1]);
+                    }
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _p: &[u8], _c: &mut Context) {}
+        }
+        let g = generators::path(4).unwrap();
+        let nodes = (0..4).map(|_| BadSender { empty: false }).collect();
+        let mut sim = Simulation::new(g.clone(), nodes).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::NotNeighbor { .. })));
+        let nodes = (0..4).map(|_| BadSender { empty: true }).collect();
+        let mut sim = Simulation::new(g, nodes).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::EmptyPayload { .. })));
+    }
+
+    #[test]
+    fn with_node_mut_injects_events() {
+        let mut sim = ring_sim(4);
+        sim.start().unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.is_quiescent());
+        // Inject a fresh send from node 2 and watch it propagate one hop.
+        sim.with_node_mut(NodeId(2), |_node, ctx| {
+            ctx.send(NodeId(3), vec![9]);
+        })
+        .unwrap();
+        assert_eq!(sim.inflight_count(), 1);
+        let report = sim.run_to_quiescence().unwrap();
+        assert!(report.steps >= 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut sim = ring_sim(8)
+                .with_scheduler(RandomScheduler::new(seed))
+                .with_noise(FullCorruption::new(seed))
+                .with_transcript();
+            sim.run().unwrap();
+            sim.transcript().unwrap().clone()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

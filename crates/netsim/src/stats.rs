@@ -1,0 +1,140 @@
+//! Communication accounting.
+//!
+//! The paper's complexity measures count the number and total length of
+//! *sent* messages (pulses), before any corruption: `CCinit` for the
+//! pre-processing phase and `CCoverhead(m)` per simulated message. The
+//! simulator tracks exactly those quantities, per node and per edge.
+
+use std::collections::HashMap;
+
+use fdn_graph::graph::Edge;
+use fdn_graph::NodeId;
+
+use crate::envelope::Envelope;
+
+/// Counters maintained by a [`crate::Simulation`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total messages (pulses) sent.
+    pub sent_total: u64,
+    /// Total messages delivered so far.
+    pub delivered_total: u64,
+    /// Total payload bits sent (the paper's `CC` counts bits of sent
+    /// messages).
+    pub bits_sent: u64,
+    /// Messages sent per undirected edge.
+    pub per_edge_sent: HashMap<Edge, u64>,
+    /// Messages sent per node (indexed by node id).
+    pub per_node_sent: Vec<u64>,
+}
+
+impl Stats {
+    /// Creates zeroed counters for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Stats { per_node_sent: vec![0; n], ..Default::default() }
+    }
+
+    /// Records a send.
+    pub fn record_send(&mut self, env: &Envelope) {
+        self.sent_total += 1;
+        self.bits_sent += env.bits();
+        *self.per_edge_sent.entry(Edge::new(env.from, env.to)).or_insert(0) += 1;
+        if let Some(slot) = self.per_node_sent.get_mut(env.from.index()) {
+            *slot += 1;
+        }
+    }
+
+    /// Records a delivery.
+    pub fn record_delivery(&mut self) {
+        self.delivered_total += 1;
+    }
+
+    /// Messages sent by a specific node.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.per_node_sent.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Messages sent over a specific undirected edge (both directions).
+    pub fn sent_on_edge(&self, e: Edge) -> u64 {
+        self.per_edge_sent.get(&e).copied().unwrap_or(0)
+    }
+
+    /// The maximum number of messages sent by any single node.
+    pub fn max_sent_by_node(&self) -> u64 {
+        self.per_node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Difference of the counters in `self` relative to an earlier snapshot
+    /// (used to measure the cost of a single phase, e.g. `CCoverhead` of one
+    /// message).
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        let mut per_edge = HashMap::new();
+        for (e, v) in &self.per_edge_sent {
+            let before = earlier.per_edge_sent.get(e).copied().unwrap_or(0);
+            if *v > before {
+                per_edge.insert(*e, v - before);
+            }
+        }
+        Stats {
+            sent_total: self.sent_total - earlier.sent_total,
+            delivered_total: self.delivered_total - earlier.delivered_total,
+            bits_sent: self.bits_sent - earlier.bits_sent,
+            per_edge_sent: per_edge,
+            per_node_sent: self
+                .per_node_sent
+                .iter()
+                .zip(earlier.per_node_sent.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, before)| now - before)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: u32, to: u32, len: usize) -> Envelope {
+        Envelope { from: NodeId(from), to: NodeId(to), payload: vec![0; len], seq: 0 }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut s = Stats::new(3);
+        s.record_send(&env(0, 1, 2));
+        s.record_send(&env(1, 0, 1));
+        s.record_send(&env(1, 2, 1));
+        s.record_delivery();
+        assert_eq!(s.sent_total, 3);
+        assert_eq!(s.delivered_total, 1);
+        assert_eq!(s.bits_sent, 32);
+        assert_eq!(s.sent_by(NodeId(1)), 2);
+        assert_eq!(s.sent_by(NodeId(9)), 0);
+        assert_eq!(s.sent_on_edge(Edge::new(NodeId(0), NodeId(1))), 2);
+        assert_eq!(s.sent_on_edge(Edge::new(NodeId(0), NodeId(2))), 0);
+        assert_eq!(s.max_sent_by_node(), 2);
+    }
+
+    #[test]
+    fn since_computes_difference() {
+        let mut s = Stats::new(2);
+        s.record_send(&env(0, 1, 1));
+        let snapshot = s.clone();
+        s.record_send(&env(0, 1, 1));
+        s.record_send(&env(1, 0, 3));
+        s.record_delivery();
+        let d = s.since(&snapshot);
+        assert_eq!(d.sent_total, 2);
+        assert_eq!(d.delivered_total, 1);
+        assert_eq!(d.bits_sent, 32);
+        assert_eq!(d.sent_by(NodeId(0)), 1);
+        assert_eq!(d.sent_on_edge(Edge::new(NodeId(0), NodeId(1))), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = Stats::default();
+        assert_eq!(s.sent_total, 0);
+        assert_eq!(s.max_sent_by_node(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The classic echo (wave) algorithm: spanning-tree construction plus
+//! convergecast aggregation.
+
+use fdn_graph::NodeId;
+use fdn_netsim::{InnerProtocol, ProtocolIo};
+
+use crate::util::{decode_u64, encode_u64};
+
+const TAG_EXPLORE: u8 = 1;
+const TAG_ECHO: u8 = 2;
+
+fn explore_msg() -> Vec<u8> {
+    vec![TAG_EXPLORE]
+}
+
+fn echo_msg(sum: u64) -> Vec<u8> {
+    let mut m = vec![TAG_ECHO];
+    m.extend_from_slice(&encode_u64(sum));
+    m
+}
+
+/// Echo aggregation rooted at `root`: the root floods an EXPLORE wave which
+/// implicitly builds a spanning tree (the parent of a node is the first
+/// neighbour it heard EXPLORE from); every node waits for an answer from all
+/// its other neighbours and then reports the sum of the inputs in its subtree
+/// to its parent; the root outputs the total.
+///
+/// The root's output (the sum of all inputs) is schedule-independent. Other
+/// nodes' subtree sums depend on the spanning tree the schedule induces, so
+/// equivalence tests compare only the root's output for this workload.
+#[derive(Debug, Clone)]
+pub struct EchoAggregate {
+    node: NodeId,
+    root: NodeId,
+    input: u64,
+    parent: Option<NodeId>,
+    awaiting: usize,
+    acc: u64,
+    started: bool,
+    output: Option<Vec<u8>>,
+}
+
+impl EchoAggregate {
+    /// The node's private input value.
+    pub fn input(&self) -> u64 {
+        self.input
+    }
+}
+
+impl EchoAggregate {
+    /// Creates the per-node instance with the node's private input value.
+    pub fn new(node: NodeId, root: NodeId, input: u64) -> Self {
+        EchoAggregate {
+            node,
+            root,
+            input,
+            parent: None,
+            awaiting: 0,
+            acc: input,
+            started: false,
+            output: None,
+        }
+    }
+
+    /// The parent chosen by the EXPLORE wave, if any.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    fn maybe_finish(&mut self, io: &mut ProtocolIo) {
+        if self.started && self.awaiting == 0 && self.output.is_none() {
+            if self.node == self.root {
+                self.output = Some(encode_u64(self.acc));
+            } else if let Some(p) = self.parent {
+                io.send(p, echo_msg(self.acc));
+                self.output = Some(encode_u64(self.acc));
+            }
+        }
+    }
+}
+
+impl InnerProtocol for EchoAggregate {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        if self.node == self.root {
+            self.started = true;
+            let neighbors = io.neighbors().to_vec();
+            self.awaiting = neighbors.len();
+            for &v in &neighbors {
+                io.send(v, explore_msg());
+            }
+            self.maybe_finish(io);
+        }
+    }
+
+    fn on_deliver(&mut self, from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
+        match payload.first().copied() {
+            Some(TAG_EXPLORE) => {
+                if !self.started {
+                    // First EXPLORE: adopt the sender as parent and propagate
+                    // the wave to every other neighbour.
+                    self.started = true;
+                    self.parent = Some(from);
+                    let neighbors = io.neighbors().to_vec();
+                    self.awaiting = neighbors.len() - 1;
+                    for &v in &neighbors {
+                        if v != from {
+                            io.send(v, explore_msg());
+                        }
+                    }
+                    self.maybe_finish(io);
+                } else {
+                    // A non-tree edge: answer with an empty echo so the sender
+                    // stops waiting for us.
+                    io.send(from, echo_msg(0));
+                }
+            }
+            Some(TAG_ECHO) => {
+                self.acc += decode_u64(&payload[1..]);
+                self.awaiting = self.awaiting.saturating_sub(1);
+                self.maybe_finish(io);
+            }
+            _ => {
+                // Unknown tag: ignore (cannot happen on a noiseless network).
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_direct;
+    use fdn_graph::generators;
+
+    #[test]
+    fn root_computes_total_sum() {
+        let g = generators::petersen();
+        let inputs: Vec<u64> = (0..10).map(|i| (i * i + 1) as u64).collect();
+        let expected: u64 = inputs.iter().sum();
+        for seed in 0..8 {
+            let out = run_direct(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), seed)
+                .unwrap();
+            assert_eq!(decode_u64(out[0].as_ref().unwrap()), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn works_on_theta_and_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::random_two_edge_connected(9, 4, seed).unwrap();
+            let out = run_direct(&g, |v| EchoAggregate::new(v, NodeId(2), u64::from(v.0)), seed)
+                .unwrap();
+            assert_eq!(decode_u64(out[2].as_ref().unwrap()), (0..9).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn two_node_network() {
+        let g = generators::two_party();
+        let out = run_direct(&g, |v| EchoAggregate::new(v, NodeId(0), 10 + u64::from(v.0)), 3)
+            .unwrap();
+        assert_eq!(decode_u64(out[0].as_ref().unwrap()), 21);
+    }
+
+    #[test]
+    fn parent_accessor() {
+        let p = EchoAggregate::new(NodeId(1), NodeId(0), 5);
+        assert_eq!(p.parent(), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Flooding broadcast from a designated root.
+
+use fdn_graph::NodeId;
+use fdn_netsim::{InnerProtocol, ProtocolIo};
+
+/// The root node floods a value through the network; every node adopts the
+/// first value it receives as its output and forwards it once to all other
+/// neighbours.
+///
+/// The output of every node is schedule-independent (it is always the root's
+/// value), which makes this the simplest equivalence workload.
+#[derive(Debug, Clone)]
+pub struct FloodBroadcast {
+    node: NodeId,
+    root: NodeId,
+    value: Vec<u8>,
+    output: Option<Vec<u8>>,
+}
+
+impl FloodBroadcast {
+    /// Creates the per-node instance. `value` is only meaningful at the root.
+    pub fn new(node: NodeId, root: NodeId, value: Vec<u8>) -> Self {
+        FloodBroadcast { node, root, value, output: None }
+    }
+
+    /// Whether this node has already adopted a value.
+    pub fn decided(&self) -> bool {
+        self.output.is_some()
+    }
+}
+
+impl InnerProtocol for FloodBroadcast {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        if self.node == self.root {
+            self.output = Some(self.value.clone());
+            for &v in &io.neighbors().to_vec() {
+                io.send(v, self.value.clone());
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
+        if self.output.is_none() {
+            self.output = Some(payload.to_vec());
+            for &v in &io.neighbors().to_vec() {
+                if v != from {
+                    io.send(v, payload.to_vec());
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_direct;
+    use fdn_graph::generators;
+
+    #[test]
+    fn all_nodes_adopt_root_value() {
+        let g = generators::petersen();
+        for seed in 0..5 {
+            let out = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(3), vec![0xAB, 0xCD]), seed)
+                .unwrap();
+            assert!(out.iter().all(|o| o.as_deref() == Some(&[0xAB, 0xCD][..])));
+        }
+    }
+
+    #[test]
+    fn works_on_cycles_and_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::random_two_edge_connected(10, 5, seed).unwrap();
+            let out = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(0), vec![seed as u8]), seed)
+                .unwrap();
+            assert!(out.iter().all(|o| o.as_deref() == Some(&[seed as u8][..])));
+        }
+    }
+
+    #[test]
+    fn decided_flag_tracks_output() {
+        let p = FloodBroadcast::new(NodeId(1), NodeId(0), vec![1]);
+        assert!(!p.decided());
+        assert_eq!(p.output(), None);
+    }
+}

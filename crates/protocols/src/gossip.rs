@@ -1,0 +1,128 @@
+//! All-to-all gossip: every node learns every node's input.
+
+use std::collections::BTreeMap;
+
+use fdn_graph::NodeId;
+use fdn_netsim::{InnerProtocol, ProtocolIo};
+
+use crate::util::{decode_u64, encode_u64};
+
+/// Every node floods its `(id, value)` pair; a node outputs once it has
+/// collected the values of all `n` nodes. The output is the concatenation of
+/// all values in id order, so it is identical at every node and independent of
+/// the schedule.
+///
+/// This is the heaviest workload in the suite (`Θ(n·m)` messages on a graph
+/// with `m` edges), useful for stressing the simulator's per-epoch accounting.
+#[derive(Debug, Clone)]
+pub struct GossipAllToAll {
+    node: NodeId,
+    n: usize,
+    value: u64,
+    known: BTreeMap<u32, u64>,
+    output: Option<Vec<u8>>,
+}
+
+impl GossipAllToAll {
+    /// Creates the per-node instance; `n` is the (known) network size and
+    /// `value` the node's private input.
+    pub fn new(node: NodeId, n: usize, value: u64) -> Self {
+        let mut known = BTreeMap::new();
+        known.insert(node.0, value);
+        GossipAllToAll { node, n, value, known, output: None }
+    }
+
+    /// How many distinct inputs this node has learned so far.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    fn encode_pair(id: u32, value: u64) -> Vec<u8> {
+        let mut m = id.to_be_bytes().to_vec();
+        m.extend_from_slice(&encode_u64(value));
+        m
+    }
+
+    fn decode_pair(payload: &[u8]) -> Option<(u32, u64)> {
+        if payload.len() != 12 {
+            return None;
+        }
+        let id = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        Some((id, decode_u64(&payload[4..])))
+    }
+
+    fn maybe_output(&mut self) {
+        if self.output.is_none() && self.known.len() == self.n {
+            let mut out = Vec::with_capacity(self.n * 8);
+            for v in self.known.values() {
+                out.extend_from_slice(&encode_u64(*v));
+            }
+            self.output = Some(out);
+        }
+    }
+}
+
+impl InnerProtocol for GossipAllToAll {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        let msg = Self::encode_pair(self.node.0, self.value);
+        for &v in &io.neighbors().to_vec() {
+            io.send(v, msg.clone());
+        }
+        self.maybe_output();
+    }
+
+    fn on_deliver(&mut self, from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
+        let Some((id, value)) = Self::decode_pair(payload) else { return };
+        if !self.known.contains_key(&id) {
+            self.known.insert(id, value);
+            let msg = Self::encode_pair(id, value);
+            for &v in &io.neighbors().to_vec() {
+                if v != from {
+                    io.send(v, msg.clone());
+                }
+            }
+            self.maybe_output();
+        }
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_direct;
+    use fdn_graph::generators;
+
+    #[test]
+    fn everyone_learns_everything() {
+        let g = generators::grid_torus(3, 3).unwrap();
+        let expected: Vec<u8> =
+            (0..9u64).flat_map(|i| encode_u64(i * 10 + 1)).collect();
+        for seed in 0..5 {
+            let out = run_direct(&g, |v| GossipAllToAll::new(v, 9, u64::from(v.0) * 10 + 1), seed)
+                .unwrap();
+            for o in out {
+                assert_eq!(o.unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn known_count_and_pair_roundtrip() {
+        let p = GossipAllToAll::new(NodeId(2), 4, 7);
+        assert_eq!(p.known_count(), 1);
+        let enc = GossipAllToAll::encode_pair(3, 99);
+        assert_eq!(GossipAllToAll::decode_pair(&enc), Some((3, 99)));
+        assert_eq!(GossipAllToAll::decode_pair(&[1, 2]), None);
+    }
+
+    #[test]
+    fn single_value_network_of_three() {
+        let g = generators::cycle(3).unwrap();
+        let out = run_direct(&g, |v| GossipAllToAll::new(v, 3, u64::from(v.0)), 2).unwrap();
+        assert!(out.iter().all(Option::is_some));
+    }
+}

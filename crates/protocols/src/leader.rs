@@ -1,0 +1,99 @@
+//! Leader election by max-ID flooding.
+
+use fdn_graph::NodeId;
+use fdn_netsim::{InnerProtocol, ProtocolIo};
+
+use crate::util::{decode_u64, encode_u64};
+
+/// Asynchronous leader election: every node floods the largest *candidate id*
+/// it has seen; at quiescence every node knows the global maximum and outputs
+/// it as the leader.
+///
+/// Candidate ids default to the node id but can be overridden (e.g. random
+/// priorities), which lets tests elect arbitrary leaders. The eventual value
+/// at every node is the global maximum regardless of schedule, so outputs are
+/// compared at quiescence.
+#[derive(Debug, Clone)]
+pub struct MaxIdLeaderElection {
+    candidate: u64,
+    best: u64,
+}
+
+impl MaxIdLeaderElection {
+    /// Creates the per-node instance with the node's own id as its candidate.
+    pub fn new(node: NodeId) -> Self {
+        MaxIdLeaderElection { candidate: u64::from(node.0), best: u64::from(node.0) }
+    }
+
+    /// Creates the per-node instance with an explicit candidate priority.
+    pub fn with_candidate(candidate: u64) -> Self {
+        MaxIdLeaderElection { candidate, best: candidate }
+    }
+
+    /// The largest candidate seen so far.
+    pub fn current_leader(&self) -> u64 {
+        self.best
+    }
+}
+
+impl InnerProtocol for MaxIdLeaderElection {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        let msg = encode_u64(self.candidate);
+        for &v in &io.neighbors().to_vec() {
+            io.send(v, msg.clone());
+        }
+    }
+
+    fn on_deliver(&mut self, from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
+        let seen = decode_u64(payload);
+        if seen > self.best {
+            self.best = seen;
+            let msg = encode_u64(seen);
+            for &v in &io.neighbors().to_vec() {
+                if v != from {
+                    io.send(v, msg.clone());
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        Some(encode_u64(self.best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_direct;
+    use fdn_graph::generators;
+
+    #[test]
+    fn everyone_learns_the_maximum_id() {
+        let g = generators::wheel(7).unwrap();
+        for seed in 0..5 {
+            let out = run_direct(&g, MaxIdLeaderElection::new, seed).unwrap();
+            for o in out {
+                assert_eq!(decode_u64(&o.unwrap()), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_candidates_pick_custom_leader() {
+        let g = generators::cycle(6).unwrap();
+        let priorities = [5u64, 900, 3, 42, 17, 8];
+        let out =
+            run_direct(&g, |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]), 7)
+                .unwrap();
+        for o in out {
+            assert_eq!(decode_u64(&o.unwrap()), 900);
+        }
+    }
+
+    #[test]
+    fn current_leader_starts_at_own_candidate() {
+        let p = MaxIdLeaderElection::new(NodeId(9));
+        assert_eq!(p.current_leader(), 9);
+    }
+}

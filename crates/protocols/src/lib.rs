@@ -1,0 +1,34 @@
+//! Workload protocols for the fully-defective-networks reproduction.
+//!
+//! Every type in this crate implements [`fdn_netsim::InnerProtocol`] — the
+//! asynchronous black-box interface `π` of the paper — and is written for a
+//! **noiseless** network. The same protocol instance can be executed
+//!
+//! * directly, via [`fdn_netsim::DirectRunner`] (the ground-truth baseline),
+//!   or
+//! * under the content-oblivious simulators of `fdn-core` on a fully-defective
+//!   network,
+//!
+//! and the equivalence experiments check that both executions agree.
+//!
+//! The protocols cover the communication patterns the paper's introduction
+//! motivates: dissemination ([`FloodBroadcast`], [`GossipAllToAll`]),
+//! symmetry breaking ([`MaxIdLeaderElection`]), tree-based aggregation
+//! ([`EchoAggregate`]), cyclic coordination ([`TokenRingCounter`]) and
+//! two-party exchange ([`TwoPartySum`]).
+
+pub mod echo;
+pub mod flood;
+pub mod gossip;
+pub mod leader;
+pub mod token_ring;
+pub mod two_party;
+pub mod util;
+
+pub use echo::EchoAggregate;
+pub use flood::FloodBroadcast;
+pub use gossip::GossipAllToAll;
+pub use leader::MaxIdLeaderElection;
+pub use token_ring::TokenRingCounter;
+pub use two_party::TwoPartySum;
+pub use util::{run_direct, spawn};

@@ -1,0 +1,82 @@
+//! A token circulating around a ring, counting the nodes it visits.
+
+use fdn_graph::NodeId;
+use fdn_netsim::{InnerProtocol, ProtocolIo};
+
+use crate::util::{decode_u64, encode_u64};
+
+/// On a cycle graph, the designated starter sends a counter of value 1 to its
+/// clockwise neighbour; every node increments the counter and forwards it
+/// until it returns to the starter, which outputs the total (the ring size).
+///
+/// This workload is intentionally strictly sequential: exactly one message is
+/// in flight at any time, which makes it a sharp test of the simulator's
+/// token-passing and epoch accounting.
+#[derive(Debug, Clone)]
+pub struct TokenRingCounter {
+    node: NodeId,
+    starter: NodeId,
+    n: u32,
+    forwarded: bool,
+    output: Option<Vec<u8>>,
+}
+
+impl TokenRingCounter {
+    /// Creates the per-node instance for a ring of `n` nodes where node ids
+    /// follow ring order (node `i`'s clockwise neighbour is `(i + 1) mod n`).
+    pub fn new(node: NodeId, starter: NodeId, n: u32) -> Self {
+        TokenRingCounter { node, starter, n, forwarded: false, output: None }
+    }
+
+    fn clockwise(&self) -> NodeId {
+        NodeId((self.node.0 + 1) % self.n)
+    }
+}
+
+impl InnerProtocol for TokenRingCounter {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        if self.node == self.starter {
+            io.send(self.clockwise(), encode_u64(1));
+        }
+    }
+
+    fn on_deliver(&mut self, _from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
+        let count = decode_u64(payload);
+        if self.node == self.starter {
+            self.output = Some(encode_u64(count));
+        } else if !self.forwarded {
+            self.forwarded = true;
+            io.send(self.clockwise(), encode_u64(count + 1));
+        }
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_direct;
+    use fdn_graph::generators;
+
+    #[test]
+    fn counts_ring_size() {
+        for n in [3usize, 5, 9, 16] {
+            let g = generators::cycle(n).unwrap();
+            let out =
+                run_direct(&g, |v| TokenRingCounter::new(v, NodeId(0), n as u32), 1).unwrap();
+            assert_eq!(decode_u64(out[0].as_ref().unwrap()), n as u64);
+            // Only the starter outputs.
+            assert!(out[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn different_starter() {
+        let g = generators::cycle(6).unwrap();
+        let out = run_direct(&g, |v| TokenRingCounter::new(v, NodeId(4), 6), 9).unwrap();
+        assert_eq!(decode_u64(out[4].as_ref().unwrap()), 6);
+    }
+}

@@ -1,0 +1,85 @@
+//! A two-party exchange protocol (the §6 setting).
+
+use fdn_graph::NodeId;
+use fdn_netsim::{InnerProtocol, ProtocolIo};
+
+use crate::util::{decode_u64, encode_u64};
+
+/// Alice (node 0) and Bob (node 1) exchange their inputs over the single
+/// link and both output `f(x, y) = x + y`.
+///
+/// On a noiseless channel this trivially computes the sum. On a
+/// fully-defective channel this protocol is *content-carrying*, so it fails —
+/// exactly the behaviour Theorem 20 predicts for any output-committing
+/// protocol; the impossibility harness in `fdn-core` uses it as its canonical
+/// victim. Under the paper's simulator it cannot be rescued either, because
+/// the two-party graph is not 2-edge-connected.
+#[derive(Debug, Clone)]
+pub struct TwoPartySum {
+    node: NodeId,
+    input: u64,
+    output: Option<Vec<u8>>,
+}
+
+impl TwoPartySum {
+    /// Creates the instance for `node` (0 = Alice, 1 = Bob) with its private
+    /// input.
+    pub fn new(node: NodeId, input: u64) -> Self {
+        TwoPartySum { node, input, output: None }
+    }
+
+    fn peer(&self) -> NodeId {
+        NodeId(1 - self.node.0)
+    }
+}
+
+impl InnerProtocol for TwoPartySum {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        io.send(self.peer(), encode_u64(self.input));
+    }
+
+    fn on_deliver(&mut self, _from: NodeId, payload: &[u8], _io: &mut ProtocolIo) {
+        if self.output.is_none() {
+            let other = decode_u64(payload);
+            self.output = Some(encode_u64(self.input + other));
+        }
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::run_direct;
+    use fdn_graph::generators;
+    use fdn_netsim::{ConstantOne, DirectRunner, RandomScheduler, Reactor, Simulation};
+
+    #[test]
+    fn computes_sum_noiselessly() {
+        let g = generators::two_party();
+        let inputs = [17u64, 25u64];
+        let out = run_direct(&g, |v| TwoPartySum::new(v, inputs[v.index()]), 4).unwrap();
+        assert_eq!(decode_u64(out[0].as_ref().unwrap()), 42);
+        assert_eq!(decode_u64(out[1].as_ref().unwrap()), 42);
+    }
+
+    #[test]
+    fn breaks_under_total_corruption() {
+        // The direct (content-carrying) protocol produces a wrong output when
+        // every message is corrupted — the premise of Theorem 20.
+        let g = generators::two_party();
+        let inputs = [17u64, 25u64];
+        let nodes: Vec<_> =
+            g.nodes().map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()]))).collect();
+        let mut sim = Simulation::new(g, nodes)
+            .unwrap()
+            .with_noise(ConstantOne)
+            .with_scheduler(RandomScheduler::new(0));
+        sim.run().unwrap();
+        let out0 = decode_u64(&sim.node(NodeId(0)).output().unwrap());
+        assert_ne!(out0, 42);
+    }
+}

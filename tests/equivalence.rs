@@ -1,0 +1,129 @@
+//! E5 — Theorem 2/6/12 correctness: for every workload protocol, graph family
+//! and schedule seed, the outputs produced over the fully-defective network
+//! equal the outputs of the noiseless baseline execution.
+
+use fully_defective::prelude::*;
+use fully_defective::protocols::util::{decode_u64, run_direct};
+use fully_defective::netsim::{ConstantOne, LifoScheduler};
+
+fn run_defective<P, F>(graph: &Graph, factory: F, seed: u64) -> Vec<Option<Vec<u8>>>
+where
+    P: InnerProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    let nodes =
+        full_simulators(graph, NodeId(0), Encoding::binary(), factory).expect("2EC input");
+    let mut sim = Simulation::new(graph.clone(), nodes)
+        .expect("one reactor per node")
+        .with_noise(FullCorruption::new(seed))
+        .with_scheduler(RandomScheduler::new(seed.wrapping_mul(7919).wrapping_add(3)));
+    sim.run().expect("run to quiescence");
+    for v in graph.nodes() {
+        assert!(sim.node(v).error().is_none(), "node {v}: {:?}", sim.node(v).error());
+    }
+    sim.outputs()
+}
+
+#[test]
+fn broadcast_equivalence_across_graphs_and_seeds() {
+    let graphs = vec![
+        generators::figure3(),
+        generators::figure1(),
+        generators::theta(1, 1, 2).unwrap(),
+        generators::cycle(6).unwrap(),
+        generators::random_two_edge_connected(7, 3, 5).unwrap(),
+    ];
+    for g in &graphs {
+        let value = vec![0x11, 0x22, 0x33];
+        let baseline =
+            run_direct(g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), 0).unwrap();
+        for seed in 0..2u64 {
+            let defective = run_defective(g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), seed);
+            assert_eq!(defective, baseline, "graph {g} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn leader_election_equivalence() {
+    let g = generators::random_two_edge_connected(8, 4, 11).unwrap();
+    let baseline = run_direct(&g, MaxIdLeaderElection::new, 0).unwrap();
+    let defective = run_defective(&g, MaxIdLeaderElection::new, 21);
+    assert_eq!(defective, baseline);
+    for out in defective {
+        assert_eq!(decode_u64(&out.unwrap()), 7);
+    }
+}
+
+#[test]
+fn aggregation_equivalence_at_the_root() {
+    let g = generators::figure1();
+    let inputs = [3u64, 1, 4, 1, 5];
+    let baseline =
+        run_direct(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), 2).unwrap();
+    let defective = run_defective(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), 33);
+    // The root's output (the global sum) is schedule-independent.
+    assert_eq!(defective[0], baseline[0]);
+    assert_eq!(decode_u64(defective[0].as_ref().unwrap()), inputs.iter().sum::<u64>());
+}
+
+#[test]
+fn token_ring_counter_over_defective_ring() {
+    let n = 5usize;
+    let g = generators::cycle(n).unwrap();
+    let defective = run_defective(&g, |v| TokenRingCounter::new(v, NodeId(0), n as u32), 4);
+    assert_eq!(decode_u64(defective[0].as_ref().unwrap()), n as u64);
+}
+
+#[test]
+fn equivalence_holds_under_constant_one_noise_and_lifo_schedule() {
+    // The adversary of the Theorem 20 proof (everything becomes "1") combined
+    // with the most reordering-prone scheduler.
+    let g = generators::figure3();
+    let value = vec![0xAA];
+    let baseline =
+        run_direct(&g, |v| FloodBroadcast::new(v, NodeId(4), value.clone()), 0).unwrap();
+    let nodes = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+        FloodBroadcast::new(v, NodeId(4), value.clone())
+    })
+    .unwrap();
+    let mut sim = Simulation::new(g.clone(), nodes)
+        .unwrap()
+        .with_noise(ConstantOne)
+        .with_scheduler(LifoScheduler);
+    sim.run().unwrap();
+    assert_eq!(sim.outputs(), baseline);
+}
+
+#[test]
+fn content_obliviousness_noise_does_not_change_behaviour() {
+    // The pulse-level behaviour must be identical under no noise and under
+    // total corruption: same number of pulses sent, same outputs.
+    let g = generators::figure3();
+    let value = vec![0x42, 0x24];
+    let run = |noisy: bool| {
+        let nodes = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+            FloodBroadcast::new(v, NodeId(2), value.clone())
+        })
+        .unwrap();
+        let sim = Simulation::new(g.clone(), nodes).unwrap().with_scheduler(RandomScheduler::new(9));
+        let mut sim = if noisy { sim.with_noise(FullCorruption::new(77)) } else { sim };
+        sim.run().unwrap();
+        (sim.stats().sent_total, sim.outputs())
+    };
+    let (pulses_clean, out_clean) = run(false);
+    let (pulses_noisy, out_noisy) = run(true);
+    assert_eq!(pulses_clean, pulses_noisy);
+    assert_eq!(out_clean, out_noisy);
+}
+
+#[test]
+fn simulation_is_rejected_on_bridged_networks() {
+    for g in [generators::two_party(), generators::barbell(3).unwrap(), generators::path(5).unwrap()]
+    {
+        let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+            FloodBroadcast::new(v, NodeId(0), vec![1])
+        });
+        assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)), "graph {g} was not rejected");
+    }
+}

@@ -1,0 +1,96 @@
+//! E7 — Theorem 20: over a fully-defective single link, output-committing
+//! two-party protocols fail, while the paper's non-committing counter
+//! protocol (which never irrevocably outputs) still converges.
+
+use fully_defective::core::impossibility::{
+    find_counterexample, run_two_party, Action, CountingParty, NaiveSumProtocol,
+    NonCommittingCounter,
+};
+use fully_defective::netsim::{ConstantOne, DirectRunner, RandomScheduler, Reactor, Simulation};
+use fully_defective::prelude::*;
+use fully_defective::protocols::util::decode_u64;
+
+#[test]
+fn direct_two_party_sum_breaks_under_total_corruption() {
+    // The content-carrying protocol works noiselessly ...
+    let g = generators::two_party();
+    let inputs = [19u64, 23u64];
+    let nodes: Vec<_> =
+        g.nodes().map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()]))).collect();
+    let mut sim = Simulation::new(g.clone(), nodes).unwrap();
+    sim.run().unwrap();
+    assert_eq!(decode_u64(&sim.node(NodeId(0)).output().unwrap()), 42);
+
+    // ... and breaks once every message is corrupted to "1".
+    let nodes: Vec<_> =
+        g.nodes().map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()]))).collect();
+    let mut sim = Simulation::new(g, nodes)
+        .unwrap()
+        .with_noise(ConstantOne)
+        .with_scheduler(RandomScheduler::new(1));
+    sim.run().unwrap();
+    assert_ne!(decode_u64(&sim.node(NodeId(0)).output().unwrap()), 42);
+}
+
+#[test]
+fn the_bridge_network_cannot_be_compiled() {
+    // Theorem 3: the simulator itself refuses networks with a bridge, because
+    // no simulation exists there.
+    let g = generators::two_party();
+    let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| TwoPartySum::new(v, 1));
+    assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)));
+}
+
+#[test]
+fn every_committing_threshold_has_a_counterexample() {
+    // The Theorem 20 dichotomy, explored exhaustively over a small input
+    // grid for a family of committing protocols.
+    for commit_after in 1..12u32 {
+        let p = NaiveSumProtocol { commit_after };
+        let domain: Vec<u64> = (0..16).collect();
+        let cex = find_counterexample(&p, |x, y| x + y, &domain, 100_000)
+            .expect("Theorem 20: some input pair must fail");
+        assert_ne!(cex.bob_output, Some(cex.expected));
+    }
+}
+
+#[test]
+fn committing_only_after_seeing_everything_still_fails_on_other_inputs() {
+    // A protocol tuned to be correct on one input pair is wrong on another —
+    // the exact argument structure of the proof (fix y, vary x).
+    let p = NaiveSumProtocol { commit_after: 6 };
+    let good = run_two_party(&p, 6, 9, 100_000);
+    assert_eq!(good.bob_output, Some(15));
+    let bad = run_two_party(&p, 7, 9, 100_000);
+    assert_ne!(bad.bob_output, Some(16));
+}
+
+#[test]
+fn non_committing_counter_computes_the_sum_anyway() {
+    // The §6 observation: without the irrevocable-output requirement, the
+    // trivial pulse-counting protocol computes f(x, y) = x + y even under
+    // total corruption.
+    let p = NonCommittingCounter;
+    for x in 0..10u64 {
+        for y in 0..10u64 {
+            assert_eq!(p.run(x, y), (x + y, x + y));
+        }
+    }
+}
+
+#[test]
+fn constant_functions_are_trivially_computable() {
+    // Theorem 20 only rules out non-constant functions; a protocol that
+    // always outputs the constant works.
+    struct Constant;
+    impl CountingParty for Constant {
+        fn action(&self, _input: u64, received: u32) -> Action {
+            if received == 0 {
+                Action::SendAndOutput { count: 1, output: 7 }
+            } else {
+                Action::Send { count: 0 }
+            }
+        }
+    }
+    assert!(find_counterexample(&Constant, |_x, _y| 7, &(0..8).collect::<Vec<_>>(), 1000).is_none());
+}
