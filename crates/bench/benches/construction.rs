@@ -13,7 +13,10 @@ fn cases() -> Vec<(String, Graph)> {
         ("complete5".into(), generators::complete(5).unwrap()),
     ];
     for n in [6usize, 8, 10] {
-        v.push((format!("random{n}"), generators::random_two_edge_connected(n, n / 2, 42).unwrap()));
+        v.push((
+            format!("random{n}"),
+            generators::random_two_edge_connected(n, n / 2, 42).unwrap(),
+        ));
     }
     v
 }

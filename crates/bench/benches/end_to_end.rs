@@ -10,7 +10,10 @@ fn cases() -> Vec<(String, Graph)> {
         ("figure3".into(), generators::figure3()),
         ("theta112".into(), generators::theta(1, 1, 2).unwrap()),
         ("cycle8".into(), generators::cycle(8).unwrap()),
-        ("random8".into(), generators::random_two_edge_connected(8, 4, 1).unwrap()),
+        (
+            "random8".into(),
+            generators::random_two_edge_connected(8, 4, 1).unwrap(),
+        ),
     ]
 }
 

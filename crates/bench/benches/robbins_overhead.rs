@@ -12,7 +12,10 @@ fn cases() -> Vec<(&'static str, Graph)> {
         ("theta123", generators::theta(1, 2, 3).unwrap()),
         ("wheel8", generators::wheel(8).unwrap()),
         ("petersen", generators::petersen()),
-        ("random12", generators::random_two_edge_connected(12, 6, 3).unwrap()),
+        (
+            "random12",
+            generators::random_two_edge_connected(12, 6, 3).unwrap(),
+        ),
     ]
 }
 

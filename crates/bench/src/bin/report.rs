@@ -1,173 +1,393 @@
-//! Regenerates the experiment tables of EXPERIMENTS.md.
+//! Regenerates the experiment tables of EXPERIMENTS.md via the `fdn-lab`
+//! campaign engine.
 //!
-//! Usage: `cargo run -p fdn-bench --release --bin report [e1|e2|e3|e4|e6|all]`
+//! Usage: `cargo run -p fdn-bench --release --bin report [e1|e2|e3|e4|e5|e6|e7|all]`
 //!
-//! Each experiment prints a markdown table of the paper's cost quantities as
-//! measured by the simulator (pulse counts, cycle lengths, phase splits).
+//! Every experiment is one declarative [`Campaign`]: the matrix is expanded,
+//! swept in parallel, aggregated per cell, and the table below is a custom
+//! rendering of the resulting [`fdn_lab::CampaignReport`]. E1–E4 and E6
+//! reproduce the paper's cost tables (Lemmas 7/9/13/14, Theorem 15,
+//! Theorem 2); E5 and E7 are correctness sweeps (success rates must be 100%
+//! everywhere).
 
-use fdn_bench::{construction_cost, end_to_end_cost, message_overhead};
-use fdn_core::Encoding;
-use fdn_graph::{generators, robbins, NodeId};
+use fdn_graph::GraphFamily;
+use fdn_lab::{run_campaign, Campaign, CampaignReport, EncodingSpec, EngineMode, SeedRange};
+use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_protocols::WorkloadSpec;
+
+/// Runs a campaign, exiting loudly if the matrix is empty.
+fn run(campaign: &Campaign) -> CampaignReport {
+    run_campaign(campaign).unwrap_or_else(|e| panic!("campaign `{}`: {e}", campaign.name))
+}
+
+/// Payload bytes of a flood workload label (`flood(k)` -> `k`).
+fn flood_payload(workload: &str) -> usize {
+    workload
+        .strip_prefix("flood(")
+        .and_then(|r| r.strip_suffix(')'))
+        .and_then(|k| k.parse().ok())
+        .unwrap_or(0)
+}
 
 fn e1_unary_simple_cycle() {
-    println!("\n## E1 — Lemma 7: unary overhead over a simple cycle (pulses per message)\n");
-    println!("| n (cycle) | payload bytes | message bits | pulses | pulses / 2^bits |");
+    println!("\n## E1 — Lemma 7: unary overhead over a simple cycle (campaign: cycle x unary)\n");
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e1".into();
+    c.families = vec![
+        GraphFamily::Cycle { n: 4 },
+        GraphFamily::Cycle { n: 6 },
+        GraphFamily::Cycle { n: 8 },
+    ];
+    c.modes = vec![EngineMode::CycleOnly];
+    c.encodings = vec![EncodingSpec::Unary];
+    c.workloads = vec![WorkloadSpec::Flood { payload_bytes: 0 }];
+    c.noises = vec![NoiseSpec::FullCorruption];
+    c.schedulers = vec![SchedulerSpec::Random];
+    c.seeds = SeedRange { start: 7, count: 3 };
+    // Unary runs on cycle(8) need ~5M deliveries; keep clear of the limit.
+    c.max_steps = 20_000_000;
+    let report = run(&c);
+    println!("| n (cycle) | payload bytes | message bits | pulses p50 | pulses / 2^bits |");
     println!("|---|---|---|---|---|");
-    for n in [4usize, 6, 8] {
-        let g = generators::cycle(n).unwrap();
-        let c = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
-        for payload in [0usize] {
-            let cost = message_overhead(&g, &c, Encoding::unary(), payload, 7);
-            let bits = (payload + 2) * 8;
-            println!(
-                "| {n} | {payload} | {bits} | {} | {:.3} |",
-                cost.pulses,
-                cost.pulses as f64 / 2f64.powi(bits as i32)
-            );
-        }
+    for cell in &report.cells {
+        let bits = 2 * 8; // 0-byte payload + 2 header bytes
+        println!(
+            "| {} | 0 | {bits} | {:.0} | {:.3} |",
+            cell.nodes,
+            cell.pulses.p50,
+            cell.pulses.p50 / 2f64.powi(bits),
+        );
     }
     println!("\n(unary cost ~ n * 2^|M|; payloads beyond a couple of bytes are infeasible, which is the Lemma 7 point)");
 }
 
 fn e2_binary_simple_cycle() {
-    println!("\n## E2 — Lemma 9: binary overhead over a simple cycle (pulses per message)\n");
-    println!("| n (cycle) | payload bytes | pulses | pulses / (n * bits) |");
+    println!(
+        "\n## E2 — Lemma 9: binary overhead over a simple cycle (campaign: cycle x payload)\n"
+    );
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e2".into();
+    c.families = vec![
+        GraphFamily::Cycle { n: 4 },
+        GraphFamily::Cycle { n: 8 },
+        GraphFamily::Cycle { n: 16 },
+        GraphFamily::Cycle { n: 32 },
+    ];
+    c.modes = vec![EngineMode::CycleOnly];
+    c.encodings = vec![EncodingSpec::Binary];
+    c.workloads = vec![
+        WorkloadSpec::Flood { payload_bytes: 1 },
+        WorkloadSpec::Flood { payload_bytes: 4 },
+        WorkloadSpec::Flood { payload_bytes: 16 },
+    ];
+    c.noises = vec![NoiseSpec::FullCorruption];
+    c.schedulers = vec![SchedulerSpec::Random];
+    c.seeds = SeedRange {
+        start: 11,
+        count: 3,
+    };
+    let report = run(&c);
+    println!("| n (cycle) | payload bytes | pulses/message p50 | per-message / (n * bits) |");
     println!("|---|---|---|---|");
-    for n in [4usize, 8, 16, 32, 64] {
-        let g = generators::cycle(n).unwrap();
-        let c = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
-        for payload in [1usize, 4, 16, 64] {
-            let cost = message_overhead(&g, &c, Encoding::binary(), payload, 11);
-            let bits = ((payload + 2) * 8) as f64;
-            println!(
-                "| {n} | {payload} | {} | {:.3} |",
-                cost.pulses,
-                cost.pulses as f64 / (n as f64 * bits)
-            );
-        }
+    for cell in &report.cells {
+        let payload = flood_payload(&cell.workload);
+        let bits = ((payload + 2) * 8) as f64;
+        let per_message = cell.overhead.expect("flood(k>0) has a baseline").p50;
+        println!(
+            "| {} | {payload} | {per_message:.1} | {:.3} |",
+            cell.nodes,
+            per_message / (cell.nodes as f64 * bits),
+        );
     }
     println!("\n(the last column is roughly constant: cost = O(n·|m| + n log n), Lemma 9)");
 }
 
 fn e3_robbins_overhead() {
     println!("\n## E3 — Lemmas 13/14: overhead over non-simple Robbins cycles\n");
-    println!("| graph | n | |C| | payload bytes | encoding | pulses | pulses / (|C| * bits) |");
-    println!("|---|---|---|---|---|---|---|");
-    let cases: Vec<(&str, fdn_graph::Graph)> = vec![
-        ("figure1", generators::figure1()),
-        ("figure3", generators::figure3()),
-        ("theta(1,2,3)", generators::theta(1, 2, 3).unwrap()),
-        ("wheel(8)", generators::wheel(8).unwrap()),
-        ("petersen", generators::petersen()),
-        ("random(12,6)", generators::random_two_edge_connected(12, 6, 3).unwrap()),
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e3".into();
+    c.families = vec![
+        GraphFamily::Figure1,
+        GraphFamily::Figure3,
+        GraphFamily::Theta { a: 1, b: 2, c: 3 },
+        GraphFamily::Wheel { n: 8 },
+        GraphFamily::Petersen,
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 12,
+            extra_edges: 6,
+            seed: 3,
+        },
     ];
-    for (name, g) in &cases {
-        let c = robbins::reference_robbins_cycle(g, NodeId(0)).unwrap();
-        for payload in [1usize, 8, 32] {
-            let cost = message_overhead(g, &c, Encoding::binary(), payload, 5);
-            let bits = ((payload + 2) * 8) as f64;
-            println!(
-                "| {name} | {} | {} | {payload} | binary | {} | {:.3} |",
-                g.node_count(),
-                c.len(),
-                cost.pulses,
-                cost.pulses as f64 / (c.len() as f64 * bits)
-            );
-        }
+    c.modes = vec![EngineMode::CycleOnly];
+    c.encodings = vec![EncodingSpec::Binary];
+    c.workloads = vec![
+        WorkloadSpec::Flood { payload_bytes: 1 },
+        WorkloadSpec::Flood { payload_bytes: 8 },
+    ];
+    c.noises = vec![NoiseSpec::FullCorruption];
+    c.schedulers = vec![SchedulerSpec::Random];
+    c.seeds = SeedRange { start: 5, count: 3 };
+    let report = run(&c);
+    println!("| graph | n | \\|C\\| | payload bytes | pulses/message p50 | per-message / (\\|C\\| * bits) |");
+    println!("|---|---|---|---|---|---|");
+    for cell in &report.cells {
+        let payload = flood_payload(&cell.workload);
+        let bits = ((payload + 2) * 8) as f64;
+        let per_message = cell.overhead.expect("flood(k>0) has a baseline").p50;
+        println!(
+            "| {} | {} | {} | {payload} | {per_message:.1} | {:.3} |",
+            cell.family,
+            cell.nodes,
+            cell.reference_cycle_len,
+            per_message / (cell.reference_cycle_len as f64 * bits),
+        );
     }
-    // One tiny unary data point on a non-simple cycle (Lemma 13).
-    let g = generators::figure3();
-    let c = robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
-    let cost = message_overhead(&g, &c, Encoding::unary(), 0, 5);
-    println!(
-        "| figure3 | {} | {} | 0 | unary | {} | — |",
-        g.node_count(),
-        c.len(),
-        cost.pulses
-    );
 }
 
 fn e4_construction() {
     println!("\n## E4 — Theorem 15 / Lemma 19: Robbins-cycle construction\n");
-    println!("| graph | n | m | |C| constructed | |C| reference | |C| / n^2 | CCinit pulses | pulses / n^8 log n |");
-    println!("|---|---|---|---|---|---|---|---|");
-    let mut cases: Vec<(String, fdn_graph::Graph)> = vec![
-        ("cycle(8)".into(), generators::cycle(8).unwrap()),
-        ("figure1".into(), generators::figure1()),
-        ("figure3".into(), generators::figure3()),
-        ("theta(1,2,3)".into(), generators::theta(1, 2, 3).unwrap()),
-        ("complete(5)".into(), generators::complete(5).unwrap()),
-        ("wheel(7)".into(), generators::wheel(7).unwrap()),
-        ("petersen".into(), generators::petersen()),
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e4".into();
+    c.families = vec![
+        GraphFamily::Cycle { n: 8 },
+        GraphFamily::Figure1,
+        GraphFamily::Figure3,
+        GraphFamily::Theta { a: 1, b: 2, c: 3 },
+        GraphFamily::Complete { n: 5 },
+        GraphFamily::Wheel { n: 7 },
+        GraphFamily::Petersen,
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 6,
+            extra_edges: 3,
+            seed: 42,
+        },
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 8,
+            extra_edges: 4,
+            seed: 42,
+        },
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 10,
+            extra_edges: 5,
+            seed: 42,
+        },
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 12,
+            extra_edges: 6,
+            seed: 42,
+        },
     ];
-    for n in [6usize, 8, 10, 12] {
-        cases.push((
-            format!("random({n},{})", n / 2),
-            generators::random_two_edge_connected(n, n / 2, 42).unwrap(),
-        ));
-    }
-    for (name, g) in &cases {
-        let cost = construction_cost(g, NodeId(0), 9);
-        let n = cost.nodes as f64;
+    c.modes = vec![EngineMode::Full];
+    c.workloads = vec![WorkloadSpec::Flood { payload_bytes: 1 }];
+    c.noises = vec![NoiseSpec::FullCorruption];
+    c.schedulers = vec![SchedulerSpec::Random];
+    c.seeds = SeedRange { start: 9, count: 3 };
+    let report = run(&c);
+    println!("| graph | n | m | \\|C\\| constructed p50 | \\|C\\| reference | \\|C\\| / n^2 | CCinit p50 | CCinit / n^8 log n |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for cell in &report.cells {
+        let n = cell.nodes as f64;
         let bound = n.powi(8) * n.log2();
         println!(
-            "| {name} | {} | {} | {} | {} | {:.3} | {} | {:.2e} |",
-            cost.nodes,
-            cost.edges,
-            cost.cycle_len,
-            cost.reference_len,
-            cost.cycle_len as f64 / (n * n),
-            cost.pulses,
-            cost.pulses as f64 / bound
+            "| {} | {} | {} | {:.0} | {} | {:.3} | {:.0} | {:.2e} |",
+            cell.family,
+            cell.nodes,
+            cell.edges,
+            cell.cycle_len.p50,
+            cell.reference_cycle_len,
+            cell.cycle_len.p50 / (n * n),
+            cell.cc_init.p50,
+            cell.cc_init.p50 / bound,
         );
     }
-    println!("\n(|C| stays far below the O(n^3) bound and CCinit far below the O(n^8 log n) bound)");
+    println!(
+        "\n(|C| stays far below the O(n^3) bound and CCinit far below the O(n^8 log n) bound)"
+    );
+}
+
+fn e5_equivalence() {
+    println!(
+        "\n## E5 — Theorems 4/10: workload equivalence sweep (success must be 100% everywhere)\n"
+    );
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e5".into();
+    c.families = vec![
+        GraphFamily::Cycle { n: 6 },
+        GraphFamily::Figure3,
+        GraphFamily::Theta { a: 1, b: 2, c: 3 },
+        GraphFamily::Petersen,
+    ];
+    c.modes = vec![EngineMode::Full, EngineMode::CycleOnly];
+    c.workloads = vec![
+        WorkloadSpec::Flood { payload_bytes: 4 },
+        WorkloadSpec::Leader,
+        WorkloadSpec::Echo,
+        WorkloadSpec::Gossip,
+        WorkloadSpec::TokenRing,
+    ];
+    c.noises = vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption];
+    c.schedulers = vec![
+        SchedulerSpec::Random,
+        SchedulerSpec::Fifo,
+        SchedulerSpec::Lifo,
+    ];
+    c.seeds = SeedRange { start: 1, count: 3 };
+    let report = run(&c);
+    summarize_correctness(&report);
 }
 
 fn e6_end_to_end() {
     println!("\n## E6 — Theorem 2: end-to-end cost split (broadcast workload)\n");
-    println!("| graph | n | |C| | CCinit pulses | online pulses | baseline messages | online pulses / baseline message |");
-    println!("|---|---|---|---|---|---|---|");
-    let cases: Vec<(String, fdn_graph::Graph)> = vec![
-        ("figure3".into(), generators::figure3()),
-        ("figure1".into(), generators::figure1()),
-        ("theta(1,1,2)".into(), generators::theta(1, 1, 2).unwrap()),
-        ("cycle(8)".into(), generators::cycle(8).unwrap()),
-        ("random(8,4)".into(), generators::random_two_edge_connected(8, 4, 1).unwrap()),
-        ("random(10,5)".into(), generators::random_two_edge_connected(10, 5, 2).unwrap()),
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e6".into();
+    c.families = vec![
+        GraphFamily::Figure3,
+        GraphFamily::Figure1,
+        GraphFamily::Theta { a: 1, b: 1, c: 2 },
+        GraphFamily::Cycle { n: 8 },
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 8,
+            extra_edges: 4,
+            seed: 1,
+        },
+        GraphFamily::RandomTwoEdgeConnected {
+            n: 10,
+            extra_edges: 5,
+            seed: 2,
+        },
     ];
-    for (name, g) in &cases {
-        let cost = end_to_end_cost(g, 13);
+    c.modes = vec![EngineMode::Full];
+    c.workloads = vec![WorkloadSpec::Flood { payload_bytes: 4 }];
+    c.noises = vec![NoiseSpec::FullCorruption];
+    c.schedulers = vec![SchedulerSpec::Random];
+    c.seeds = SeedRange {
+        start: 13,
+        count: 3,
+    };
+    let report = run(&c);
+    println!("| graph | n | \\|C\\| p50 | CCinit p50 | online p50 | baseline messages | online pulses / baseline message |");
+    println!("|---|---|---|---|---|---|---|");
+    for cell in &report.cells {
         println!(
-            "| {name} | {} | {} | {} | {} | {} | {:.1} |",
-            cost.nodes,
-            cost.cycle_len,
-            cost.cc_init,
-            cost.online_pulses,
-            cost.baseline_messages,
-            cost.online_pulses as f64 / cost.baseline_messages as f64
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.1} |",
+            cell.family,
+            cell.nodes,
+            cell.cycle_len.p50,
+            cell.cc_init.p50,
+            cell.online_pulses.p50,
+            cell.baseline_messages.p50,
+            cell.overhead.expect("flood(4) has a baseline").p50,
         );
     }
 }
 
+fn e7_robustness() {
+    println!(
+        "\n## E7 — robustness: noise x scheduler invariance (success must be 100% everywhere)\n"
+    );
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e7".into();
+    c.families = vec![GraphFamily::Figure3, GraphFamily::Petersen];
+    c.modes = vec![EngineMode::Full];
+    c.workloads = vec![
+        WorkloadSpec::Flood { payload_bytes: 4 },
+        WorkloadSpec::Leader,
+    ];
+    c.noises = vec![
+        NoiseSpec::Noiseless,
+        NoiseSpec::FullCorruption,
+        NoiseSpec::ConstantOne,
+        NoiseSpec::BitFlip { p: 0.2 },
+    ];
+    c.schedulers = vec![
+        SchedulerSpec::Random,
+        SchedulerSpec::Fifo,
+        SchedulerSpec::Lifo,
+    ];
+    c.seeds = SeedRange {
+        start: 21,
+        count: 3,
+    };
+    let report = run(&c);
+    summarize_correctness(&report);
+}
+
+/// Renders a correctness sweep: per-(noise, scheduler) success rates plus a
+/// verdict line.
+fn summarize_correctness(report: &CampaignReport) {
+    println!("| noise | scheduler | cells | scenarios | success | quiescent |");
+    println!("|---|---|---|---|---|---|");
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for cell in &report.cells {
+        let key = (cell.noise.clone(), cell.scheduler.clone());
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    let mut all_ok = true;
+    for (noise, scheduler) in keys {
+        let group: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| c.noise == noise && c.scheduler == scheduler)
+            .collect();
+        let cells = group.len();
+        let runs: usize = group.iter().map(|c| c.runs).sum();
+        let success: f64 = group
+            .iter()
+            .map(|c| c.success_rate * c.runs as f64)
+            .sum::<f64>()
+            / runs as f64;
+        let quiescent: f64 = group
+            .iter()
+            .map(|c| c.quiescence_rate * c.runs as f64)
+            .sum::<f64>()
+            / runs as f64;
+        all_ok &= success == 1.0 && quiescent == 1.0;
+        println!(
+            "| {noise} | {scheduler} | {cells} | {runs} | {:.1}% | {:.1}% |",
+            success * 100.0,
+            quiescent * 100.0
+        );
+    }
+    println!(
+        "\n({} scenarios; verdict: {})",
+        report.scenario_count,
+        if all_ok {
+            "all succeeded — simulation is noise- and schedule-invariant"
+        } else {
+            "FAILURES PRESENT"
+        }
+    );
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let run = |name: &str| arg == "all" || arg == name;
+    let run_it = |name: &str| arg == "all" || arg == name;
     println!("# Measured reproduction of the paper's complexity claims");
-    if run("e1") {
+    println!("\n(every table is an `fdn-lab` campaign; re-run any row set with the CLI, e.g.");
+    println!(
+        "`cargo run -p fdn-lab --release -- run --families petersen --noises full-corruption`)"
+    );
+    if run_it("e1") {
         e1_unary_simple_cycle();
     }
-    if run("e2") {
+    if run_it("e2") {
         e2_binary_simple_cycle();
     }
-    if run("e3") {
+    if run_it("e3") {
         e3_robbins_overhead();
     }
-    if run("e4") {
+    if run_it("e4") {
         e4_construction();
     }
-    if run("e6") {
+    if run_it("e5") {
+        e5_equivalence();
+    }
+    if run_it("e6") {
         e6_end_to_end();
     }
-    println!("\n(E5 and E7 are correctness experiments; they are covered by the test suite: `cargo test --workspace`)");
+    if run_it("e7") {
+        e7_robustness();
+    }
 }

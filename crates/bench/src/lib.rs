@@ -16,9 +16,7 @@ use fdn_core::full::full_simulators;
 use fdn_core::reactors::cycle_simulators;
 use fdn_core::{construction_simulators, Encoding};
 use fdn_graph::{robbins, Graph, NodeId, RobbinsCycle};
-use fdn_netsim::{
-    FullCorruption, InnerProtocol, ProtocolIo, RandomScheduler, Reactor, Simulation,
-};
+use fdn_netsim::{FullCorruption, InnerProtocol, ProtocolIo, RandomScheduler, Reactor, Simulation};
 use fdn_protocols::FloodBroadcast;
 
 /// Cost metrics of carrying a single simulated message over a cycle.
@@ -76,7 +74,12 @@ pub struct FloodBroadcastOnce {
 impl FloodBroadcastOnce {
     /// Creates the per-node instance.
     pub fn new(node: NodeId, root: NodeId, value: Vec<u8>) -> Self {
-        FloodBroadcastOnce { node, root, value, output: None }
+        FloodBroadcastOnce {
+            node,
+            root,
+            value,
+            output: None,
+        }
     }
 }
 
@@ -123,7 +126,11 @@ pub fn construction_cost(graph: &Graph, root: NodeId, seed: u64) -> Construction
         .with_noise(FullCorruption::new(seed))
         .with_scheduler(RandomScheduler::new(seed.wrapping_add(1)));
     sim.run().expect("construction terminates");
-    let cycle = sim.node(root).cycle().expect("construction finished").clone();
+    let cycle = sim
+        .node(root)
+        .cycle()
+        .expect("construction finished")
+        .clone();
     cycle.validate(graph).expect("valid cycle");
     assert!(cycle.covers_all_edges(graph));
     let reference = robbins::reference_robbins_cycle(graph, root).expect("2EC");
@@ -174,9 +181,16 @@ pub fn end_to_end_cost(graph: &Graph, seed: u64) -> EndToEndCost {
         .with_noise(FullCorruption::new(seed))
         .with_scheduler(RandomScheduler::new(seed ^ 0xBEEF));
     sim.run().expect("run to quiescence");
-    let cc_init: u64 = graph.nodes().map(|v| sim.node(v).construction_pulses()).sum();
+    let cc_init: u64 = graph
+        .nodes()
+        .map(|v| sim.node(v).construction_pulses())
+        .sum();
     let total = sim.stats().sent_total;
-    let cycle_len = sim.node(NodeId(0)).cycle().map(RobbinsCycle::len).unwrap_or(0);
+    let cycle_len = sim
+        .node(NodeId(0))
+        .cycle()
+        .map(RobbinsCycle::len)
+        .unwrap_or(0);
     for v in graph.nodes() {
         assert_eq!(sim.node(v).output(), Some(value.clone()));
     }

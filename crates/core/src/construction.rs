@@ -139,7 +139,11 @@ impl ConstructionNode {
             designated_root,
             encoding,
             phase: Phase::Dfs,
-            dfs_state: if designated_root { DfsState::Root } else { DfsState::Init },
+            dfs_state: if designated_root {
+                DfsState::Root
+            } else {
+                DfsState::Init
+            },
             dfs_prev: None,
             dfs_next: None,
             used: BTreeSet::new(),
@@ -170,9 +174,10 @@ impl ConstructionNode {
 
     /// The first error observed, if any.
     pub fn error(&self) -> Option<&CoreError> {
-        self.error.as_ref().or_else(|| self.main.as_ref().and_then(RobbinsEngine::error)).or_else(
-            || self.ear.as_ref().and_then(RobbinsEngine::error),
-        )
+        self.error
+            .as_ref()
+            .or_else(|| self.main.as_ref().and_then(RobbinsEngine::error))
+            .or_else(|| self.ear.as_ref().and_then(RobbinsEngine::error))
     }
 
     /// Total pulses this node has sent so far (DFS pulses plus engine
@@ -199,7 +204,9 @@ impl ConstructionNode {
             return Err(e);
         }
         if !matches!(self.phase, Phase::Done) {
-            return Err(CoreError::ProtocolViolation("construction has not terminated".into()));
+            return Err(CoreError::ProtocolViolation(
+                "construction has not terminated".into(),
+            ));
         }
         let cycle = self
             .cycle
@@ -222,7 +229,12 @@ impl ConstructionNode {
             return;
         }
         // Choose an arbitrary (here: smallest-id) edge and send a pulse.
-        match self.neighbors.iter().copied().find(|u| !self.used.contains(u)) {
+        match self
+            .neighbors
+            .iter()
+            .copied()
+            .find(|u| !self.used.contains(u))
+        {
             Some(u) => {
                 self.send_pulse(u);
                 self.used.insert(u);
@@ -252,7 +264,10 @@ impl ConstructionNode {
             self.pump();
             return;
         }
-        let main_active = self.main.as_ref().is_some_and(|e| e.is_cycle_neighbor(from))
+        let main_active = self
+            .main
+            .as_ref()
+            .is_some_and(|e| e.is_cycle_neighbor(from))
             && !matches!(self.phase, Phase::Dfs);
         if main_active {
             if let Some(e) = &mut self.main {
@@ -271,7 +286,10 @@ impl ConstructionNode {
 
     fn fail(&mut self, msg: String) {
         if self.error.is_none() {
-            self.error = Some(CoreError::ProtocolViolation(format!("{}: {msg}", self.node)));
+            self.error = Some(CoreError::ProtocolViolation(format!(
+                "{}: {msg}",
+                self.node
+            )));
         }
     }
 
@@ -281,10 +299,16 @@ impl ConstructionNode {
     }
 
     fn enqueue_main(&mut self, dest: WireDest, msg: &ControlMsg) {
-        let wire = WireMessage { src: self.node, dest, payload: msg.to_payload() };
+        let wire = WireMessage {
+            src: self.node,
+            dest,
+            payload: msg.to_payload(),
+        };
         let res = match &mut self.main {
             Some(e) => e.enqueue(wire),
-            None => Err(CoreError::ProtocolViolation("no main engine to enqueue into".into())),
+            None => Err(CoreError::ProtocolViolation(
+                "no main engine to enqueue into".into(),
+            )),
         };
         if let Err(e) = res {
             if self.error.is_none() {
@@ -294,10 +318,16 @@ impl ConstructionNode {
     }
 
     fn enqueue_ear(&mut self, dest: WireDest, msg: &ControlMsg) {
-        let wire = WireMessage { src: self.node, dest, payload: msg.to_payload() };
+        let wire = WireMessage {
+            src: self.node,
+            dest,
+            payload: msg.to_payload(),
+        };
         let res = match &mut self.ear {
             Some(e) => e.enqueue(wire),
-            None => Err(CoreError::ProtocolViolation("no ear engine to enqueue into".into())),
+            None => Err(CoreError::ProtocolViolation(
+                "no ear engine to enqueue into".into(),
+            )),
         };
         if let Err(e) = res {
             if self.error.is_none() {
@@ -363,7 +393,10 @@ impl ConstructionNode {
     // ---------------------------------------------------------------------
 
     fn first_unused_neighbor(&self) -> Option<NodeId> {
-        self.neighbors.iter().copied().find(|u| !self.used.contains(u))
+        self.neighbors
+            .iter()
+            .copied()
+            .find(|u| !self.used.contains(u))
     }
 
     fn handle_noncycle_pulse(&mut self, from: NodeId) {
@@ -391,10 +424,14 @@ impl ConstructionNode {
                 }
             }
             Phase::FreshLearnId => {
-                self.fail(format!("unexpected non-cycle pulse from {from} during learn-ID"));
+                self.fail(format!(
+                    "unexpected non-cycle pulse from {from} during learn-ID"
+                ));
             }
             Phase::Done => {
-                self.fail(format!("unexpected non-cycle pulse from {from} after completion"));
+                self.fail(format!(
+                    "unexpected non-cycle pulse from {from} after completion"
+                ));
             }
         }
     }
@@ -412,7 +449,9 @@ impl ConstructionNode {
                         self.dfs_next = Some(u);
                         self.dfs_state = DfsState::Active;
                     }
-                    None => self.fail("visited node has no unexplored edge (degree-1 node?)".into()),
+                    None => {
+                        self.fail("visited node has no unexplored edge (degree-1 node?)".into())
+                    }
                 }
             }
             DfsState::Active => {
@@ -466,10 +505,14 @@ impl ConstructionNode {
                     let next = self.dfs_next.expect("root already chose its first edge");
                     self.enqueue_main(
                         WireDest::Node(next),
-                        &ControlMsg::LearnIdCollect { ids: vec![self.node] },
+                        &ControlMsg::LearnIdCollect {
+                            ids: vec![self.node],
+                        },
                     );
                 } else {
-                    self.fail(format!("unexpected pulse from {from} while waiting for C0 closure"));
+                    self.fail(format!(
+                        "unexpected pulse from {from} while waiting for C0 closure"
+                    ));
                 }
             }
         }
@@ -506,9 +549,10 @@ impl ConstructionNode {
         match self.phase {
             Phase::FreshLearnId => self.handle_fresh_learn_id(control),
             Phase::Cycle(stage) => self.handle_cycle_control(stage, control),
-            Phase::Dfs | Phase::Done => {
-                self.fail(format!("unexpected control message {control:?} in phase {:?}", self.phase))
-            }
+            Phase::Dfs | Phase::Done => self.fail(format!(
+                "unexpected control message {control:?} in phase {:?}",
+                self.phase
+            )),
         }
     }
 
@@ -519,13 +563,18 @@ impl ConstructionNode {
             ControlMsg::LearnIdCollect { mut ids } => {
                 if ids.first() == Some(&self.node) {
                     // Back at the root: assemble the new global cycle.
-                    let mut seq: Vec<NodeId> =
-                        self.cycle.as_ref().map(|c| c.seq().to_vec()).unwrap_or_default();
+                    let mut seq: Vec<NodeId> = self
+                        .cycle
+                        .as_ref()
+                        .map(|c| c.seq().to_vec())
+                        .unwrap_or_default();
                     seq.extend_from_slice(&ids);
                     self.enqueue_main(WireDest::Broadcast, &ControlMsg::LearnIdDone { cycle: seq });
                 } else {
                     ids.push(self.node);
-                    let next = self.dfs_next.expect("learn-ID node knows its cycle successor");
+                    let next = self
+                        .dfs_next
+                        .expect("learn-ID node knows its cycle successor");
                     self.enqueue_main(WireDest::Node(next), &ControlMsg::LearnIdCollect { ids });
                 }
             }
@@ -569,10 +618,16 @@ impl ConstructionNode {
     }
 
     fn has_unexplored_edges(&self) -> bool {
-        let Some(cycle) = &self.cycle else { return false };
+        let Some(cycle) = &self.cycle else {
+            return false;
+        };
         let used = cycle.undirected_edges();
         self.neighbors.iter().any(|&u| {
-            let key = if self.node < u { (self.node, u) } else { (u, self.node) };
+            let key = if self.node < u {
+                (self.node, u)
+            } else {
+                (u, self.node)
+            };
             !used.contains(&key)
         })
     }
@@ -584,14 +639,21 @@ impl ConstructionNode {
                 let has = self.has_unexplored_edges();
                 self.enqueue_main(
                     WireDest::Broadcast,
-                    &ControlMsg::EdgeReport { id: self.node, has_unexplored: has },
+                    &ControlMsg::EdgeReport {
+                        id: self.node,
+                        has_unexplored: has,
+                    },
                 );
                 self.phase = Phase::Cycle(CycleStage::NextRootAwaitDecision);
             }
             (_, ControlMsg::EdgeReport { id, has_unexplored }) => {
                 if self.is_current_root {
                     self.reports.insert(id, has_unexplored);
-                    let expected = self.cycle.as_ref().map(|c| c.distinct_nodes().len()).unwrap_or(0);
+                    let expected = self
+                        .cycle
+                        .as_ref()
+                        .map(|c| c.distinct_nodes().len())
+                        .unwrap_or(0);
                     if self.reports.len() == expected {
                         let candidate = self
                             .reports
@@ -604,9 +666,7 @@ impl ConstructionNode {
                                 WireDest::Broadcast,
                                 &ControlMsg::NewRoot { id: new_root },
                             ),
-                            None => {
-                                self.enqueue_main(WireDest::Broadcast, &ControlMsg::Completed)
-                            }
+                            None => self.enqueue_main(WireDest::Broadcast, &ControlMsg::Completed),
                         }
                     }
                 }
@@ -628,9 +688,17 @@ impl ConstructionNode {
                 if self.is_current_root {
                     // Algorithm 4(b) lines 35–36: launch the ear DFS on an
                     // unexplored edge.
-                    let used = self.cycle.as_ref().expect("cycle is set").undirected_edges();
+                    let used = self
+                        .cycle
+                        .as_ref()
+                        .expect("cycle is set")
+                        .undirected_edges();
                     let choice = self.neighbors.iter().copied().find(|&u| {
-                        let key = if self.node < u { (self.node, u) } else { (u, self.node) };
+                        let key = if self.node < u {
+                            (self.node, u)
+                        } else {
+                            (u, self.node)
+                        };
                         !used.contains(&key)
                     });
                     match choice {
@@ -651,7 +719,10 @@ impl ConstructionNode {
                         .expect("checked non-empty");
                     *self.pending_coord.get_mut(&from).expect("present") -= 1;
                     self.ear_prev = Some(from);
-                    self.enqueue_main(WireDest::Broadcast, &ControlMsg::EarClosedAt { z: self.node });
+                    self.enqueue_main(
+                        WireDest::Broadcast,
+                        &ControlMsg::EarClosedAt { z: self.node },
+                    );
                 }
             }
             (CycleStage::NextRootAwaitDecision, ControlMsg::Completed) => {
@@ -670,13 +741,18 @@ impl ConstructionNode {
             }
             (CycleStage::EarLearnId, ControlMsg::LearnIdCollect { mut ids }) => {
                 if ids.first() == Some(&self.node) {
-                    let mut seq: Vec<NodeId> =
-                        self.cycle.as_ref().map(|c| c.seq().to_vec()).unwrap_or_default();
+                    let mut seq: Vec<NodeId> = self
+                        .cycle
+                        .as_ref()
+                        .map(|c| c.seq().to_vec())
+                        .unwrap_or_default();
                     seq.extend_from_slice(&ids);
                     self.enqueue_ear(WireDest::Broadcast, &ControlMsg::LearnIdDone { cycle: seq });
                 } else {
                     ids.push(self.node);
-                    let next = self.ear_next.expect("ear learn-ID node knows its successor");
+                    let next = self
+                        .ear_next
+                        .expect("ear learn-ID node knows its successor");
                     self.enqueue_ear(WireDest::Node(next), &ControlMsg::LearnIdCollect { ids });
                 }
             }
@@ -751,7 +827,9 @@ impl ConstructionNode {
             return;
         }
         let Some(prev) = self.ear_prev else { return };
-        let Some(count) = self.pending_coord.get_mut(&prev) else { return };
+        let Some(count) = self.pending_coord.get_mut(&prev) else {
+            return;
+        };
         if *count == 0 {
             return;
         }
@@ -779,7 +857,9 @@ impl ConstructionNode {
             if self.is_current_root {
                 self.enqueue_ear(
                     WireDest::Node(next),
-                    &ControlMsg::LearnIdCollect { ids: vec![self.node] },
+                    &ControlMsg::LearnIdCollect {
+                        ids: vec![self.node],
+                    },
                 );
             }
             // The first learn-ID pulses of the new ear cycle can overtake this
@@ -857,9 +937,10 @@ impl Reactor for ConstructionSimulator {
     }
 
     fn output(&self) -> Option<Vec<u8>> {
-        self.inner.cycle().filter(|_| self.inner.is_done()).map(|c| {
-            c.seq().iter().map(|v| v.0 as u8).collect()
-        })
+        self.inner
+            .cycle()
+            .filter(|_| self.inner.is_done())
+            .map(|c| c.seq().iter().map(|v| v.0 as u8).collect())
     }
 }
 

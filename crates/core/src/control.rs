@@ -113,17 +113,25 @@ impl ControlMsg {
             }
         };
         match tag {
-            TAG_COLLECT => Ok(ControlMsg::LearnIdCollect { ids: parse_ids(rest) }),
-            TAG_DONE => Ok(ControlMsg::LearnIdDone { cycle: parse_ids(rest) }),
+            TAG_COLLECT => Ok(ControlMsg::LearnIdCollect {
+                ids: parse_ids(rest),
+            }),
+            TAG_DONE => Ok(ControlMsg::LearnIdDone {
+                cycle: parse_ids(rest),
+            }),
             TAG_EAR_CLOSED => {
                 need(1)?;
-                Ok(ControlMsg::EarClosedAt { z: NodeId(u32::from(rest[0])) })
+                Ok(ControlMsg::EarClosedAt {
+                    z: NodeId(u32::from(rest[0])),
+                })
             }
             TAG_READY => {
                 need(0)?;
                 Ok(ControlMsg::Ready)
             }
-            TAG_NEW_CYCLE => Ok(ControlMsg::NewCycle { cycle: parse_ids(rest) }),
+            TAG_NEW_CYCLE => Ok(ControlMsg::NewCycle {
+                cycle: parse_ids(rest),
+            }),
             TAG_CHECK_EDGES => {
                 need(0)?;
                 Ok(ControlMsg::CheckEdges)
@@ -137,13 +145,17 @@ impl ControlMsg {
             }
             TAG_NEW_ROOT => {
                 need(1)?;
-                Ok(ControlMsg::NewRoot { id: NodeId(u32::from(rest[0])) })
+                Ok(ControlMsg::NewRoot {
+                    id: NodeId(u32::from(rest[0])),
+                })
             }
             TAG_COMPLETED => {
                 need(0)?;
                 Ok(ControlMsg::Completed)
             }
-            other => Err(CoreError::MalformedWireMessage(format!("unknown control tag {other}"))),
+            other => Err(CoreError::MalformedWireMessage(format!(
+                "unknown control tag {other}"
+            ))),
         }
     }
 }
@@ -159,21 +171,37 @@ mod tests {
     #[test]
     fn roundtrip_all_variants() {
         let msgs = vec![
-            ControlMsg::LearnIdCollect { ids: ids(&[0, 3, 7]) },
+            ControlMsg::LearnIdCollect {
+                ids: ids(&[0, 3, 7]),
+            },
             ControlMsg::LearnIdCollect { ids: vec![] },
-            ControlMsg::LearnIdDone { cycle: ids(&[1, 2, 3, 1]) },
+            ControlMsg::LearnIdDone {
+                cycle: ids(&[1, 2, 3, 1]),
+            },
             ControlMsg::EarClosedAt { z: NodeId(9) },
             ControlMsg::Ready,
-            ControlMsg::NewCycle { cycle: ids(&[0, 1, 2, 0, 3]) },
+            ControlMsg::NewCycle {
+                cycle: ids(&[0, 1, 2, 0, 3]),
+            },
             ControlMsg::CheckEdges,
-            ControlMsg::EdgeReport { id: NodeId(4), has_unexplored: true },
-            ControlMsg::EdgeReport { id: NodeId(5), has_unexplored: false },
+            ControlMsg::EdgeReport {
+                id: NodeId(4),
+                has_unexplored: true,
+            },
+            ControlMsg::EdgeReport {
+                id: NodeId(5),
+                has_unexplored: false,
+            },
             ControlMsg::NewRoot { id: NodeId(2) },
             ControlMsg::Completed,
         ];
         for m in msgs {
             let payload = m.to_payload();
-            assert_eq!(ControlMsg::from_payload(&payload).unwrap(), m, "roundtrip failed for {m:?}");
+            assert_eq!(
+                ControlMsg::from_payload(&payload).unwrap(),
+                m,
+                "roundtrip failed for {m:?}"
+            );
         }
     }
 

@@ -39,7 +39,9 @@ pub enum Encoding {
 impl Encoding {
     /// The unary encoding with a default 2^20-pulse budget per message.
     pub fn unary() -> Self {
-        Encoding::Unary { max_pulses: 1 << 20 }
+        Encoding::Unary {
+            max_pulses: 1 << 20,
+        }
     }
 
     /// The binary encoding with [`DEFAULT_L`].
@@ -88,7 +90,7 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
 /// Returns [`CoreError::MalformedFrame`] if the bit count is not a multiple
 /// of 8 (a decoded message must consist of whole bytes).
 pub fn bits_to_bytes(bits: &[bool]) -> Result<Vec<u8>, CoreError> {
-    if bits.len() % 8 != 0 {
+    if !bits.len().is_multiple_of(8) {
         return Err(CoreError::MalformedFrame(format!(
             "bit count {} is not a multiple of 8",
             bits.len()
@@ -135,10 +137,12 @@ pub fn unary_value(message: &[u8]) -> Result<u128, CoreError> {
 /// representation is not `1` followed by whole bytes.
 pub fn unary_decode(d: u128) -> Result<Vec<u8>, CoreError> {
     if d == 0 {
-        return Err(CoreError::MalformedFrame("unary value must be positive".into()));
+        return Err(CoreError::MalformedFrame(
+            "unary value must be positive".into(),
+        ));
     }
     let bits_after_marker = 127 - d.leading_zeros() as usize;
-    if bits_after_marker % 8 != 0 {
+    if !bits_after_marker.is_multiple_of(8) {
         return Err(CoreError::MalformedFrame(format!(
             "unary value {d} does not decode to whole bytes"
         )));
@@ -232,7 +236,7 @@ pub fn frame(message: &[u8], l: usize) -> Vec<bool> {
     z.push(true);
     z.extend(pad(&bytes_to_bits(message), l));
     z.push(true);
-    z.extend(std::iter::repeat(false).take(l));
+    z.extend(std::iter::repeat_n(false, l));
     z
 }
 
@@ -251,17 +255,23 @@ pub fn parse_frame(bits: &[bool], l: usize) -> Result<Vec<u8>, CoreError> {
         )));
     }
     if !bits[0] {
-        return Err(CoreError::MalformedFrame("frame does not start with a 1".into()));
+        return Err(CoreError::MalformedFrame(
+            "frame does not start with a 1".into(),
+        ));
     }
     let (body, terminal) = bits.split_at(bits.len() - l);
     if terminal.iter().any(|&b| b) {
-        return Err(CoreError::MalformedFrame("frame does not end with 0^L".into()));
+        return Err(CoreError::MalformedFrame(
+            "frame does not end with 0^L".into(),
+        ));
     }
     let Some((&last, padded)) = body[1..].split_last() else {
         return Err(CoreError::MalformedFrame("frame too short".into()));
     };
     if !last {
-        return Err(CoreError::MalformedFrame("missing trailing 1 before the terminal".into()));
+        return Err(CoreError::MalformedFrame(
+            "missing trailing 1 before the terminal".into(),
+        ));
     }
     let unpadded = unpad(padded, l)?;
     bits_to_bytes(&unpadded)
@@ -295,7 +305,14 @@ mod tests {
 
     #[test]
     fn unary_roundtrip_preserves_leading_zero_bytes() {
-        for msg in [vec![], vec![0u8], vec![0, 0], vec![7], vec![0, 200], vec![1, 2]] {
+        for msg in [
+            vec![],
+            vec![0u8],
+            vec![0, 0],
+            vec![7],
+            vec![0, 200],
+            vec![1, 2],
+        ] {
             let d = unary_value(&msg).unwrap();
             assert!(d >= 1);
             assert_eq!(unary_decode(d).unwrap(), msg, "failed for {msg:?}");
@@ -343,14 +360,23 @@ mod tests {
         assert!(unpad(&[false, false, false], 3).is_err());
         assert!(unpad(&[false, false], 3).is_err());
         // With L = 2 every 0 is followed by an inserted 1 in a padded string.
-        assert_eq!(unpad(&[false, true, false, true], 2).unwrap(), vec![false, false]);
+        assert_eq!(
+            unpad(&[false, true, false, true], 2).unwrap(),
+            vec![false, false]
+        );
         assert!(unpad(&[false, true, false], 2).is_err());
     }
 
     #[test]
     fn frame_roundtrip() {
         for l in 2..=4usize {
-            for msg in [vec![], vec![0u8], vec![0xFF], vec![0x00, 0x00], vec![1, 2, 3, 4]] {
+            for msg in [
+                vec![],
+                vec![0u8],
+                vec![0xFF],
+                vec![0x00, 0x00],
+                vec![1, 2, 3, 4],
+            ] {
                 let z = frame(&msg, l);
                 assert_eq!(z.len(), frame_len(&msg, l));
                 // The terminal 0^L appears only at the very end.

@@ -61,7 +61,10 @@ enum State {
 enum PulsePlan {
     /// Unary: `d` clockwise DATA circulations followed by one
     /// counterclockwise END circulation.
-    Unary { data_remaining: u128, end_pending: bool },
+    Unary {
+        data_remaining: u128,
+        end_pending: bool,
+    },
     /// Binary: one circulation per bit of the frame `Z` (clockwise for 1,
     /// counterclockwise for 0).
     Binary { bits: Vec<bool>, idx: usize },
@@ -70,7 +73,10 @@ enum PulsePlan {
 impl PulsePlan {
     fn next(&mut self) -> Option<CycleDirection> {
         match self {
-            PulsePlan::Unary { data_remaining, end_pending } => {
+            PulsePlan::Unary {
+                data_remaining,
+                end_pending,
+            } => {
                 if *data_remaining > 0 {
                     *data_remaining -= 1;
                     Some(CycleDirection::Clockwise)
@@ -84,7 +90,11 @@ impl PulsePlan {
             PulsePlan::Binary { bits, idx } => {
                 let bit = *bits.get(*idx)?;
                 *idx += 1;
-                Some(if bit { CycleDirection::Clockwise } else { CycleDirection::Counterclockwise })
+                Some(if bit {
+                    CycleDirection::Clockwise
+                } else {
+                    CycleDirection::Counterclockwise
+                })
             }
         }
     }
@@ -181,9 +191,10 @@ impl RobbinsEngine {
         let node = view.node();
         let mut dir_from = BTreeMap::new();
         for occ in view.occurrences() {
-            for (nbr, dir) in
-                [(occ.prev, CycleDirection::Clockwise), (occ.next, CycleDirection::Counterclockwise)]
-            {
+            for (nbr, dir) in [
+                (occ.prev, CycleDirection::Clockwise),
+                (occ.next, CycleDirection::Counterclockwise),
+            ] {
                 if let Some(existing) = dir_from.insert(nbr, dir) {
                     if existing != dir {
                         return Err(CoreError::InvalidCycle(format!(
@@ -275,7 +286,10 @@ impl RobbinsEngine {
         if let Encoding::Unary { max_pulses } = self.encoding {
             let d = encoding::unary_value(&bytes)?;
             if d > max_pulses {
-                return Err(CoreError::MessageTooLargeForUnary { pulses_required: d, max: max_pulses });
+                return Err(CoreError::MessageTooLargeForUnary {
+                    pulses_required: d,
+                    max: max_pulses,
+                });
             }
         }
         self.queue.push_back(message);
@@ -288,7 +302,10 @@ impl RobbinsEngine {
     /// content-oblivious by construction.
     pub fn on_pulse(&mut self, from: NodeId) {
         if !self.dir_from.contains_key(&from) {
-            self.fail(format!("pulse from {from}, which is not a cycle neighbour of {}", self.node));
+            self.fail(format!(
+                "pulse from {from}, which is not a cycle neighbour of {}",
+                self.node
+            ));
             return;
         }
         self.pulses_received += 1;
@@ -365,7 +382,10 @@ impl RobbinsEngine {
     /// Starts transmitting the next queued message as the token holder
     /// (Algorithm 3(b) lines 19–20 / Algorithm 2 lines 2–4).
     fn begin_sending(&mut self) {
-        let message = self.queue.pop_front().expect("begin_sending requires a queued message");
+        let message = self
+            .queue
+            .pop_front()
+            .expect("begin_sending requires a queued message");
         let bytes = match message.to_bytes() {
             Ok(b) => b,
             Err(e) => {
@@ -375,17 +395,25 @@ impl RobbinsEngine {
         };
         let plan = match self.encoding {
             Encoding::Unary { .. } => match encoding::unary_value(&bytes) {
-                Ok(d) => PulsePlan::Unary { data_remaining: d, end_pending: true },
+                Ok(d) => PulsePlan::Unary {
+                    data_remaining: d,
+                    end_pending: true,
+                },
                 Err(e) => {
                     self.error = Some(e);
                     return;
                 }
             },
-            Encoding::Binary { l } => {
-                PulsePlan::Binary { bits: encoding::frame(&bytes, l), idx: 0 }
-            }
+            Encoding::Binary { l } => PulsePlan::Binary {
+                bits: encoding::frame(&bytes, l),
+                idx: 0,
+            },
         };
-        self.state = State::Sender(SenderState { message, plan, current: None });
+        self.state = State::Sender(SenderState {
+            message,
+            plan,
+            current: None,
+        });
     }
 
     /// Begins a new circulation of one pulse around the whole cycle, emitting
@@ -398,14 +426,22 @@ impl RobbinsEngine {
                 // prev[(i+1) mod k].
                 let to = self.view.next(0);
                 self.emit(to);
-                Circulation { dir, step: 0, awaiting: self.view.prev(1 % k) }
+                Circulation {
+                    dir,
+                    step: 0,
+                    awaiting: self.view.prev(1 % k),
+                }
             }
             CycleDirection::Counterclockwise => {
                 // Lines 27–29: for i in (0..k).rev(): send to prev[(i+1) mod k];
                 // wait from next[i].
                 let to = self.view.prev(0); // (k-1 + 1) mod k == 0
                 self.emit(to);
-                Circulation { dir, step: k - 1, awaiting: self.view.next(k - 1) }
+                Circulation {
+                    dir,
+                    step: k - 1,
+                    awaiting: self.view.next(k - 1),
+                }
             }
         }
     }
@@ -467,7 +503,9 @@ impl RobbinsEngine {
             new_remaining.insert(nbr, need);
         }
         let done = new_remaining.values().all(|&need| need == 0);
-        self.state = State::AwaitRequests { remaining: new_remaining };
+        self.state = State::AwaitRequests {
+            remaining: new_remaining,
+        };
         if done {
             if self.is_token_holder {
                 // Lines 5–6: release the token counterclockwise.
@@ -489,7 +527,9 @@ impl RobbinsEngine {
             // segment-0 invariant says it arrives from next_{u, k-1}.
             let expected = self.view.next(self.k() - 1);
             if from != expected {
-                self.fail(format!("token pulse arrived from {from}, expected from {expected}"));
+                self.fail(format!(
+                    "token pulse arrived from {from}, expected from {expected}"
+                ));
                 return false;
             }
             self.consume_from(from);
@@ -512,9 +552,11 @@ impl RobbinsEngine {
             // is left pending and consumed by the receiver ("including the
             // DATA pulse received in the preceding token phase").
             let receiver = match self.encoding {
-                Encoding::Unary { .. } => {
-                    ReceiverState::Unary(UnaryReceiver { cw_occ: 0, count: 0, end_occ: None })
-                }
+                Encoding::Unary { .. } => ReceiverState::Unary(UnaryReceiver {
+                    cw_occ: 0,
+                    count: 0,
+                    end_occ: None,
+                }),
                 Encoding::Binary { .. } => ReceiverState::Binary(BinaryReceiver {
                     cw_occ: 0,
                     ccw_occ: self.k() - 1,
@@ -562,7 +604,11 @@ impl RobbinsEngine {
                             let step = circ.step - 1;
                             let to = self.view.prev((step + 1) % k);
                             self.emit(to);
-                            Some(Circulation { dir: circ.dir, step, awaiting: self.view.next(step) })
+                            Some(Circulation {
+                                dir: circ.dir,
+                                step,
+                                awaiting: self.view.next(step),
+                            })
                         } else {
                             None
                         }
@@ -774,14 +820,22 @@ mod tests {
 
     #[test]
     fn rejects_invalid_encoding_and_bad_view() {
-        assert!(RobbinsEngine::new(simple_view(1, 0, 2), false, Encoding::Binary { l: 1 }).is_err());
+        assert!(
+            RobbinsEngine::new(simple_view(1, 0, 2), false, Encoding::Binary { l: 1 }).is_err()
+        );
         // A neighbour appearing both as prev and as next means the edge is
         // used in both directions — not a Robbins cycle.
         let bad = LocalCycleView::new(
             NodeId(1),
             vec![
-                Occurrence { prev: NodeId(0), next: NodeId(2) },
-                Occurrence { prev: NodeId(2), next: NodeId(3) },
+                Occurrence {
+                    prev: NodeId(0),
+                    next: NodeId(2),
+                },
+                Occurrence {
+                    prev: NodeId(2),
+                    next: NodeId(3),
+                },
             ],
         );
         assert!(RobbinsEngine::new(bad, false, Encoding::binary()).is_err());
@@ -789,11 +843,17 @@ mod tests {
 
     #[test]
     fn enqueue_validates_unary_budget() {
-        let mut e =
-            RobbinsEngine::new(simple_view(0, 2, 1), true, Encoding::Unary { max_pulses: 100 })
-                .unwrap();
+        let mut e = RobbinsEngine::new(
+            simple_view(0, 2, 1),
+            true,
+            Encoding::Unary { max_pulses: 100 },
+        )
+        .unwrap();
         let big = WireMessage::to_node(NodeId(0), NodeId(1), vec![0xFF, 0xFF]);
-        assert!(matches!(e.enqueue(big), Err(CoreError::MessageTooLargeForUnary { .. })));
+        assert!(matches!(
+            e.enqueue(big),
+            Err(CoreError::MessageTooLargeForUnary { .. })
+        ));
         assert_eq!(e.queue_len(), 0);
         // Even an empty payload needs 2 header bytes -> d = 65537 > 100.
         let small = WireMessage::to_node(NodeId(0), NodeId(1), vec![]);
@@ -811,7 +871,8 @@ mod tests {
     fn holder_with_queued_message_requests_and_waits() {
         // Node 0 on the 3-cycle 0 -> 1 -> 2 -> 0, holder, binary encoding.
         let mut e = RobbinsEngine::new(simple_view(0, 2, 1), true, Encoding::binary()).unwrap();
-        e.enqueue(WireMessage::broadcast(NodeId(0), vec![])).unwrap();
+        e.enqueue(WireMessage::broadcast(NodeId(0), vec![]))
+            .unwrap();
         // Line 2: a clockwise REQUEST to its next (node 1).
         assert_eq!(e.take_outgoing(), vec![NodeId(1)]);
         assert!(!e.is_idle());
@@ -833,10 +894,17 @@ mod tests {
         let mut steps = 0;
         while let Some((from, to)) = inflight.pop() {
             steps += 1;
-            assert!(steps < limit, "exchange did not terminate within {limit} deliveries");
+            assert!(
+                steps < limit,
+                "exchange did not terminate within {limit} deliveries"
+            );
             let idx = to.index();
             engines[idx].on_pulse(from);
-            assert!(engines[idx].error().is_none(), "engine {idx}: {:?}", engines[idx].error());
+            assert!(
+                engines[idx].error().is_none(),
+                "engine {idx}: {:?}",
+                engines[idx].error()
+            );
             for next_to in engines[idx].take_outgoing() {
                 inflight.push((to, next_to));
             }
@@ -855,9 +923,14 @@ mod tests {
     #[test]
     fn three_node_manual_binary_exchange_delivers_message() {
         let mut engines = simple_cycle_engines(3, 0, Encoding::binary());
-        engines[0].enqueue(WireMessage::broadcast(NodeId(0), vec![0xA5])).unwrap();
-        let inflight: Vec<(NodeId, NodeId)> =
-            engines[0].take_outgoing().into_iter().map(|to| (NodeId(0), to)).collect();
+        engines[0]
+            .enqueue(WireMessage::broadcast(NodeId(0), vec![0xA5]))
+            .unwrap();
+        let inflight: Vec<(NodeId, NodeId)> = engines[0]
+            .take_outgoing()
+            .into_iter()
+            .map(|to| (NodeId(0), to))
+            .collect();
         relay(&mut engines, inflight, 10_000);
         for (i, e) in engines.iter_mut().enumerate() {
             let delivered = e.take_delivered();
@@ -875,9 +948,14 @@ mod tests {
     fn three_node_manual_unary_exchange_delivers_message() {
         let mut engines = simple_cycle_engines(3, 0, Encoding::unary());
         // Node 1 wants to send to node 2; it must first obtain the token.
-        engines[1].enqueue(WireMessage::to_node(NodeId(1), NodeId(2), vec![])).unwrap();
-        let inflight: Vec<(NodeId, NodeId)> =
-            engines[1].take_outgoing().into_iter().map(|to| (NodeId(1), to)).collect();
+        engines[1]
+            .enqueue(WireMessage::to_node(NodeId(1), NodeId(2), vec![]))
+            .unwrap();
+        let inflight: Vec<(NodeId, NodeId)> = engines[1]
+            .take_outgoing()
+            .into_iter()
+            .map(|to| (NodeId(1), to))
+            .collect();
         relay(&mut engines, inflight, 1_000_000);
         // Node 2 received the message addressed to it; node 0 decoded it too
         // (and would discard it at the reactor layer); node 1 sent it.
@@ -895,8 +973,12 @@ mod tests {
     #[test]
     fn multiple_messages_from_multiple_senders() {
         let mut engines = simple_cycle_engines(4, 0, Encoding::binary());
-        engines[2].enqueue(WireMessage::broadcast(NodeId(2), vec![1, 2])).unwrap();
-        engines[3].enqueue(WireMessage::broadcast(NodeId(3), vec![3])).unwrap();
+        engines[2]
+            .enqueue(WireMessage::broadcast(NodeId(2), vec![1, 2]))
+            .unwrap();
+        engines[3]
+            .enqueue(WireMessage::broadcast(NodeId(3), vec![3]))
+            .unwrap();
         let mut inflight: Vec<(NodeId, NodeId)> = Vec::new();
         for i in [2usize, 3] {
             for to in engines[i].take_outgoing() {
@@ -920,7 +1002,10 @@ mod tests {
         // The figure-1 Robbins cycle 3 0 1 2 3 4 1 2 (node 3 and others occur
         // twice); the token holder is the node at position 0 (node 3).
         let cycle = fdn_graph::RobbinsCycle::new(
-            [3u32, 0, 1, 2, 3, 4, 1, 2].iter().map(|&x| NodeId(x)).collect(),
+            [3u32, 0, 1, 2, 3, 4, 1, 2]
+                .iter()
+                .map(|&x| NodeId(x))
+                .collect(),
         )
         .unwrap();
         let mut engines: Vec<RobbinsEngine> = (0..5)
@@ -929,9 +1014,14 @@ mod tests {
                 RobbinsEngine::new(view, i == 3, Encoding::binary()).unwrap()
             })
             .collect();
-        engines[4].enqueue(WireMessage::broadcast(NodeId(4), vec![0x5A, 0x11])).unwrap();
-        let inflight: Vec<(NodeId, NodeId)> =
-            engines[4].take_outgoing().into_iter().map(|to| (NodeId(4), to)).collect();
+        engines[4]
+            .enqueue(WireMessage::broadcast(NodeId(4), vec![0x5A, 0x11]))
+            .unwrap();
+        let inflight: Vec<(NodeId, NodeId)> = engines[4]
+            .take_outgoing()
+            .into_iter()
+            .map(|to| (NodeId(4), to))
+            .collect();
         relay(&mut engines, inflight, 100_000);
         for (i, e) in engines.iter_mut().enumerate() {
             let delivered = e.take_delivered();

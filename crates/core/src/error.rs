@@ -40,12 +40,21 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NotTwoEdgeConnected => {
-                write!(f, "network is not 2-edge-connected; fully-defective simulation is impossible")
+                write!(
+                    f,
+                    "network is not 2-edge-connected; fully-defective simulation is impossible"
+                )
             }
             CoreError::TooManyNodes { nodes, max } => {
-                write!(f, "graph has {nodes} nodes but the wire format supports at most {max}")
+                write!(
+                    f,
+                    "graph has {nodes} nodes but the wire format supports at most {max}"
+                )
             }
-            CoreError::MessageTooLargeForUnary { pulses_required, max } => write!(
+            CoreError::MessageTooLargeForUnary {
+                pulses_required,
+                max,
+            } => write!(
                 f,
                 "unary encoding needs {pulses_required} pulses, above the configured limit of {max}"
             ),
@@ -93,8 +102,14 @@ mod tests {
     fn display_all_variants() {
         let errs: Vec<CoreError> = vec![
             CoreError::NotTwoEdgeConnected,
-            CoreError::TooManyNodes { nodes: 300, max: 254 },
-            CoreError::MessageTooLargeForUnary { pulses_required: 1 << 40, max: 1 << 20 },
+            CoreError::TooManyNodes {
+                nodes: 300,
+                max: 254,
+            },
+            CoreError::MessageTooLargeForUnary {
+                pulses_required: 1 << 40,
+                max: 1 << 20,
+            },
             CoreError::MalformedFrame("x".into()),
             CoreError::MalformedWireMessage("y".into()),
             CoreError::InvalidPaddingParameter { l: 1 },

@@ -104,7 +104,11 @@ impl<P: InnerProtocol> FullSimulator<P> {
 
     /// Pulses sent by this node during the online phase so far.
     pub fn online_pulses(&self) -> u64 {
-        self.engine.as_ref().map(RobbinsEngine::pulses_sent).unwrap_or(0) - self.construction_engine_pulses()
+        self.engine
+            .as_ref()
+            .map(RobbinsEngine::pulses_sent)
+            .unwrap_or(0)
+            - self.construction_engine_pulses()
     }
 
     fn construction_engine_pulses(&self) -> u64 {
@@ -138,7 +142,10 @@ impl<P: InnerProtocol> FullSimulator<P> {
     }
 
     fn maybe_go_online(&mut self, ctx: &mut Context) {
-        let done = self.construction.as_ref().is_some_and(ConstructionNode::is_done);
+        let done = self
+            .construction
+            .as_ref()
+            .is_some_and(ConstructionNode::is_done);
         if !done {
             return;
         }
@@ -167,7 +174,9 @@ impl<P: InnerProtocol> FullSimulator<P> {
 
     fn pump_online(&mut self, ctx: &mut Context) {
         loop {
-            let Some(engine) = &mut self.engine else { return };
+            let Some(engine) = &mut self.engine else {
+                return;
+            };
             let delivered = engine.take_delivered();
             let pulses = engine.take_outgoing();
             if delivered.is_empty() && pulses.is_empty() {

@@ -55,7 +55,9 @@ impl fmt::Display for Action {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Action::Send { count } => write!(f, "send {count}"),
-            Action::SendAndOutput { count, output } => write!(f, "send {count} and output {output}"),
+            Action::SendAndOutput { count, output } => {
+                write!(f, "send {count} and output {output}")
+            }
         }
     }
 }
@@ -174,7 +176,12 @@ where
                 Some(out) => out != expected,
             };
             if wrong {
-                return Some(Counterexample { x, y, expected, bob_output: outcome.bob_output });
+                return Some(Counterexample {
+                    x,
+                    y,
+                    expected,
+                    bob_output: outcome.bob_output,
+                });
             }
         }
     }
@@ -197,9 +204,14 @@ impl CountingParty for NaiveSumProtocol {
     fn action(&self, input: u64, received: u32) -> Action {
         if received == 0 {
             // Send a unary encoding of the input.
-            Action::Send { count: input as u32 }
+            Action::Send {
+                count: input as u32,
+            }
         } else if received == self.commit_after {
-            Action::SendAndOutput { count: 0, output: input + u64::from(received) }
+            Action::SendAndOutput {
+                count: 0,
+                output: input + u64::from(received),
+            }
         } else {
             Action::Send { count: 0 }
         }
@@ -226,7 +238,10 @@ impl NonCommittingCounter {
     /// which are correct even under total corruption.
     pub fn run(&self, x: u64, y: u64) -> (u64, u64) {
         // Every pulse is delivered eventually; content is irrelevant.
-        (self.current_estimate(x, y as u32), self.current_estimate(y, x as u32))
+        (
+            self.current_estimate(x, y as u32),
+            self.current_estimate(y, x as u32),
+        )
     }
 }
 
@@ -239,7 +254,10 @@ mod tests {
         let a = Action::Send { count: 3 };
         assert_eq!(a.sends(), 3);
         assert_eq!(a.output(), None);
-        let b = Action::SendAndOutput { count: 1, output: 9 };
+        let b = Action::SendAndOutput {
+            count: 1,
+            output: 9,
+        };
         assert_eq!(b.sends(), 1);
         assert_eq!(b.output(), Some(9));
         assert!(a.to_string().contains("send 3"));

@@ -55,7 +55,13 @@ impl<P: InnerProtocol> CycleSimulator<P> {
     ) -> Result<Self, CoreError> {
         let node = view.node();
         let engine = RobbinsEngine::new(view, is_token_holder, encoding)?;
-        Ok(CycleSimulator { inner, engine, node, graph_neighbors, error: None })
+        Ok(CycleSimulator {
+            inner,
+            engine,
+            node,
+            graph_neighbors,
+            error: None,
+        })
     }
 
     /// Read access to the wrapped inner protocol.
@@ -163,7 +169,9 @@ where
     if !connectivity::is_two_edge_connected(graph) {
         return Err(CoreError::NotTwoEdgeConnected);
     }
-    cycle.validate(graph).map_err(|e| CoreError::InvalidCycle(e.to_string()))?;
+    cycle
+        .validate(graph)
+        .map_err(|e| CoreError::InvalidCycle(e.to_string()))?;
     let holder = cycle.root();
     graph
         .nodes()
@@ -253,7 +261,11 @@ mod tests {
         sim.run().unwrap();
         for v in g.nodes() {
             assert_eq!(sim.node(v).output(), Some(vec![]));
-            assert!(sim.node(v).error().is_none(), "node {v}: {:?}", sim.node(v).error());
+            assert!(
+                sim.node(v).error().is_none(),
+                "node {v}: {:?}",
+                sim.node(v).error()
+            );
         }
     }
 
@@ -301,8 +313,7 @@ mod tests {
     #[test]
     fn rejects_non_2ec_graphs_and_bad_cycles() {
         let g = generators::barbell(3).unwrap();
-        let fake_cycle =
-            RobbinsCycle::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let fake_cycle = RobbinsCycle::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
         let res = cycle_simulators(&g, &fake_cycle, Encoding::binary(), |v| {
             FloodBroadcast::new(v, NodeId(0), vec![1])
         });

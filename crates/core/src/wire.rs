@@ -52,17 +52,29 @@ pub struct WireMessage {
 impl WireMessage {
     /// Wraps a message emitted by the inner protocol at `src`.
     pub fn from_protocol(src: NodeId, msg: ProtocolMsg) -> Self {
-        WireMessage { src, dest: msg.dest.into(), payload: msg.payload }
+        WireMessage {
+            src,
+            dest: msg.dest.into(),
+            payload: msg.payload,
+        }
     }
 
     /// Convenience constructor for a point-to-point message.
     pub fn to_node(src: NodeId, dest: NodeId, payload: Vec<u8>) -> Self {
-        WireMessage { src, dest: WireDest::Node(dest), payload }
+        WireMessage {
+            src,
+            dest: WireDest::Node(dest),
+            payload,
+        }
     }
 
     /// Convenience constructor for a broadcast message.
     pub fn broadcast(src: NodeId, payload: Vec<u8>) -> Self {
-        WireMessage { src, dest: WireDest::Broadcast, payload }
+        WireMessage {
+            src,
+            dest: WireDest::Broadcast,
+            payload,
+        }
     }
 
     /// Whether the message should be handed to the inner protocol of `node`.
@@ -118,9 +130,16 @@ impl WireMessage {
             )));
         }
         let src = NodeId(u32::from(bytes[0]));
-        let dest =
-            if bytes[1] == 0xFF { WireDest::Broadcast } else { WireDest::Node(NodeId(u32::from(bytes[1]))) };
-        Ok(WireMessage { src, dest, payload: bytes[2..].to_vec() })
+        let dest = if bytes[1] == 0xFF {
+            WireDest::Broadcast
+        } else {
+            WireDest::Node(NodeId(u32::from(bytes[1])))
+        };
+        Ok(WireMessage {
+            src,
+            dest,
+            payload: bytes[2..].to_vec(),
+        })
     }
 
     /// The serialized length in bits (the `|M| = |m| + O(log n)` of the
@@ -179,13 +198,19 @@ mod tests {
     fn from_protocol_msg() {
         let m = WireMessage::from_protocol(
             NodeId(4),
-            ProtocolMsg { dest: Dest::Broadcast, payload: vec![9] },
+            ProtocolMsg {
+                dest: Dest::Broadcast,
+                payload: vec![9],
+            },
         );
         assert_eq!(m.dest, WireDest::Broadcast);
         assert_eq!(m.src, NodeId(4));
         let m = WireMessage::from_protocol(
             NodeId(4),
-            ProtocolMsg { dest: Dest::Node(NodeId(1)), payload: vec![9] },
+            ProtocolMsg {
+                dest: Dest::Node(NodeId(1)),
+                payload: vec![9],
+            },
         );
         assert_eq!(m.dest, WireDest::Node(NodeId(1)));
     }

@@ -15,13 +15,18 @@ fn run_construction(graph: &Graph, root: NodeId, seed: u64) -> (RobbinsCycle, u6
     let mut sim = Simulation::new(graph.clone(), nodes)
         .expect("node count matches")
         .with_noise(FullCorruption::new(seed))
-        .with_scheduler(RandomScheduler::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)));
+        .with_scheduler(RandomScheduler::new(
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+        ));
     sim.run().expect("construction run fails");
     let mut agreed: Option<RobbinsCycle> = None;
     for v in graph.nodes() {
         let node = sim.node(v);
         assert!(node.error().is_none(), "node {v} error: {:?}", node.error());
-        let cycle = node.cycle().unwrap_or_else(|| panic!("node {v} did not finish")).clone();
+        let cycle = node
+            .cycle()
+            .unwrap_or_else(|| panic!("node {v} did not finish"))
+            .clone();
         assert!(node.construction().is_done(), "node {v} not done");
         match &agreed {
             None => agreed = Some(cycle),
@@ -33,10 +38,19 @@ fn run_construction(graph: &Graph, root: NodeId, seed: u64) -> (RobbinsCycle, u6
 
 fn check_graph(graph: &Graph, root: NodeId, seed: u64) {
     let (cycle, _pulses) = run_construction(graph, root, seed);
-    cycle.validate(graph).expect("constructed cycle is not a valid Robbins cycle");
-    assert!(cycle.covers_all_edges(graph), "constructed cycle misses edges: {cycle}");
+    cycle
+        .validate(graph)
+        .expect("constructed cycle is not a valid Robbins cycle");
+    assert!(
+        cycle.covers_all_edges(graph),
+        "constructed cycle misses edges: {cycle}"
+    );
     let n = graph.node_count();
-    assert!(cycle.len() <= n * n * n, "cycle length {} violates the O(n^3) bound", cycle.len());
+    assert!(
+        cycle.len() <= n * n * n,
+        "cycle length {} violates the O(n^3) bound",
+        cycle.len()
+    );
 }
 
 #[test]
@@ -79,7 +93,11 @@ fn petersen_graph() {
 
 #[test]
 fn complete_bipartite_and_ladder() {
-    check_graph(&generators::complete_bipartite(2, 3).unwrap(), NodeId(0), 10);
+    check_graph(
+        &generators::complete_bipartite(2, 3).unwrap(),
+        NodeId(0),
+        10,
+    );
     check_graph(&generators::circular_ladder(4).unwrap(), NodeId(1), 11);
 }
 
@@ -141,7 +159,9 @@ fn rejects_non_two_edge_connected() {
 fn construction_output_is_reported_via_reactor_output() {
     let g = generators::cycle(4).unwrap();
     let nodes = construction_simulators(&g, NodeId(0), Encoding::binary()).unwrap();
-    let mut sim = Simulation::new(g.clone(), nodes).unwrap().with_noise(FullCorruption::new(1));
+    let mut sim = Simulation::new(g.clone(), nodes)
+        .unwrap()
+        .with_noise(FullCorruption::new(1));
     sim.run().unwrap();
     for v in g.nodes() {
         let out = sim.node(v).output().expect("construction finished");

@@ -5,7 +5,7 @@
 use fdn_core::full::full_simulators;
 use fdn_core::{CoreError, Encoding};
 use fdn_graph::{generators, Graph, NodeId};
-use fdn_netsim::{FullCorruption, RandomScheduler, Reactor, Simulation};
+use fdn_netsim::{FullCorruption, RandomScheduler, Simulation};
 use fdn_protocols::util::{decode_u64, run_direct};
 use fdn_protocols::{EchoAggregate, FloodBroadcast, GossipAllToAll, MaxIdLeaderElection};
 
@@ -16,15 +16,23 @@ where
     P: fdn_netsim::InnerProtocol,
     F: FnMut(NodeId) -> P,
 {
-    let nodes = full_simulators(graph, NodeId(0), Encoding::binary(), factory).expect("valid input");
+    let nodes =
+        full_simulators(graph, NodeId(0), Encoding::binary(), factory).expect("valid input");
     let mut sim = Simulation::new(graph.clone(), nodes)
         .expect("node count matches")
         .with_noise(FullCorruption::new(seed))
         .with_scheduler(RandomScheduler::new(seed.wrapping_mul(31).wrapping_add(7)));
     sim.run().expect("simulation failed");
     for v in graph.nodes() {
-        assert!(sim.node(v).error().is_none(), "node {v} error: {:?}", sim.node(v).error());
-        assert!(sim.node(v).is_online(), "node {v} never finished the construction");
+        assert!(
+            sim.node(v).error().is_none(),
+            "node {v} error: {:?}",
+            sim.node(v).error()
+        );
+        assert!(
+            sim.node(v).is_online(),
+            "node {v} never finished the construction"
+        );
     }
     sim.outputs()
 }
@@ -35,7 +43,11 @@ fn broadcast_matches_baseline_on_figure3() {
     let value = vec![0xC0, 0x01];
     let baseline = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(2), value.clone()), 0).unwrap();
     for seed in 0..3u64 {
-        let defective = run_full(&g, |v| FloodBroadcast::new(v, NodeId(2), value.clone()), seed);
+        let defective = run_full(
+            &g,
+            |v| FloodBroadcast::new(v, NodeId(2), value.clone()),
+            seed,
+        );
         assert_eq!(defective, baseline, "seed {seed}");
     }
 }
@@ -47,7 +59,11 @@ fn broadcast_matches_baseline_on_random_graphs() {
         let value = vec![seed as u8, 0xAB];
         let baseline =
             run_direct(&g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), 0).unwrap();
-        let defective = run_full(&g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), seed);
+        let defective = run_full(
+            &g,
+            |v| FloodBroadcast::new(v, NodeId(1), value.clone()),
+            seed,
+        );
         assert_eq!(defective, baseline, "seed {seed}");
     }
 }
@@ -62,8 +78,11 @@ fn leader_election_agrees_with_baseline() {
         1,
     )
     .unwrap();
-    let defective =
-        run_full(&g, |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]), 11);
+    let defective = run_full(
+        &g,
+        |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]),
+        11,
+    );
     assert_eq!(defective, baseline);
     for out in defective {
         assert_eq!(decode_u64(&out.unwrap()), 99);
@@ -75,7 +94,11 @@ fn echo_aggregation_computes_the_global_sum() {
     let g = generators::theta(1, 1, 2).unwrap();
     let inputs: Vec<u64> = g.nodes().map(|v| u64::from(v.0) * 3 + 1).collect();
     let expected: u64 = inputs.iter().sum();
-    let outputs = run_full(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), 5);
+    let outputs = run_full(
+        &g,
+        |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]),
+        5,
+    );
     assert_eq!(decode_u64(outputs[0].as_ref().unwrap()), expected);
 }
 
@@ -83,8 +106,9 @@ fn echo_aggregation_computes_the_global_sum() {
 fn gossip_all_to_all_over_fully_defective_network() {
     let g = generators::figure3();
     let n = g.node_count();
-    let expected: Vec<u8> =
-        (0..n as u64).flat_map(|i| (i + 7).to_be_bytes().to_vec()).collect();
+    let expected: Vec<u8> = (0..n as u64)
+        .flat_map(|i| (i + 7).to_be_bytes().to_vec())
+        .collect();
     let outputs = run_full(&g, |v| GossipAllToAll::new(v, n, u64::from(v.0) + 7), 3);
     for (v, out) in outputs.iter().enumerate() {
         assert_eq!(out.as_deref(), Some(&expected[..]), "node {v}");
@@ -106,7 +130,10 @@ fn cc_init_is_positive_and_cycle_is_agreed() {
     let mut cycles = Vec::new();
     for v in g.nodes() {
         let node = sim.node(v);
-        assert!(node.construction_pulses() > 0, "node {v} sent no pre-processing pulses");
+        assert!(
+            node.construction_pulses() > 0,
+            "node {v} sent no pre-processing pulses"
+        );
         cycles.push(node.cycle().expect("online").clone());
     }
     for c in &cycles {

@@ -82,14 +82,20 @@ impl LocalCycleView {
     ///
     /// Panics if `occurrences` is empty.
     pub fn new(node: NodeId, occurrences: Vec<Occurrence>) -> Self {
-        assert!(!occurrences.is_empty(), "a node on a cycle has at least one occurrence");
+        assert!(
+            !occurrences.is_empty(),
+            "a node on a cycle has at least one occurrence"
+        );
         LocalCycleView { node, occurrences }
     }
 
     /// Builds the single-occurrence view of a node on a *simple* cycle given
     /// only its two neighbours (the only information Algorithm 1 requires).
     pub fn from_simple(node: NodeId, prev: NodeId, next: NodeId) -> Self {
-        LocalCycleView { node, occurrences: vec![Occurrence { prev, next }] }
+        LocalCycleView {
+            node,
+            occurrences: vec![Occurrence { prev, next }],
+        }
     }
 
     /// The node this view belongs to.
@@ -148,14 +154,19 @@ impl LocalCycleView {
             (false, true) => Some(CycleDirection::Counterclockwise),
             (false, false) => None,
             (true, true) => {
-                unreachable!("edge ({from}, {}) used in both directions on a Robbins cycle", self.node)
+                unreachable!(
+                    "edge ({from}, {}) used in both directions on a Robbins cycle",
+                    self.node
+                )
             }
         }
     }
 
     /// Whether `other` is adjacent to this node via a cycle edge.
     pub fn is_cycle_neighbor(&self, other: NodeId) -> bool {
-        self.occurrences.iter().any(|o| o.prev == other || o.next == other)
+        self.occurrences
+            .iter()
+            .any(|o| o.prev == other || o.next == other)
     }
 
     /// For each counterclockwise neighbour, how many occurrences have it as
@@ -246,7 +257,13 @@ impl RobbinsCycle {
 
     /// The set of distinct nodes on the cycle, sorted.
     pub fn distinct_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.seq.iter().copied().collect::<HashSet<_>>().into_iter().collect();
+        let mut v: Vec<NodeId> = self
+            .seq
+            .iter()
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
         v.sort();
         v
     }
@@ -284,12 +301,16 @@ impl RobbinsCycle {
     pub fn validate(&self, g: &Graph) -> Result<(), GraphError> {
         for (u, v) in self.arcs() {
             if !g.has_edge(u, v) {
-                return Err(GraphError::InvalidCycle(format!("arc ({u}, {v}) is not a graph edge")));
+                return Err(GraphError::InvalidCycle(format!(
+                    "arc ({u}, {v}) is not a graph edge"
+                )));
             }
         }
         for u in g.nodes() {
             if !self.contains_node(u) {
-                return Err(GraphError::InvalidCycle(format!("node {u} missing from the cycle")));
+                return Err(GraphError::InvalidCycle(format!(
+                    "node {u} missing from the cycle"
+                )));
             }
         }
         Ok(())
@@ -321,12 +342,18 @@ impl RobbinsCycle {
         let n = self.seq.len();
         let occurrences: Vec<Occurrence> = (0..n)
             .filter(|&i| self.seq[i] == u)
-            .map(|i| Occurrence { prev: self.seq[(i + n - 1) % n], next: self.seq[(i + 1) % n] })
+            .map(|i| Occurrence {
+                prev: self.seq[(i + n - 1) % n],
+                next: self.seq[(i + 1) % n],
+            })
             .collect();
         if occurrences.is_empty() {
             None
         } else {
-            Some(LocalCycleView { node: u, occurrences })
+            Some(LocalCycleView {
+                node: u,
+                occurrences,
+            })
         }
     }
 
@@ -367,8 +394,8 @@ impl RobbinsCycle {
             }
             if let Some(nexts) = succ.get(&u) {
                 for &v in nexts {
-                    if !parent.contains_key(&v) {
-                        parent.insert(v, u);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(v) {
+                        slot.insert(u);
                         queue.push_back(v);
                     }
                 }
@@ -412,8 +439,14 @@ mod tests {
 
     #[test]
     fn direction_opposite_and_display() {
-        assert_eq!(CycleDirection::Clockwise.opposite(), CycleDirection::Counterclockwise);
-        assert_eq!(CycleDirection::Counterclockwise.opposite(), CycleDirection::Clockwise);
+        assert_eq!(
+            CycleDirection::Clockwise.opposite(),
+            CycleDirection::Counterclockwise
+        );
+        assert_eq!(
+            CycleDirection::Counterclockwise.opposite(),
+            CycleDirection::Clockwise
+        );
         assert_eq!(CycleDirection::Clockwise.to_string(), "clockwise");
     }
 
@@ -467,8 +500,14 @@ mod tests {
         // Second occurrence (position 6): prev = e (4), next = c (2).
         assert_eq!(view_b.prev(1), NodeId(4));
         assert_eq!(view_b.next(1), NodeId(2));
-        assert_eq!(view_b.incoming_direction(NodeId(0)), Some(CycleDirection::Clockwise));
-        assert_eq!(view_b.incoming_direction(NodeId(2)), Some(CycleDirection::Counterclockwise));
+        assert_eq!(
+            view_b.incoming_direction(NodeId(0)),
+            Some(CycleDirection::Clockwise)
+        );
+        assert_eq!(
+            view_b.incoming_direction(NodeId(2)),
+            Some(CycleDirection::Counterclockwise)
+        );
         assert_eq!(view_b.incoming_direction(NodeId(3)), None);
         assert!(view_b.is_cycle_neighbor(NodeId(4)));
         assert!(!view_b.is_cycle_neighbor(NodeId(3)));
@@ -504,13 +543,19 @@ mod tests {
     #[test]
     fn shortest_directed_path_follows_arcs() {
         let c = RobbinsCycle::new(ids(&[0, 1, 2, 3, 4])).unwrap();
-        assert_eq!(c.shortest_directed_path(NodeId(1), NodeId(3)).unwrap(), ids(&[1, 2, 3]));
+        assert_eq!(
+            c.shortest_directed_path(NodeId(1), NodeId(3)).unwrap(),
+            ids(&[1, 2, 3])
+        );
         // Must go the long way around against positions but along arcs.
         assert_eq!(
             c.shortest_directed_path(NodeId(3), NodeId(1)).unwrap(),
             ids(&[3, 4, 0, 1])
         );
-        assert_eq!(c.shortest_directed_path(NodeId(2), NodeId(2)).unwrap(), ids(&[2]));
+        assert_eq!(
+            c.shortest_directed_path(NodeId(2), NodeId(2)).unwrap(),
+            ids(&[2])
+        );
         assert!(c.shortest_directed_path(NodeId(2), NodeId(9)).is_none());
     }
 
@@ -522,7 +567,10 @@ mod tests {
         // Cycle 0 -> 1 -> 2 -> 3 -> 1 -> 4 -> (0); from 0 to 4 the shortest
         // directed path is 0 -> 1 -> 4, skipping the 2 -> 3 detour.
         let c = RobbinsCycle::new(ids(&[0, 1, 2, 3, 1, 4])).unwrap();
-        assert_eq!(c.shortest_directed_path(NodeId(0), NodeId(4)).unwrap(), ids(&[0, 1, 4]));
+        assert_eq!(
+            c.shortest_directed_path(NodeId(0), NodeId(4)).unwrap(),
+            ids(&[0, 1, 4])
+        );
     }
 
     #[test]

@@ -81,26 +81,36 @@ impl EarDecomposition {
         let mut covered_edges: HashSet<Edge> = HashSet::new();
         let mut covered_nodes: HashSet<NodeId> = HashSet::new();
         if self.initial_cycle.len() < 3 {
-            return Err(GraphError::InvalidCycle("initial cycle has fewer than 3 nodes".into()));
+            return Err(GraphError::InvalidCycle(
+                "initial cycle has fewer than 3 nodes".into(),
+            ));
         }
         if self.initial_cycle[0] != self.root {
-            return Err(GraphError::InvalidCycle("initial cycle does not start at the root".into()));
+            return Err(GraphError::InvalidCycle(
+                "initial cycle does not start at the root".into(),
+            ));
         }
         let c = &self.initial_cycle;
         for i in 0..c.len() {
             let u = c[i];
             let v = c[(i + 1) % c.len()];
             if !g.has_edge(u, v) {
-                return Err(GraphError::InvalidCycle(format!("cycle edge ({u}, {v}) not in graph")));
+                return Err(GraphError::InvalidCycle(format!(
+                    "cycle edge ({u}, {v}) not in graph"
+                )));
             }
             if !covered_edges.insert(Edge::new(u, v)) {
-                return Err(GraphError::InvalidCycle(format!("cycle repeats edge ({u}, {v})")));
+                return Err(GraphError::InvalidCycle(format!(
+                    "cycle repeats edge ({u}, {v})"
+                )));
             }
             covered_nodes.insert(u);
         }
         for (idx, ear) in self.ears.iter().enumerate() {
             if ear.path.len() < 2 {
-                return Err(GraphError::InvalidCycle(format!("ear {idx} has fewer than 2 nodes")));
+                return Err(GraphError::InvalidCycle(format!(
+                    "ear {idx} has fewer than 2 nodes"
+                )));
             }
             if !covered_nodes.contains(&ear.start()) || !covered_nodes.contains(&ear.end()) {
                 return Err(GraphError::InvalidCycle(format!(
@@ -186,7 +196,9 @@ pub fn ear_decomposition(g: &Graph, root: NodeId) -> Result<EarDecomposition, Gr
         // unexplored edge; we pick the smallest such node id for determinism.
         let start = g.nodes().find(|&u| {
             on_structure[u.index()]
-                && g.neighbors(u).iter().any(|&v| !covered_edges.contains(&Edge::new(u, v)))
+                && g.neighbors(u)
+                    .iter()
+                    .any(|&v| !covered_edges.contains(&Edge::new(u, v)))
         });
         let Some(start) = start else { break };
         let ear_path = grow_ear(g, start, &covered_edges, &on_structure);
@@ -199,7 +211,11 @@ pub fn ear_decomposition(g: &Graph, root: NodeId) -> Result<EarDecomposition, Gr
         ears.push(Ear { path: ear_path });
     }
 
-    let dec = EarDecomposition { root, initial_cycle, ears };
+    let dec = EarDecomposition {
+        root,
+        initial_cycle,
+        ears,
+    };
     debug_assert!(dec.validate(g).is_ok());
     Ok(dec)
 }
@@ -223,7 +239,9 @@ fn find_simple_cycle_through(
         let u = *path.last().unwrap();
         let next = g.neighbors(u).iter().copied().find(|&v| {
             let e = Edge::new(u, v);
-            !covered.contains(&e) && !used.contains(&e) && (!on_path[v.index()] || (v == root && path.len() >= 3))
+            !covered.contains(&e)
+                && !used.contains(&e)
+                && (!on_path[v.index()] || (v == root && path.len() >= 3))
         });
         match next {
             Some(v) => {
@@ -282,7 +300,10 @@ fn grow_ear(
             None => {
                 // 2-edge-connectivity guarantees the ear closes before the DFS
                 // exhausts the start node; internal dead-ends backtrack.
-                assert!(path.len() > 1, "ear DFS stuck at its start; graph not 2-edge-connected?");
+                assert!(
+                    path.len() > 1,
+                    "ear DFS stuck at its start; graph not 2-edge-connected?"
+                );
                 let dead = path.pop().unwrap();
                 on_path[dead.index()] = false;
             }
@@ -349,20 +370,29 @@ mod tests {
     #[test]
     fn rejects_non_2ec() {
         let g = generators::barbell(3).unwrap();
-        assert_eq!(ear_decomposition(&g, NodeId(0)), Err(GraphError::NotTwoEdgeConnected));
+        assert_eq!(
+            ear_decomposition(&g, NodeId(0)),
+            Err(GraphError::NotTwoEdgeConnected)
+        );
     }
 
     #[test]
     fn ear_accessors() {
-        let open = Ear { path: vec![NodeId(0), NodeId(5), NodeId(2)] };
+        let open = Ear {
+            path: vec![NodeId(0), NodeId(5), NodeId(2)],
+        };
         assert_eq!(open.start(), NodeId(0));
         assert_eq!(open.end(), NodeId(2));
         assert!(!open.is_closed());
         assert_eq!(open.edge_len(), 2);
         assert_eq!(open.internal_nodes(), &[NodeId(5)]);
-        let closed = Ear { path: vec![NodeId(1), NodeId(3), NodeId(4), NodeId(1)] };
+        let closed = Ear {
+            path: vec![NodeId(1), NodeId(3), NodeId(4), NodeId(1)],
+        };
         assert!(closed.is_closed());
-        let chord = Ear { path: vec![NodeId(0), NodeId(2)] };
+        let chord = Ear {
+            path: vec![NodeId(0), NodeId(2)],
+        };
         assert!(chord.internal_nodes().is_empty());
     }
 }

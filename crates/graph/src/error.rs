@@ -29,7 +29,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} not allowed"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge ({u}, {v})"),
@@ -50,9 +53,15 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_style() {
         let errs = [
-            GraphError::NodeOutOfRange { node: NodeId(7), node_count: 3 },
+            GraphError::NodeOutOfRange {
+                node: NodeId(7),
+                node_count: 3,
+            },
             GraphError::SelfLoop { node: NodeId(1) },
-            GraphError::DuplicateEdge { u: NodeId(0), v: NodeId(1) },
+            GraphError::DuplicateEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+            },
             GraphError::NotConnected,
             GraphError::NotTwoEdgeConnected,
             GraphError::InvalidCycle("bad".into()),

@@ -18,7 +18,9 @@ use crate::graph::{Graph, NodeId};
 /// Returns an error if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter(format!("cycle needs n >= 3, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "cycle needs n >= 3, got {n}"
+        )));
     }
     let mut g = Graph::new(n);
     for i in 0..n {
@@ -35,7 +37,9 @@ pub fn cycle(n: usize) -> Result<Graph, GraphError> {
 /// Returns an error if `n < 2`.
 pub fn path(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter(format!("path needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "path needs n >= 2, got {n}"
+        )));
     }
     let mut g = Graph::new(n);
     for i in 0..n - 1 {
@@ -51,7 +55,9 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
 /// Returns an error if `n < 2`.
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameter(format!("complete needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "complete needs n >= 2, got {n}"
+        )));
     }
     let mut g = Graph::new(n);
     for i in 0..n {
@@ -126,7 +132,9 @@ pub fn theta(a: usize, b: usize, c: usize) -> Result<Graph, GraphError> {
 /// Returns an error if `n < 4`.
 pub fn wheel(n: usize) -> Result<Graph, GraphError> {
     if n < 4 {
-        return Err(GraphError::InvalidParameter(format!("wheel needs n >= 4, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "wheel needs n >= 4, got {n}"
+        )));
     }
     let mut g = cycle(n - 1)?;
     let mut with_hub = Graph::new(n);
@@ -179,7 +187,9 @@ pub fn grid_torus(w: usize, h: usize) -> Result<Graph, GraphError> {
 /// Returns an error if `d < 2` or `d > 16`.
 pub fn hypercube(d: usize) -> Result<Graph, GraphError> {
     if !(2..=16).contains(&d) {
-        return Err(GraphError::InvalidParameter(format!("hypercube needs 2 <= d <= 16, got {d}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "hypercube needs 2 <= d <= 16, got {d}"
+        )));
     }
     let n = 1usize << d;
     let mut g = Graph::new(n);
@@ -202,7 +212,9 @@ pub fn hypercube(d: usize) -> Result<Graph, GraphError> {
 /// Returns an error if `n < 3`.
 pub fn circular_ladder(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter(format!("circular_ladder needs n >= 3, got {n}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "circular_ladder needs n >= 3, got {n}"
+        )));
     }
     let mut g = Graph::new(2 * n);
     for i in 0..n {
@@ -222,7 +234,9 @@ pub fn circular_ladder(n: usize) -> Result<Graph, GraphError> {
 /// Returns an error if `k < 3`.
 pub fn barbell(k: usize) -> Result<Graph, GraphError> {
     if k < 3 {
-        return Err(GraphError::InvalidParameter(format!("barbell needs k >= 3, got {k}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "barbell needs k >= 3, got {k}"
+        )));
     }
     let mut g = Graph::new(2 * k);
     for i in 0..k {
@@ -342,7 +356,9 @@ pub fn random_ear_graph(
             // A length-0 ear is a direct chord; avoid self-loops/duplicates by
             // retrying a bounded number of times, otherwise skip the ear.
             let mut tries = 0;
-            while (a == b || edges.iter().any(|&(x, y)| (x, y) == (a.min(b), a.max(b)))) && tries < 32 {
+            while (a == b || edges.iter().any(|&(x, y)| (x, y) == (a.min(b), a.max(b))))
+                && tries < 32
+            {
                 a = rng.gen_range(0..n);
                 b = rng.gen_range(0..n);
                 tries += 1;

@@ -118,7 +118,10 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Builds a graph with `n` nodes from an edge list.
@@ -163,7 +166,10 @@ impl Graph {
         if u.index() < self.adj.len() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: u, node_count: self.adj.len() })
+            Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.adj.len(),
+            })
         }
     }
 
@@ -301,11 +307,17 @@ mod tests {
     #[test]
     fn rejects_self_loop_and_duplicates() {
         let mut g = Graph::new(3);
-        assert_eq!(g.add_edge(NodeId(0), NodeId(0)), Err(GraphError::SelfLoop { node: NodeId(0) }));
+        assert_eq!(
+            g.add_edge(NodeId(0), NodeId(0)),
+            Err(GraphError::SelfLoop { node: NodeId(0) })
+        );
         g.add_edge(NodeId(0), NodeId(1)).unwrap();
         assert_eq!(
             g.add_edge(NodeId(1), NodeId(0)),
-            Err(GraphError::DuplicateEdge { u: NodeId(1), v: NodeId(0) })
+            Err(GraphError::DuplicateEdge {
+                u: NodeId(1),
+                v: NodeId(0)
+            })
         );
         assert!(matches!(
             g.add_edge(NodeId(0), NodeId(9)),
@@ -316,7 +328,10 @@ mod tests {
     #[test]
     fn neighbors_are_sorted() {
         let g = Graph::from_edges(5, [(0, 4), (0, 2), (0, 1), (0, 3)]).unwrap();
-        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            g.neighbors(NodeId(0)),
+            &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod connectivity;
 pub mod cycle;
 pub mod ear;
 pub mod error;
+pub mod family;
 pub mod generators;
 pub mod graph;
 pub mod orientation;
@@ -42,5 +43,6 @@ pub mod robbins;
 pub use cycle::{LocalCycleView, Occurrence, RobbinsCycle};
 pub use ear::{Ear, EarDecomposition};
 pub use error::GraphError;
+pub use family::GraphFamily;
 pub use graph::{Graph, NodeId};
 pub use orientation::Orientation;

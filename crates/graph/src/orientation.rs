@@ -54,8 +54,12 @@ impl Orientation {
 
     /// Out-neighbours of `u` under this orientation, sorted.
     pub fn out_neighbors(&self, g: &Graph, u: NodeId) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> =
-            g.neighbors(u).iter().copied().filter(|&v| self.has_arc(u, v)).collect();
+        let mut out: Vec<NodeId> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| self.has_arc(u, v))
+            .collect();
         out.sort();
         out
     }
@@ -73,7 +77,11 @@ impl Orientation {
             let mut count = 1;
             while let Some(u) = stack.pop() {
                 for &v in g.neighbors(u) {
-                    let arc_ok = if forward { self.has_arc(u, v) } else { self.has_arc(v, u) };
+                    let arc_ok = if forward {
+                        self.has_arc(u, v)
+                    } else {
+                        self.has_arc(v, u)
+                    };
                     if arc_ok && !seen[v.index()] {
                         seen[v.index()] = true;
                         count += 1;
@@ -176,9 +184,15 @@ mod tests {
     #[test]
     fn rejects_non_2ec() {
         let g = generators::barbell(3).unwrap();
-        assert_eq!(robbins_orientation(&g, NodeId(0)), Err(GraphError::NotTwoEdgeConnected));
+        assert_eq!(
+            robbins_orientation(&g, NodeId(0)),
+            Err(GraphError::NotTwoEdgeConnected)
+        );
         let p = generators::path(4).unwrap();
-        assert_eq!(robbins_orientation(&p, NodeId(0)), Err(GraphError::NotTwoEdgeConnected));
+        assert_eq!(
+            robbins_orientation(&p, NodeId(0)),
+            Err(GraphError::NotTwoEdgeConnected)
+        );
     }
 
     #[test]

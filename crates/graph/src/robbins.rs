@@ -51,7 +51,9 @@ pub fn extend_cycle_with_ear(
     ear_path: &[NodeId],
 ) -> Result<RobbinsCycle, GraphError> {
     if ear_path.len() < 2 {
-        return Err(GraphError::InvalidCycle("ear must contain at least one edge".into()));
+        return Err(GraphError::InvalidCycle(
+            "ear must contain at least one edge".into(),
+        ));
     }
     let r = ear_path[0];
     let z = *ear_path.last().expect("non-empty ear path");
@@ -125,7 +127,10 @@ mod tests {
         for g in graphs {
             let c = reference_robbins_cycle(&g, NodeId(0)).unwrap();
             c.validate(&g).unwrap();
-            assert!(c.covers_all_edges(&g), "cycle does not cover all edges of {g}");
+            assert!(
+                c.covers_all_edges(&g),
+                "cycle does not cover all edges of {g}"
+            );
             // Every edge traversal is a cycle position, and each undirected
             // edge is traversed at least once, so |C| >= |E|.
             assert!(c.len() >= g.edge_count());
@@ -142,14 +147,21 @@ mod tests {
             assert!(c.covers_all_edges(&g));
             // Lemma 19: |C| = O(n^3); the reference construction comfortably
             // fits inside the explicit bound n^3.
-            assert!(c.len() <= n * n * n, "|C| = {} exceeds n^3 for seed {seed}", c.len());
+            assert!(
+                c.len() <= n * n * n,
+                "|C| = {} exceeds n^3 for seed {seed}",
+                c.len()
+            );
         }
     }
 
     #[test]
     fn rejects_non_2ec() {
         let g = generators::barbell(3).unwrap();
-        assert_eq!(reference_robbins_cycle(&g, NodeId(0)), Err(GraphError::NotTwoEdgeConnected));
+        assert_eq!(
+            reference_robbins_cycle(&g, NodeId(0)),
+            Err(GraphError::NotTwoEdgeConnected)
+        );
     }
 
     #[test]
@@ -165,11 +177,20 @@ mod tests {
         assert_eq!(ext.len(), 4 + 2 + 2);
         assert_eq!(
             ext.seq(),
-            &[NodeId(1), NodeId(2), NodeId(3), NodeId(0), NodeId(1), NodeId(5), NodeId(3), NodeId(0)]
-                as &[NodeId]
+            &[
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(0),
+                NodeId(1),
+                NodeId(5),
+                NodeId(3),
+                NodeId(0)
+            ] as &[NodeId]
         );
         // Valid closed ear 2 -> 6 -> 7 -> 2: |C'| = |C| + ear edges.
-        let ext2 = extend_cycle_with_ear(&c, &[NodeId(2), NodeId(6), NodeId(7), NodeId(2)]).unwrap();
+        let ext2 =
+            extend_cycle_with_ear(&c, &[NodeId(2), NodeId(6), NodeId(7), NodeId(2)]).unwrap();
         assert_eq!(ext2.root(), NodeId(2));
         assert_eq!(ext2.len(), 4 + 3);
     }

@@ -1,0 +1,57 @@
+//! `fdn-lab` — the experiment-campaign engine of the fully-defective-networks
+//! reproduction.
+//!
+//! The paper's claims (Lemmas 7/9/13/14, Theorems 2/4/10/15) are cost bounds;
+//! measuring them one hand-wired run at a time does not scale to the sweep
+//! sizes where the interesting behaviour lives. This crate makes sweeps
+//! declarative:
+//!
+//! 1. **Specify** a [`Campaign`]: the cartesian matrix of
+//!    [`fdn_graph::GraphFamily`] x [`EngineMode`] x [`EncodingSpec`] x
+//!    [`fdn_protocols::WorkloadSpec`] x [`fdn_netsim::NoiseSpec`] x
+//!    [`fdn_netsim::SchedulerSpec`] x seed range.
+//! 2. **Expand** it into concrete [`Scenario`]s
+//!    ([`Campaign::expand`]); impossible combinations (non-2-edge-connected
+//!    topologies, token rings on non-rings, unary encodings of non-trivial
+//!    payloads) are filtered with recorded reasons.
+//! 3. **Execute** with [`run_campaign`]: every scenario is an independent
+//!    deterministic simulation, swept in parallel with rayon.
+//! 4. **Aggregate** into a [`CampaignReport`]: per-cell min/mean/p50/p95/max
+//!    of pulses, steps, `CCinit`, online pulses and per-message overhead,
+//!    plus success and quiescence rates — rendered as JSON, CSV or markdown.
+//!
+//! Reports contain no wall-clock data and every stage is order-preserving,
+//! so two runs of the same campaign produce **byte-identical** reports
+//! regardless of thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use fdn_lab::{run_campaign, Campaign, SeedRange};
+//! use fdn_graph::GraphFamily;
+//!
+//! let mut campaign = Campaign::new("doc");
+//! campaign.families = vec![GraphFamily::Figure3, GraphFamily::Cycle { n: 4 }];
+//! campaign.seeds = SeedRange { start: 1, count: 2 };
+//! let report = run_campaign(&campaign).unwrap();
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.cells.iter().all(|c| c.success_rate == 1.0));
+//! println!("{}", report.to_markdown());
+//! ```
+//!
+//! The `fdn-lab` binary exposes the same engine on the command line
+//! (`run`, `list-scenarios`, `report`); see the repository README.
+
+pub mod error;
+pub mod json;
+pub mod presets;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use error::LabError;
+pub use json::Json;
+pub use presets::PRESET_NAMES;
+pub use report::{aggregate, percentile, CampaignReport, CellReport, MetricSummary};
+pub use runner::{run_campaign, run_expanded, run_scenario, ScenarioOutcome};
+pub use spec::{Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, SkippedCell};

@@ -1,0 +1,320 @@
+//! The `fdn-lab` command line: run experiment campaigns, list their scenario
+//! matrices, and re-render saved reports.
+//!
+//! ```text
+//! fdn-lab run [matrix flags] [--threads N] [--out DIR]
+//! fdn-lab list-scenarios [matrix flags]
+//! fdn-lab report --input FILE [--format md|csv|json]
+//!
+//! Matrix flags (each overrides one axis of the chosen --preset):
+//!   --preset quick|standard|paper     base campaign   [default: standard]
+//!   --name NAME                       report name     [default: preset name]
+//!   --families CSV    e.g. cycle(8),petersen,random2ec(10,5,s2)
+//!   --modes CSV       full,cycle
+//!   --encodings CSV   binary,unary
+//!   --workloads CSV   flood(4),leader,echo,gossip,token-ring
+//!   --noises CSV      noiseless,full-corruption,constant-one,bitflip(0.1)
+//!   --schedulers CSV  random,fifo,lifo
+//!   --seeds N         seeds per cell
+//!   --seed-start K    first seed      [default: 1]
+//!   --max-steps N     delivery limit per scenario
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use fdn_graph::GraphFamily;
+use fdn_lab::{run_expanded, Campaign, CampaignReport, LabError};
+use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_protocols::WorkloadSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = dispatch(&args) {
+        eprintln!("fdn-lab: {e}");
+        eprintln!("run `fdn-lab help` for usage");
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), LabError> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("list-scenarios") => cmd_list(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(LabError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn usage() -> String {
+    "fdn-lab — experiment campaigns for the fully-defective-networks reproduction\n\
+     \n\
+     Commands:\n\
+    \x20 run             expand the matrix, run every scenario in parallel,\n\
+    \x20                 write JSON + CSV + markdown reports\n\
+    \x20 list-scenarios  print the expanded matrix without running it\n\
+    \x20 report          re-render a saved JSON report (--input FILE)\n\
+     \n\
+     Matrix flags (override one axis of the chosen --preset):\n\
+    \x20 --preset quick|standard|paper   base campaign [default: standard]\n\
+    \x20 --name NAME                     report name\n\
+    \x20 --families CSV                  cycle(8),petersen,random2ec(10,5,s2),...\n\
+    \x20 --modes CSV                     full,cycle\n\
+    \x20 --encodings CSV                 binary,unary\n\
+    \x20 --workloads CSV                 flood(4),leader,echo,gossip,token-ring\n\
+    \x20 --noises CSV                    noiseless,full-corruption,constant-one,bitflip(0.1)\n\
+    \x20 --schedulers CSV                random,fifo,lifo\n\
+    \x20 --seeds N / --seed-start K      seed sweep per cell\n\
+    \x20 --max-steps N                   delivery limit per scenario\n\
+     \n\
+     Execution flags:\n\
+    \x20 --threads N                     worker threads [default: all cores]\n\
+    \x20 --out DIR                       report directory [default: lab-out]\n\
+    \x20 --format md|csv|json            (report command) output format\n"
+        .to_string()
+}
+
+/// One `--flag value` pair iterator with error reporting.
+struct Flags<'a> {
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args, pos: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let flag = self.args.get(self.pos)?;
+        self.pos += 1;
+        Some(flag)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, LabError> {
+        let v = self
+            .args
+            .get(self.pos)
+            .ok_or_else(|| LabError::Usage(format!("flag `{flag}` needs a value")))?;
+        self.pos += 1;
+        Ok(v)
+    }
+}
+
+struct RunOptions {
+    campaign: Campaign,
+    threads: Option<usize>,
+    out_dir: PathBuf,
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
+    // Two passes: --preset decides the base, every other flag overrides.
+    let mut preset = "standard".to_string();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        if flag == "--preset" {
+            preset = flags.value(flag)?.to_string();
+        } else if takes_value(flag) {
+            let _ = flags.value(flag)?;
+        }
+    }
+    let mut campaign = Campaign::preset(&preset)?;
+    let mut threads = None;
+    let mut out_dir = PathBuf::from("lab-out");
+    let parse_err = |flag: &str, e: String| LabError::Usage(format!("{flag}: {e}"));
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--preset" => {
+                let _ = flags.value(flag)?;
+            }
+            "--name" => campaign.name = flags.value(flag)?.to_string(),
+            "--families" => {
+                campaign.families = split_csv(flags.value(flag)?)
+                    .map(|s| GraphFamily::parse(s).map_err(|e| parse_err(flag, e.to_string())))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--modes" => {
+                campaign.modes = split_csv(flags.value(flag)?)
+                    .map(|s| fdn_lab::EngineMode::parse(s).map_err(|e| parse_err(flag, e)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--encodings" => {
+                campaign.encodings = split_csv(flags.value(flag)?)
+                    .map(|s| fdn_lab::EncodingSpec::parse(s).map_err(|e| parse_err(flag, e)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--workloads" => {
+                campaign.workloads = split_csv(flags.value(flag)?)
+                    .map(|s| WorkloadSpec::parse(s).map_err(|e| parse_err(flag, e)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--noises" => {
+                campaign.noises = split_csv(flags.value(flag)?)
+                    .map(|s| NoiseSpec::parse(s).map_err(|e| parse_err(flag, e)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--schedulers" => {
+                campaign.schedulers = split_csv(flags.value(flag)?)
+                    .map(|s| SchedulerSpec::parse(s).map_err(|e| parse_err(flag, e)))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seeds" => {
+                campaign.seeds.count = parse_num(flag, flags.value(flag)?)? as u32;
+            }
+            "--seed-start" => {
+                campaign.seeds.start = parse_num(flag, flags.value(flag)?)?;
+            }
+            "--max-steps" => {
+                campaign.max_steps = parse_num(flag, flags.value(flag)?)?;
+            }
+            "--threads" => {
+                threads = Some(parse_num(flag, flags.value(flag)?)? as usize);
+            }
+            "--out" => out_dir = PathBuf::from(flags.value(flag)?),
+            other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(RunOptions {
+        campaign,
+        threads,
+        out_dir,
+    })
+}
+
+fn takes_value(flag: &str) -> bool {
+    flag.starts_with("--")
+}
+
+/// Splits a comma-separated list, ignoring commas inside parentheses (so
+/// `cycle(5),torus(3,3)` yields two items).
+fn split_csv(s: &str) -> impl Iterator<Item = &str> {
+    let mut items = Vec::new();
+    let (mut depth, mut start) = (0usize, 0usize);
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                items.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&s[start..]);
+    items.into_iter().map(str::trim).filter(|p| !p.is_empty())
+}
+
+fn parse_num(flag: &str, v: &str) -> Result<u64, LabError> {
+    v.parse::<u64>().map_err(|_| {
+        LabError::Usage(format!(
+            "flag `{flag}` needs an unsigned integer, got `{v}`"
+        ))
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), LabError> {
+    let opts = parse_run_options(args)?;
+    if let Some(n) = opts.threads {
+        // First configuration wins; a second `run` in-process keeps the pool.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global();
+    }
+    let (scenarios, skipped) = opts.campaign.expand_with_skips();
+    eprintln!(
+        "campaign `{}`: {} scenarios across {} worker threads ({} combinations skipped)",
+        opts.campaign.name,
+        scenarios.len(),
+        rayon::current_num_threads().min(scenarios.len().max(1)),
+        skipped.len()
+    );
+    let started = Instant::now();
+    let report = run_expanded(&opts.campaign, scenarios, skipped)?;
+    let elapsed = started.elapsed();
+    eprintln!(
+        "{} scenarios finished in {elapsed:.2?} ({:.1} scenarios/s)",
+        report.scenario_count,
+        report.scenario_count as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let base = opts.out_dir.join(&report.name);
+    write_report(&base, "json", &report.to_json_string())?;
+    write_report(&base, "csv", &report.to_csv())?;
+    write_report(&base, "md", &report.to_markdown())?;
+    let failed: Vec<&fdn_lab::CellReport> = report
+        .cells
+        .iter()
+        .filter(|c| c.success_rate < 1.0)
+        .collect();
+    println!(
+        "campaign `{}`: {} cells, {} scenarios, {} cell(s) below 100% success",
+        report.name,
+        report.cells.len(),
+        report.scenario_count,
+        failed.len()
+    );
+    for cell in failed {
+        println!(
+            "  {}/{}/{}/{}/{}/{}: success {:.0}%, {} error(s)",
+            cell.family,
+            cell.mode,
+            cell.encoding,
+            cell.workload,
+            cell.noise,
+            cell.scheduler,
+            cell.success_rate * 100.0,
+            cell.errors
+        );
+    }
+    Ok(())
+}
+
+fn write_report(base: &Path, ext: &str, contents: &str) -> Result<(), LabError> {
+    let path = base.with_extension(ext);
+    std::fs::write(&path, contents)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), LabError> {
+    let opts = parse_run_options(args)?;
+    let (scenarios, skipped) = opts.campaign.expand_with_skips();
+    for s in &scenarios {
+        println!("{:>6}  {}", s.index, s.id());
+    }
+    eprintln!("{} scenarios", scenarios.len());
+    for s in &skipped {
+        eprintln!("skipped {} — {}", s.cell, s.reason);
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), LabError> {
+    let mut input: Option<PathBuf> = None;
+    let mut format = "md".to_string();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--input" => input = Some(PathBuf::from(flags.value(flag)?)),
+            "--format" => format = flags.value(flag)?.to_string(),
+            other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    let input = input.ok_or_else(|| LabError::Usage("report requires --input FILE".into()))?;
+    let text = std::fs::read_to_string(&input)?;
+    let report = CampaignReport::from_json_str(&text).map_err(LabError::Parse)?;
+    match format.as_str() {
+        "md" => print!("{}", report.to_markdown()),
+        "csv" => print!("{}", report.to_csv()),
+        "json" => print!("{}", report.to_json_string()),
+        other => return Err(LabError::Usage(format!("unknown format `{other}`"))),
+    }
+    Ok(())
+}

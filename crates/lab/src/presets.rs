@@ -1,0 +1,155 @@
+//! Ready-made campaigns.
+//!
+//! * `quick` — a smoke-test sweep (a minute of laptop time is overkill).
+//! * `standard` — the default: 10 graph families under both engine modes,
+//!   two noise models and all three schedulers; several hundred scenarios.
+//! * `paper` — the broadest built-in matrix: adds the heavier workloads
+//!   (echo, gossip, token ring), the §6 constant-one adversary and more
+//!   seeds.
+
+use fdn_graph::GraphFamily;
+use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_protocols::WorkloadSpec;
+
+use crate::error::LabError;
+use crate::spec::{Campaign, EncodingSpec, EngineMode, SeedRange};
+
+/// The built-in preset names, in documentation order.
+pub const PRESET_NAMES: [&str; 3] = ["quick", "standard", "paper"];
+
+impl Campaign {
+    /// Builds a named preset campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabError::Usage`] for unknown names (see [`PRESET_NAMES`]).
+    pub fn preset(name: &str) -> Result<Campaign, LabError> {
+        match name {
+            "quick" => Ok(Campaign {
+                families: vec![
+                    GraphFamily::Cycle { n: 4 },
+                    GraphFamily::Figure1,
+                    GraphFamily::Figure3,
+                ],
+                modes: vec![EngineMode::Full],
+                encodings: vec![EncodingSpec::Binary],
+                workloads: vec![
+                    WorkloadSpec::Flood { payload_bytes: 2 },
+                    WorkloadSpec::Leader,
+                ],
+                noises: vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption],
+                schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Fifo],
+                seeds: SeedRange { start: 1, count: 2 },
+                ..Campaign::new("quick")
+            }),
+            "standard" => Ok(Campaign {
+                families: vec![
+                    GraphFamily::Cycle { n: 6 },
+                    GraphFamily::Cycle { n: 8 },
+                    GraphFamily::Figure1,
+                    GraphFamily::Figure3,
+                    GraphFamily::Theta { a: 1, b: 2, c: 3 },
+                    GraphFamily::Wheel { n: 6 },
+                    GraphFamily::Petersen,
+                    GraphFamily::CircularLadder { n: 4 },
+                    GraphFamily::RandomTwoEdgeConnected {
+                        n: 8,
+                        extra_edges: 4,
+                        seed: 1,
+                    },
+                    GraphFamily::RandomTwoEdgeConnected {
+                        n: 10,
+                        extra_edges: 5,
+                        seed: 2,
+                    },
+                ],
+                modes: vec![EngineMode::Full, EngineMode::CycleOnly],
+                encodings: vec![EncodingSpec::Binary],
+                workloads: vec![
+                    WorkloadSpec::Flood { payload_bytes: 4 },
+                    WorkloadSpec::Leader,
+                ],
+                noises: vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption],
+                schedulers: vec![
+                    SchedulerSpec::Random,
+                    SchedulerSpec::Fifo,
+                    SchedulerSpec::Lifo,
+                ],
+                seeds: SeedRange { start: 1, count: 2 },
+                ..Campaign::new("standard")
+            }),
+            "paper" => Ok(Campaign {
+                families: vec![
+                    GraphFamily::Cycle { n: 6 },
+                    GraphFamily::Cycle { n: 10 },
+                    GraphFamily::Figure1,
+                    GraphFamily::Figure3,
+                    GraphFamily::Theta { a: 1, b: 2, c: 3 },
+                    GraphFamily::Wheel { n: 6 },
+                    GraphFamily::CompleteBipartite { a: 2, b: 3 },
+                    GraphFamily::Petersen,
+                    GraphFamily::GridTorus { w: 3, h: 3 },
+                    GraphFamily::Hypercube { d: 3 },
+                    GraphFamily::CircularLadder { n: 4 },
+                    GraphFamily::RandomTwoEdgeConnected {
+                        n: 8,
+                        extra_edges: 4,
+                        seed: 1,
+                    },
+                    GraphFamily::RandomEar {
+                        base: 4,
+                        ears: 3,
+                        max_ear_len: 2,
+                        seed: 1,
+                    },
+                ],
+                modes: vec![EngineMode::Full, EngineMode::CycleOnly],
+                encodings: vec![EncodingSpec::Binary],
+                workloads: vec![
+                    WorkloadSpec::Flood { payload_bytes: 4 },
+                    WorkloadSpec::Leader,
+                    WorkloadSpec::Echo,
+                    WorkloadSpec::TokenRing,
+                ],
+                noises: vec![
+                    NoiseSpec::Noiseless,
+                    NoiseSpec::FullCorruption,
+                    NoiseSpec::ConstantOne,
+                ],
+                schedulers: vec![
+                    SchedulerSpec::Random,
+                    SchedulerSpec::Fifo,
+                    SchedulerSpec::Lifo,
+                ],
+                seeds: SeedRange { start: 1, count: 3 },
+                ..Campaign::new("paper")
+            }),
+            other => Err(LabError::Usage(format!(
+                "unknown preset `{other}` (expected one of {})",
+                PRESET_NAMES.join("|")
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_and_standard_is_large() {
+        for name in PRESET_NAMES {
+            let c = Campaign::preset(name).unwrap();
+            assert_eq!(c.name, name);
+            assert!(c.scenario_count() > 0, "{name} expands to nothing");
+        }
+        // The acceptance bar: the default campaign runs >= 100 scenarios.
+        assert!(Campaign::preset("standard").unwrap().scenario_count() >= 100);
+        assert!(Campaign::preset("quick").unwrap().scenario_count() >= 20);
+    }
+
+    #[test]
+    fn unknown_preset_is_a_usage_error() {
+        assert!(matches!(Campaign::preset("warp"), Err(LabError::Usage(_))));
+    }
+}

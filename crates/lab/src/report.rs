@@ -1,0 +1,573 @@
+//! Aggregation of scenario outcomes into a campaign report, with JSON, CSV
+//! and markdown renderers.
+//!
+//! Outcomes are grouped by [`Cell`] (every axis but the seed) in expansion
+//! order and summarized per metric as min / mean / p50 / p95 / max across
+//! seeds, plus success and quiescence rates. Reports contain no wall-clock
+//! data and all grouping is order-preserving, so a report — and each of its
+//! three renderings — is a byte-deterministic function of the campaign.
+
+use std::fmt::Write as _;
+
+use fdn_graph::robbins;
+use fdn_protocols::WorkloadSpec;
+
+use crate::json::Json;
+use crate::runner::ScenarioOutcome;
+use crate::spec::{Campaign, SkippedCell};
+
+/// Quotes a CSV field when it contains a separator, quote or newline
+/// (RFC 4180): label fields like `theta(1,2,3)` must not split columns.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 100]`).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Five-number summary of one metric across the seeds of a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarizes `values`; `None` if there are none.
+    pub fn from_values(values: &[f64]) -> Option<MetricSummary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(MetricSummary {
+            min: sorted[0],
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("min", Json::Num(self.min)),
+            ("mean", Json::Num(self.mean)),
+            ("p50", Json::Num(self.p50)),
+            ("p95", Json::Num(self.p95)),
+            ("max", Json::Num(self.max)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<MetricSummary, String> {
+        let field = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metric field `{k}` missing"))
+        };
+        Ok(MetricSummary {
+            min: field("min")?,
+            mean: field("mean")?,
+            p50: field("p50")?,
+            p95: field("p95")?,
+            max: field("max")?,
+        })
+    }
+}
+
+/// Aggregated measurements of one cell (family x mode x encoding x workload
+/// x noise x scheduler) across its seed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Graph family label.
+    pub family: String,
+    /// Engine mode label.
+    pub mode: String,
+    /// Encoding label.
+    pub encoding: String,
+    /// Workload label.
+    pub workload: String,
+    /// Noise label.
+    pub noise: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Nodes in the graph.
+    pub nodes: usize,
+    /// Edges in the graph.
+    pub edges: usize,
+    /// Length of the centralized reference Robbins cycle (0 if unavailable).
+    pub reference_cycle_len: usize,
+    /// Scenarios aggregated (one per seed).
+    pub runs: usize,
+    /// Runs that ended in an error (step limit, engine error).
+    pub errors: usize,
+    /// Fraction of runs whose workload predicate held.
+    pub success_rate: f64,
+    /// Fraction of runs that reached quiescence.
+    pub quiescence_rate: f64,
+    /// Total pulses sent.
+    pub pulses: MetricSummary,
+    /// Total payload bits sent.
+    pub bits: MetricSummary,
+    /// Deliveries performed.
+    pub steps: MetricSummary,
+    /// Construction-phase pulses (`CCinit`).
+    pub cc_init: MetricSummary,
+    /// Online-phase pulses.
+    pub online_pulses: MetricSummary,
+    /// Pulses sent by the busiest node.
+    pub max_node_pulses: MetricSummary,
+    /// Pulses sent over the busiest edge.
+    pub max_edge_pulses: MetricSummary,
+    /// Length of the cycle actually used.
+    pub cycle_len: MetricSummary,
+    /// Messages of the noiseless direct baseline (0 when the workload cannot
+    /// run directly).
+    pub baseline_messages: MetricSummary,
+    /// Online pulses per baseline message (`CCoverhead`), when a noiseless
+    /// baseline exists for the workload.
+    pub overhead: Option<MetricSummary>,
+}
+
+/// The aggregated result of one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Scenarios executed.
+    pub scenario_count: usize,
+    /// Seeds per cell.
+    pub seeds_per_cell: u32,
+    /// Matrix combinations excluded at expansion time.
+    pub skipped: Vec<SkippedCell>,
+    /// Per-cell aggregates, in expansion order.
+    pub cells: Vec<CellReport>,
+}
+
+/// Groups outcomes by cell (in encounter order) and summarizes each group.
+pub fn aggregate(
+    campaign: &Campaign,
+    outcomes: &[ScenarioOutcome],
+    skipped: &[SkippedCell],
+) -> CampaignReport {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: Vec<Vec<&ScenarioOutcome>> = Vec::new();
+    for outcome in outcomes {
+        let id = outcome.scenario.cell.id();
+        match order.iter().position(|o| *o == id) {
+            Some(i) => groups[i].push(outcome),
+            None => {
+                order.push(id);
+                groups.push(vec![outcome]);
+            }
+        }
+    }
+    let cells = groups.iter().map(|group| summarize_cell(group)).collect();
+    CampaignReport {
+        name: campaign.name.clone(),
+        scenario_count: outcomes.len(),
+        seeds_per_cell: campaign.seeds.count,
+        skipped: skipped.to_vec(),
+        cells,
+    }
+}
+
+fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
+    let cell = group[0].scenario.cell;
+    let runs = group.len();
+    let metric = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
+        let values: Vec<f64> = group.iter().map(|o| f(o)).collect();
+        MetricSummary::from_values(&values).expect("group is non-empty")
+    };
+    let overhead_values: Vec<f64> = group.iter().filter_map(|o| o.overhead_ratio()).collect();
+    let reference_cycle_len = cell
+        .family
+        .build()
+        .ok()
+        .and_then(|g| robbins::reference_robbins_cycle(&g, WorkloadSpec::ROOT).ok())
+        .map(|c| c.len())
+        .unwrap_or(0);
+    CellReport {
+        family: cell.family.label(),
+        mode: cell.mode.label(),
+        encoding: cell.encoding.label(),
+        workload: cell.workload.label(),
+        noise: cell.noise.label(),
+        scheduler: cell.scheduler.label(),
+        nodes: group[0].nodes,
+        edges: group[0].edges,
+        reference_cycle_len,
+        runs,
+        errors: group.iter().filter(|o| o.error.is_some()).count(),
+        success_rate: group.iter().filter(|o| o.success).count() as f64 / runs as f64,
+        quiescence_rate: group.iter().filter(|o| o.quiescent).count() as f64 / runs as f64,
+        pulses: metric(&|o| o.stats.sent_total as f64),
+        bits: metric(&|o| o.stats.bits_sent as f64),
+        steps: metric(&|o| o.steps as f64),
+        cc_init: metric(&|o| o.cc_init as f64),
+        online_pulses: metric(&|o| o.online_pulses as f64),
+        max_node_pulses: metric(&|o| o.stats.max_sent_by_node() as f64),
+        max_edge_pulses: metric(&|o| o.stats.max_sent_on_edge() as f64),
+        cycle_len: metric(&|o| o.cycle_len as f64),
+        baseline_messages: metric(&|o| o.baseline_messages as f64),
+        overhead: MetricSummary::from_values(&overhead_values),
+    }
+}
+
+impl CellReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("family", Json::Str(self.family.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            ("encoding", Json::Str(self.encoding.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("noise", Json::Str(self.noise.clone())),
+            ("scheduler", Json::Str(self.scheduler.clone())),
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("edges", Json::Num(self.edges as f64)),
+            (
+                "reference_cycle_len",
+                Json::Num(self.reference_cycle_len as f64),
+            ),
+            ("runs", Json::Num(self.runs as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("success_rate", Json::Num(self.success_rate)),
+            ("quiescence_rate", Json::Num(self.quiescence_rate)),
+            ("pulses", self.pulses.to_json()),
+            ("bits", self.bits.to_json()),
+            ("steps", self.steps.to_json()),
+            ("cc_init", self.cc_init.to_json()),
+            ("online_pulses", self.online_pulses.to_json()),
+            ("max_node_pulses", self.max_node_pulses.to_json()),
+            ("max_edge_pulses", self.max_edge_pulses.to_json()),
+            ("cycle_len", self.cycle_len.to_json()),
+            ("baseline_messages", self.baseline_messages.to_json()),
+            (
+                "overhead",
+                self.overhead.map_or(Json::Null, MetricSummary::to_json),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<CellReport, String> {
+        let s = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell field `{k}` missing"))
+        };
+        let n = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("cell field `{k}` missing"))
+        };
+        let f = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cell field `{k}` missing"))
+        };
+        let m = |k: &str| {
+            MetricSummary::from_json(
+                j.get(k)
+                    .ok_or_else(|| format!("cell field `{k}` missing"))?,
+            )
+        };
+        Ok(CellReport {
+            family: s("family")?,
+            mode: s("mode")?,
+            encoding: s("encoding")?,
+            workload: s("workload")?,
+            noise: s("noise")?,
+            scheduler: s("scheduler")?,
+            nodes: n("nodes")?,
+            edges: n("edges")?,
+            reference_cycle_len: n("reference_cycle_len")?,
+            runs: n("runs")?,
+            errors: n("errors")?,
+            success_rate: f("success_rate")?,
+            quiescence_rate: f("quiescence_rate")?,
+            pulses: m("pulses")?,
+            bits: m("bits")?,
+            steps: m("steps")?,
+            cc_init: m("cc_init")?,
+            online_pulses: m("online_pulses")?,
+            max_node_pulses: m("max_node_pulses")?,
+            max_edge_pulses: m("max_edge_pulses")?,
+            cycle_len: m("cycle_len")?,
+            baseline_messages: m("baseline_messages")?,
+            overhead: match j.get("overhead") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(MetricSummary::from_json(v)?),
+            },
+        })
+    }
+}
+
+impl CampaignReport {
+    /// Renders the report as a JSON document.
+    pub fn to_json_string(&self) -> String {
+        Json::obj(vec![
+            ("campaign", Json::Str(self.name.clone())),
+            ("scenarios", Json::Num(self.scenario_count as f64)),
+            ("seeds_per_cell", Json::Num(f64::from(self.seeds_per_cell))),
+            (
+                "skipped",
+                Json::Arr(
+                    self.skipped
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("cell", Json::Str(s.cell.clone())),
+                                ("reason", Json::Str(s.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a report previously rendered by
+    /// [`CampaignReport::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json_str(text: &str) -> Result<CampaignReport, String> {
+        let j = Json::parse(text)?;
+        let name = j
+            .get("campaign")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "field `campaign` missing".to_string())?
+            .to_string();
+        let scenario_count = j.get("scenarios").and_then(Json::as_u64).unwrap_or(0) as usize;
+        let seeds_per_cell = j.get("seeds_per_cell").and_then(Json::as_u64).unwrap_or(0) as u32;
+        let skipped = j
+            .get("skipped")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| {
+                Ok(SkippedCell {
+                    cell: s
+                        .get("cell")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "skipped entry without `cell`".to_string())?
+                        .to_string(),
+                    reason: s
+                        .get("reason")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| "skipped entry without `reason`".to_string())?
+                        .to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let cells = j
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "field `cells` missing".to_string())?
+            .iter()
+            .map(CellReport::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(CampaignReport {
+            name,
+            scenario_count,
+            seeds_per_cell,
+            skipped,
+            cells,
+        })
+    }
+
+    /// Renders the report as CSV (one row per cell).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "family,mode,encoding,workload,noise,scheduler,nodes,edges,reference_cycle_len,\
+             runs,errors,success_rate,quiescence_rate",
+        );
+        for metric in [
+            "pulses",
+            "bits",
+            "steps",
+            "cc_init",
+            "online_pulses",
+            "max_node_pulses",
+            "max_edge_pulses",
+            "cycle_len",
+            "baseline_messages",
+            "overhead",
+        ] {
+            for stat in ["min", "mean", "p50", "p95", "max"] {
+                let _ = write!(out, ",{metric}_{stat}");
+            }
+        }
+        out.push('\n');
+        for c in &self.cells {
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                csv_field(&c.family),
+                csv_field(&c.mode),
+                csv_field(&c.encoding),
+                csv_field(&c.workload),
+                csv_field(&c.noise),
+                csv_field(&c.scheduler),
+                c.nodes,
+                c.edges,
+                c.reference_cycle_len,
+                c.runs,
+                c.errors,
+                c.success_rate,
+                c.quiescence_rate
+            );
+            for m in [
+                Some(c.pulses),
+                Some(c.bits),
+                Some(c.steps),
+                Some(c.cc_init),
+                Some(c.online_pulses),
+                Some(c.max_node_pulses),
+                Some(c.max_edge_pulses),
+                Some(c.cycle_len),
+                Some(c.baseline_messages),
+                c.overhead,
+            ] {
+                match m {
+                    Some(m) => {
+                        let _ = write!(out, ",{},{},{},{},{}", m.min, m.mean, m.p50, m.p95, m.max);
+                    }
+                    None => out.push_str(",,,,,"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as a markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# Campaign `{}`", self.name);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} scenarios across {} cells ({} seeds per cell).",
+            self.scenario_count,
+            self.cells.len(),
+            self.seeds_per_cell
+        );
+        let _ = writeln!(out);
+        out.push_str(
+            "| family | mode | enc | workload | noise | sched | n | m | \\|C\\| p50 | \
+             success | quiesc | pulses p50 | pulses p95 | CCinit p50 | overhead p50 |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.0}% | {:.0}% | {:.0} | {:.0} | {:.0} | {} |",
+                c.family,
+                c.mode,
+                c.encoding,
+                c.workload,
+                c.noise,
+                c.scheduler,
+                c.nodes,
+                c.edges,
+                c.cycle_len.p50,
+                c.success_rate * 100.0,
+                c.quiescence_rate * 100.0,
+                c.pulses.p50,
+                c.pulses.p95,
+                c.cc_init.p50,
+                c.overhead.map_or("—".to_string(), |o| format!("{:.1}", o.p50)),
+            );
+        }
+        if !self.skipped.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## Skipped combinations");
+            let _ = writeln!(out);
+            for s in &self.skipped {
+                let _ = writeln!(out, "* `{}` — {}", s.cell, s.reason);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 95.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        // Out-of-range quantiles clamp.
+        assert_eq!(percentile(&v, 200.0), 10.0);
+        // 25th percentile of 4 values is the first (nearest rank).
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 25.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn metric_summary_basics() {
+        let m = MetricSummary::from_values(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 4.0);
+        assert_eq!(m.mean, 2.5);
+        assert_eq!(m.p50, 2.0);
+        assert_eq!(m.p95, 4.0);
+        assert!(MetricSummary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn csv_fields_with_commas_are_quoted() {
+        assert_eq!(csv_field("leader"), "leader");
+        assert_eq!(csv_field("theta(1,2,3)"), "\"theta(1,2,3)\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    fn metric_summary_json_roundtrip() {
+        let m = MetricSummary::from_values(&[1.5, 2.5, 9.0]).unwrap();
+        let j = m.to_json();
+        assert_eq!(MetricSummary::from_json(&j).unwrap(), m);
+    }
+}

@@ -1,0 +1,420 @@
+//! Campaign specifications: the declarative scenario matrix.
+//!
+//! A [`Campaign`] is the cartesian product of sweep axes — graph family,
+//! engine mode, pulse encoding, workload, noise model, scheduler and seed —
+//! plus execution limits. [`Campaign::expand`] turns it into the concrete,
+//! deterministic [`Scenario`] list the executor runs; combinations that are
+//! structurally impossible (a Theorem 2 run on a bridge graph, a token ring on
+//! a non-ring, unary encoding beyond 0-byte payloads) are filtered out with a
+//! recorded reason rather than failing at run time.
+
+use std::fmt;
+
+use fdn_core::Encoding;
+use fdn_graph::{connectivity, GraphFamily};
+use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_protocols::WorkloadSpec;
+
+/// Which simulation engine carries the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// The full Theorem 2 pipeline: content-oblivious Robbins-cycle
+    /// construction followed by the online phase.
+    Full,
+    /// The Theorem 10 engine over the centralized reference Robbins cycle
+    /// (no construction phase; isolates online overhead).
+    CycleOnly,
+}
+
+impl EngineMode {
+    /// Both engine modes.
+    pub const ALL: [EngineMode; 2] = [EngineMode::Full, EngineMode::CycleOnly];
+
+    /// The stable textual form; [`EngineMode::parse`] is the inverse.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a label produced by [`EngineMode::label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on unknown names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "full" => Ok(EngineMode::Full),
+            "cycle" => Ok(EngineMode::CycleOnly),
+            other => Err(format!(
+                "unknown engine mode `{other}` (expected full|cycle)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineMode::Full => f.write_str("full"),
+            EngineMode::CycleOnly => f.write_str("cycle"),
+        }
+    }
+}
+
+/// A pulse encoding, as data (the value-level face of [`Encoding`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingSpec {
+    /// Binary pulse encoding (Algorithm 2), the practical default.
+    Binary,
+    /// Unary pulse encoding (Algorithm 1(b)); exponential in message length,
+    /// only paired with 0-byte payload floods by [`Campaign::expand`].
+    Unary,
+}
+
+impl EncodingSpec {
+    /// Both encodings.
+    pub const ALL: [EncodingSpec; 2] = [EncodingSpec::Binary, EncodingSpec::Unary];
+
+    /// The concrete engine encoding.
+    pub fn build(&self) -> Encoding {
+        match self {
+            EncodingSpec::Binary => Encoding::binary(),
+            EncodingSpec::Unary => Encoding::unary(),
+        }
+    }
+
+    /// The stable textual form; [`EncodingSpec::parse`] is the inverse.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a label produced by [`EncodingSpec::label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on unknown names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "binary" => Ok(EncodingSpec::Binary),
+            "unary" => Ok(EncodingSpec::Unary),
+            other => Err(format!(
+                "unknown encoding `{other}` (expected binary|unary)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EncodingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingSpec::Binary => f.write_str("binary"),
+            EncodingSpec::Unary => f.write_str("unary"),
+        }
+    }
+}
+
+/// A contiguous range of base seeds, one scenario per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRange {
+    /// First seed.
+    pub start: u64,
+    /// Number of seeds.
+    pub count: u32,
+}
+
+impl SeedRange {
+    /// The seeds in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..u64::from(self.count)).map(move |i| self.start + i)
+    }
+}
+
+/// The cell a scenario belongs to: every sweep axis except the seed.
+///
+/// Aggregation groups scenarios by cell; two scenarios in the same cell
+/// differ only in their seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Graph family.
+    pub family: GraphFamily,
+    /// Engine mode.
+    pub mode: EngineMode,
+    /// Pulse encoding.
+    pub encoding: EncodingSpec,
+    /// Workload protocol.
+    pub workload: WorkloadSpec,
+    /// Channel noise.
+    pub noise: NoiseSpec,
+    /// Delivery scheduler.
+    pub scheduler: SchedulerSpec,
+}
+
+impl Cell {
+    /// A compact single-line identifier, used in logs and scenario listings.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{}",
+            self.family, self.mode, self.encoding, self.workload, self.noise, self.scheduler
+        )
+    }
+}
+
+/// One concrete, independently-executable experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Position in the campaign's deterministic expansion order.
+    pub index: usize,
+    /// The cell this scenario belongs to.
+    pub cell: Cell,
+    /// Base seed; noise and scheduler streams are derived from it.
+    pub seed: u64,
+    /// Delivery limit before the run is abandoned as non-quiescent.
+    pub max_steps: u64,
+}
+
+impl Scenario {
+    /// A compact single-line identifier.
+    pub fn id(&self) -> String {
+        format!("{}/s{}", self.cell.id(), self.seed)
+    }
+}
+
+/// A matrix combination excluded at expansion time, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCell {
+    /// The would-be cell id.
+    pub cell: String,
+    /// Why it cannot run.
+    pub reason: String,
+}
+
+/// The declarative experiment matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Report name.
+    pub name: String,
+    /// Graph families to sweep.
+    pub families: Vec<GraphFamily>,
+    /// Engine modes to sweep.
+    pub modes: Vec<EngineMode>,
+    /// Encodings to sweep.
+    pub encodings: Vec<EncodingSpec>,
+    /// Workloads to sweep.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Noise models to sweep.
+    pub noises: Vec<NoiseSpec>,
+    /// Schedulers to sweep.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Seeds per cell.
+    pub seeds: SeedRange,
+    /// Per-scenario delivery limit.
+    pub max_steps: u64,
+}
+
+impl Campaign {
+    /// A campaign with single-element default axes (binary encoding, full
+    /// engine, full corruption, random scheduler, flood workload, 4 seeds).
+    /// Presets and builders replace whichever axes they sweep.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            families: vec![GraphFamily::Figure3],
+            modes: vec![EngineMode::Full],
+            encodings: vec![EncodingSpec::Binary],
+            workloads: vec![WorkloadSpec::Flood { payload_bytes: 4 }],
+            noises: vec![NoiseSpec::FullCorruption],
+            schedulers: vec![SchedulerSpec::Random],
+            seeds: SeedRange { start: 1, count: 4 },
+            max_steps: 5_000_000,
+        }
+    }
+
+    /// The number of scenarios [`Campaign::expand`] will produce.
+    pub fn scenario_count(&self) -> usize {
+        self.expand().len()
+    }
+
+    /// Expands the matrix into runnable scenarios (see
+    /// [`Campaign::expand_with_skips`]).
+    pub fn expand(&self) -> Vec<Scenario> {
+        self.expand_with_skips().0
+    }
+
+    /// Expands the matrix into concrete scenarios, in deterministic order
+    /// (families outermost, seeds innermost), filtering combinations that
+    /// cannot run:
+    ///
+    /// * the family's parameters fail generator validation,
+    /// * the graph is not 2-edge-connected (Theorem 3: no content-oblivious
+    ///   simulation exists),
+    /// * the workload does not support the topology,
+    /// * the encoding is unary with anything but a 0-byte flood (Lemma 7:
+    ///   exponential cost makes those runs infeasible).
+    pub fn expand_with_skips(&self) -> (Vec<Scenario>, Vec<SkippedCell>) {
+        let mut scenarios = Vec::new();
+        let mut skipped = Vec::new();
+        let mut skip_dedup: Vec<String> = Vec::new();
+        for &family in &self.families {
+            // Build once per family: expansion must stay cheap, and the
+            // verdict is identical for every inner combination.
+            let graph = match family.build() {
+                Ok(g) => g,
+                Err(e) => {
+                    skipped.push(SkippedCell {
+                        cell: family.label(),
+                        reason: format!("family does not build: {e}"),
+                    });
+                    continue;
+                }
+            };
+            let two_ec = connectivity::is_two_edge_connected(&graph);
+            for &mode in &self.modes {
+                for &encoding in &self.encodings {
+                    for &workload in &self.workloads {
+                        for &noise in &self.noises {
+                            for &scheduler in &self.schedulers {
+                                let cell = Cell {
+                                    family,
+                                    mode,
+                                    encoding,
+                                    workload,
+                                    noise,
+                                    scheduler,
+                                };
+                                let reason = if !two_ec {
+                                    Some("graph is not 2-edge-connected (Theorem 3)".to_string())
+                                } else if !workload.supports(&graph) {
+                                    Some(format!("workload {workload} unsupported on {family}"))
+                                } else if encoding == EncodingSpec::Unary
+                                    && workload != (WorkloadSpec::Flood { payload_bytes: 0 })
+                                {
+                                    Some(
+                                        "unary encoding is exponential; only flood(0) is swept"
+                                            .to_string(),
+                                    )
+                                } else {
+                                    None
+                                };
+                                if let Some(reason) = reason {
+                                    let id = cell.id();
+                                    if !skip_dedup.contains(&id) {
+                                        skip_dedup.push(id.clone());
+                                        skipped.push(SkippedCell { cell: id, reason });
+                                    }
+                                    continue;
+                                }
+                                for seed in self.seeds.iter() {
+                                    scenarios.push(Scenario {
+                                        index: scenarios.len(),
+                                        cell,
+                                        seed,
+                                        max_steps: self.max_steps,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (scenarios, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Campaign {
+        Campaign {
+            families: vec![
+                GraphFamily::Cycle { n: 4 },
+                GraphFamily::Figure3,
+                GraphFamily::Path { n: 4 }, // not 2EC: always skipped
+            ],
+            modes: vec![EngineMode::Full],
+            encodings: vec![EncodingSpec::Binary],
+            workloads: vec![
+                WorkloadSpec::Flood { payload_bytes: 2 },
+                WorkloadSpec::TokenRing,
+            ],
+            noises: vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption],
+            schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Fifo],
+            seeds: SeedRange {
+                start: 10,
+                count: 3,
+            },
+            ..Campaign::new("matrix")
+        }
+    }
+
+    #[test]
+    fn expansion_counts_and_order_are_deterministic() {
+        let c = matrix();
+        let (scenarios, skipped) = c.expand_with_skips();
+        // cycle(4): flood + token-ring both run -> 2 workloads * 2 noises * 2
+        // scheds * 3 seeds = 24. figure3: token-ring unsupported -> 12.
+        // path(4): everything skipped.
+        assert_eq!(scenarios.len(), 36);
+        assert_eq!(c.scenario_count(), 36);
+        // Indices are the positions, seeds innermost.
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+        assert_eq!(scenarios[0].seed, 10);
+        assert_eq!(scenarios[1].seed, 11);
+        assert_eq!(scenarios[2].seed, 12);
+        assert_eq!(scenarios[0].cell, scenarios[1].cell);
+        // Second expansion is identical.
+        assert_eq!(c.expand(), scenarios);
+        // Skips: figure3 token-ring cells (4 noise x sched combos) and the
+        // path family cells, deduplicated by cell id.
+        assert!(skipped
+            .iter()
+            .any(|s| s.cell.starts_with("figure3") && s.cell.contains("token")));
+        assert!(skipped.iter().any(|s| s.cell.starts_with("path(4)")));
+    }
+
+    #[test]
+    fn unary_only_pairs_with_zero_payload_flood() {
+        let mut c = matrix();
+        c.families = vec![GraphFamily::Cycle { n: 4 }];
+        c.encodings = vec![EncodingSpec::Unary];
+        c.workloads = vec![
+            WorkloadSpec::Flood { payload_bytes: 0 },
+            WorkloadSpec::Flood { payload_bytes: 2 },
+        ];
+        let (scenarios, skipped) = c.expand_with_skips();
+        assert!(scenarios
+            .iter()
+            .all(|s| matches!(s.cell.workload, WorkloadSpec::Flood { payload_bytes: 0 })));
+        assert!(skipped.iter().any(|s| s.reason.contains("unary")));
+    }
+
+    #[test]
+    fn invalid_family_parameters_are_skipped_not_fatal() {
+        let mut c = matrix();
+        c.families = vec![GraphFamily::Cycle { n: 2 }];
+        let (scenarios, skipped) = c.expand_with_skips();
+        assert!(scenarios.is_empty());
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].reason.contains("does not build"));
+    }
+
+    #[test]
+    fn seed_range_iterates_in_order() {
+        let r = SeedRange { start: 5, count: 3 };
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for mode in EngineMode::ALL {
+            assert_eq!(EngineMode::parse(&mode.label()).unwrap(), mode);
+        }
+        for enc in EncodingSpec::ALL {
+            assert_eq!(EncodingSpec::parse(&enc.label()).unwrap(), enc);
+        }
+        assert!(EngineMode::parse("warp").is_err());
+        assert!(EncodingSpec::parse("trinary").is_err());
+    }
+}

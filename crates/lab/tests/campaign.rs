@@ -1,0 +1,105 @@
+//! Integration tests of the campaign engine: determinism under parallelism,
+//! correctness of aggregation, and JSON round-tripping.
+
+use fdn_graph::GraphFamily;
+use fdn_lab::{run_campaign, Campaign, CampaignReport, EngineMode, SeedRange};
+use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_protocols::WorkloadSpec;
+
+/// 4 families (one of which is filtered out) x 2 noises x 2 schedulers x 4
+/// seeds, both engine modes: the determinism matrix from the issue spec.
+fn test_campaign() -> Campaign {
+    let mut c = Campaign::new("integration");
+    c.families = vec![
+        GraphFamily::Cycle { n: 5 },
+        GraphFamily::Figure1,
+        GraphFamily::Figure3,
+        GraphFamily::Barbell { k: 3 }, // not 2EC: must be skipped, not run
+    ];
+    c.modes = vec![EngineMode::Full, EngineMode::CycleOnly];
+    c.workloads = vec![WorkloadSpec::Flood { payload_bytes: 3 }];
+    c.noises = vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption];
+    c.schedulers = vec![SchedulerSpec::Random, SchedulerSpec::Lifo];
+    c.seeds = SeedRange { start: 7, count: 4 };
+    c
+}
+
+#[test]
+fn parallel_campaign_reports_are_byte_identical() {
+    let campaign = test_campaign();
+    let first = run_campaign(&campaign).unwrap();
+    let second = run_campaign(&campaign).unwrap();
+    assert_eq!(first, second);
+    // The real guarantee is at the byte level, for every renderer.
+    assert_eq!(first.to_json_string(), second.to_json_string());
+    assert_eq!(first.to_csv(), second.to_csv());
+    assert_eq!(first.to_markdown(), second.to_markdown());
+}
+
+#[test]
+fn campaign_shape_and_rates() {
+    let campaign = test_campaign();
+    let report = run_campaign(&campaign).unwrap();
+    // 3 runnable families x 2 modes x 2 noises x 2 schedulers = 24 cells,
+    // 4 seeds each.
+    assert_eq!(report.cells.len(), 24);
+    assert_eq!(report.scenario_count, 96);
+    assert_eq!(report.seeds_per_cell, 4);
+    for cell in &report.cells {
+        assert_eq!(cell.runs, 4, "{}", cell.family);
+        assert_eq!(cell.errors, 0);
+        assert_eq!(cell.success_rate, 1.0);
+        assert_eq!(cell.quiescence_rate, 1.0);
+        assert!(cell.pulses.min > 0.0);
+        assert!(cell.pulses.min <= cell.pulses.p50 && cell.pulses.p50 <= cell.pulses.max);
+        // Full mode pays a construction phase; cycle mode does not.
+        if cell.mode == "full" {
+            assert!(cell.cc_init.min > 0.0);
+        } else {
+            assert_eq!(cell.cc_init.max, 0.0);
+            // The reference cycle is what cycle mode runs on.
+            assert_eq!(cell.cycle_len.p50, cell.reference_cycle_len as f64);
+        }
+        // flood(3) has a noiseless baseline, so overhead is reported.
+        assert!(cell.overhead.is_some());
+    }
+    // The barbell family was skipped with the Theorem 3 reason.
+    assert!(report
+        .skipped
+        .iter()
+        .any(|s| s.cell.starts_with("barbell(3)") && s.reason.contains("2-edge-connected")));
+}
+
+#[test]
+fn report_json_roundtrip_preserves_everything() {
+    let report = run_campaign(&test_campaign()).unwrap();
+    let json = report.to_json_string();
+    let parsed = CampaignReport::from_json_str(&json).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_json_string(), json);
+}
+
+#[test]
+fn full_and_cycle_modes_agree_on_workload_outputs() {
+    // The same workload under the same noise succeeds in both engine modes —
+    // the paper's Theorem 2 vs Theorem 10 comparison at campaign level.
+    let mut campaign = test_campaign();
+    campaign.workloads = vec![WorkloadSpec::Leader];
+    campaign.noises = vec![NoiseSpec::FullCorruption];
+    let report = run_campaign(&campaign).unwrap();
+    assert!(report.cells.iter().all(|c| c.success_rate == 1.0));
+    // Construction dominates: full-mode pulse medians strictly exceed
+    // cycle-mode medians on every (family, scheduler) pair.
+    for full_cell in report.cells.iter().filter(|c| c.mode == "full") {
+        let twin = report
+            .cells
+            .iter()
+            .find(|c| {
+                c.mode == "cycle"
+                    && c.family == full_cell.family
+                    && c.scheduler == full_cell.scheduler
+            })
+            .expect("cycle twin exists");
+        assert!(full_cell.pulses.p50 > twin.pulses.p50);
+    }
+}

@@ -32,7 +32,12 @@ mod tests {
 
     #[test]
     fn bits_counts_payload_length() {
-        let e = Envelope { from: NodeId(0), to: NodeId(1), payload: vec![0xff, 0x00], seq: 7 };
+        let e = Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: vec![0xff, 0x00],
+            seq: 7,
+        };
         assert_eq!(e.bits(), 16);
     }
 }

@@ -27,7 +27,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::NodeCountMismatch { nodes, reactors } => {
-                write!(f, "graph has {nodes} nodes but {reactors} reactors were provided")
+                write!(
+                    f,
+                    "graph has {nodes} nodes but {reactors} reactors were provided"
+                )
             }
             SimError::NotNeighbor { from, to } => {
                 write!(f, "node {from} attempted to send to non-neighbour {to}")
@@ -36,7 +39,10 @@ impl fmt::Display for SimError {
                 write!(f, "node {from} attempted to send an empty message to {to}")
             }
             SimError::StepLimitExceeded { limit } => {
-                write!(f, "step limit of {limit} deliveries exceeded before quiescence")
+                write!(
+                    f,
+                    "step limit of {limit} deliveries exceeded before quiescence"
+                )
             }
             SimError::Graph(e) => write!(f, "graph error: {e}"),
         }
@@ -65,9 +71,18 @@ mod tests {
     #[test]
     fn display_all_variants() {
         let errs: Vec<SimError> = vec![
-            SimError::NodeCountMismatch { nodes: 3, reactors: 2 },
-            SimError::NotNeighbor { from: NodeId(0), to: NodeId(5) },
-            SimError::EmptyPayload { from: NodeId(0), to: NodeId(1) },
+            SimError::NodeCountMismatch {
+                nodes: 3,
+                reactors: 2,
+            },
+            SimError::NotNeighbor {
+                from: NodeId(0),
+                to: NodeId(5),
+            },
+            SimError::EmptyPayload {
+                from: NodeId(0),
+                to: NodeId(1),
+            },
             SimError::StepLimitExceeded { limit: 100 },
             SimError::Graph(GraphError::NotConnected),
         ];

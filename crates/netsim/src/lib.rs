@@ -60,6 +60,7 @@ pub mod protocol;
 pub mod reactor;
 pub mod scheduler;
 pub mod sim;
+pub mod spec;
 pub mod stats;
 pub mod transcript;
 
@@ -70,5 +71,6 @@ pub use protocol::{Dest, DirectRunner, InnerProtocol, ProtocolIo, ProtocolMsg};
 pub use reactor::{Context, Reactor};
 pub use scheduler::{EdgeDelayScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
 pub use sim::{RunReport, Simulation};
-pub use stats::Stats;
+pub use spec::{NoiseSpec, SchedulerSpec};
+pub use stats::{Stats, StatsSnapshot};
 pub use transcript::{Transcript, TranscriptEvent};

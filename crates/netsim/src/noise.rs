@@ -56,7 +56,9 @@ pub struct FullCorruption {
 impl FullCorruption {
     /// Creates the model with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        FullCorruption { rng: StdRng::seed_from_u64(seed) }
+        FullCorruption {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -103,8 +105,14 @@ impl BitFlip {
     ///
     /// Panics if `p` is not within `[0, 1]`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
-        BitFlip { p, rng: StdRng::seed_from_u64(seed) }
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1]"
+        );
+        BitFlip {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -138,7 +146,10 @@ pub struct TargetedEdges<N> {
 impl<N: NoiseModel> TargetedEdges<N> {
     /// Creates the model corrupting only the given undirected edges.
     pub fn new<I: IntoIterator<Item = Edge>>(edges: I, inner: N) -> Self {
-        TargetedEdges { edges: edges.into_iter().collect(), inner }
+        TargetedEdges {
+            edges: edges.into_iter().collect(),
+            inner,
+        }
     }
 }
 
@@ -162,7 +173,12 @@ mod tests {
     use fdn_graph::NodeId;
 
     fn env(payload: Vec<u8>) -> Envelope {
-        Envelope { from: NodeId(0), to: NodeId(1), payload, seq: 0 }
+        Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload,
+            seq: 0,
+        }
     }
 
     #[test]
@@ -226,7 +242,12 @@ mod tests {
         let bridge = Edge::new(NodeId(0), NodeId(1));
         let mut n = TargetedEdges::new([bridge], ConstantOne);
         assert_eq!(n.corrupt(&env(vec![5, 6])), vec![1]);
-        let other = Envelope { from: NodeId(2), to: NodeId(3), payload: vec![5, 6], seq: 0 };
+        let other = Envelope {
+            from: NodeId(2),
+            to: NodeId(3),
+            payload: vec![5, 6],
+            seq: 0,
+        };
         assert_eq!(n.corrupt(&other), vec![5, 6]);
         assert_eq!(n.name(), "targeted-edges");
     }

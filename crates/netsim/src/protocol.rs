@@ -44,7 +44,11 @@ pub struct ProtocolIo {
 impl ProtocolIo {
     /// Creates an IO handle for `node` with the given neighbour list.
     pub fn new(node: NodeId, neighbors: Vec<NodeId>) -> Self {
-        ProtocolIo { node, neighbors, sends: Vec::new() }
+        ProtocolIo {
+            node,
+            neighbors,
+            sends: Vec::new(),
+        }
     }
 
     /// The node running the protocol.
@@ -59,12 +63,18 @@ impl ProtocolIo {
 
     /// Queues a message for a specific node.
     pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
-        self.sends.push(ProtocolMsg { dest: Dest::Node(to), payload });
+        self.sends.push(ProtocolMsg {
+            dest: Dest::Node(to),
+            payload,
+        });
     }
 
     /// Queues a broadcast message (destination `*`, Remark 3).
     pub fn broadcast(&mut self, payload: Vec<u8>) {
-        self.sends.push(ProtocolMsg { dest: Dest::Broadcast, payload });
+        self.sends.push(ProtocolMsg {
+            dest: Dest::Broadcast,
+            payload,
+        });
     }
 
     /// Number of messages queued so far.
@@ -98,6 +108,23 @@ pub trait InnerProtocol {
     }
 }
 
+/// Boxed protocols are protocols, which lets heterogeneous sweep harnesses
+/// spawn type-erased instances (`Box<dyn InnerProtocol + Send>`) through the
+/// same generic runners as concrete ones.
+impl<P: InnerProtocol + ?Sized> InnerProtocol for Box<P> {
+    fn on_init(&mut self, io: &mut ProtocolIo) {
+        (**self).on_init(io);
+    }
+
+    fn on_deliver(&mut self, from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
+        (**self).on_deliver(from, payload, io);
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        (**self).output()
+    }
+}
+
 /// Runs an [`InnerProtocol`] directly as a [`Reactor`] on the (noiseless)
 /// network — the baseline execution the simulated one is compared against.
 ///
@@ -116,7 +143,10 @@ pub struct DirectRunner<P> {
 impl<P: InnerProtocol> DirectRunner<P> {
     /// Wraps a protocol instance.
     pub fn new(inner: P) -> Self {
-        DirectRunner { inner, started: false }
+        DirectRunner {
+            inner,
+            started: false,
+        }
     }
 
     /// Read access to the wrapped protocol.
@@ -134,7 +164,9 @@ impl<P: InnerProtocol> DirectRunner<P> {
             match msg.dest {
                 Dest::Node(to) => ctx.send(to, msg.payload),
                 Dest::Broadcast => {
-                    panic!("Dest::Broadcast is only supported under the content-oblivious simulators")
+                    panic!(
+                        "Dest::Broadcast is only supported under the content-oblivious simulators"
+                    )
                 }
             }
         }
@@ -196,14 +228,29 @@ mod tests {
         io.broadcast(vec![9]);
         assert_eq!(io.pending(), 2);
         let sends = io.take_sends();
-        assert_eq!(sends[0], ProtocolMsg { dest: Dest::Node(NodeId(1)), payload: vec![7] });
-        assert_eq!(sends[1], ProtocolMsg { dest: Dest::Broadcast, payload: vec![9] });
+        assert_eq!(
+            sends[0],
+            ProtocolMsg {
+                dest: Dest::Node(NodeId(1)),
+                payload: vec![7]
+            }
+        );
+        assert_eq!(
+            sends[1],
+            ProtocolMsg {
+                dest: Dest::Broadcast,
+                payload: vec![9]
+            }
+        );
         assert_eq!(io.pending(), 0);
     }
 
     #[test]
     fn direct_runner_bridges_protocol_to_reactor() {
-        let mut runner = DirectRunner::new(EchoOnce { echoed: false, out: None });
+        let mut runner = DirectRunner::new(EchoOnce {
+            echoed: false,
+            out: None,
+        });
         let neighbors = [NodeId(1)];
         let mut ctx = Context::new(NodeId(0), &neighbors);
         runner.on_start(&mut ctx);

@@ -14,7 +14,11 @@ pub struct Context<'a> {
 impl<'a> Context<'a> {
     /// Creates a context for `node` with the given (sorted) neighbour list.
     pub fn new(node: NodeId, neighbors: &'a [NodeId]) -> Self {
-        Context { node, neighbors, outbox: Vec::new() }
+        Context {
+            node,
+            neighbors,
+            outbox: Vec::new(),
+        }
     }
 
     /// The node this context belongs to.

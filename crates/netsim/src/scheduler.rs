@@ -37,7 +37,9 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// Creates the scheduler with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -105,7 +107,10 @@ impl EdgeDelayScheduler {
     /// Creates the scheduler with the given slow edges and seed (used to pick
     /// among the non-slow messages).
     pub fn new<I: IntoIterator<Item = Edge>>(slow: I, seed: u64) -> Self {
-        EdgeDelayScheduler { slow: slow.into_iter().collect(), rng: StdRng::seed_from_u64(seed) }
+        EdgeDelayScheduler {
+            slow: slow.into_iter().collect(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -141,9 +146,24 @@ mod tests {
 
     fn envs() -> Vec<Envelope> {
         vec![
-            Envelope { from: NodeId(0), to: NodeId(1), payload: vec![1], seq: 10 },
-            Envelope { from: NodeId(1), to: NodeId(2), payload: vec![1], seq: 11 },
-            Envelope { from: NodeId(2), to: NodeId(3), payload: vec![1], seq: 12 },
+            Envelope {
+                from: NodeId(0),
+                to: NodeId(1),
+                payload: vec![1],
+                seq: 10,
+            },
+            Envelope {
+                from: NodeId(1),
+                to: NodeId(2),
+                payload: vec![1],
+                seq: 11,
+            },
+            Envelope {
+                from: NodeId(2),
+                to: NodeId(3),
+                payload: vec![1],
+                seq: 12,
+            },
         ]
     }
 
@@ -185,8 +205,18 @@ mod tests {
         // When only slow-edge messages remain they are still delivered
         // (finite delay), newest first.
         let only_slow = vec![
-            Envelope { from: NodeId(0), to: NodeId(1), payload: vec![1], seq: 1 },
-            Envelope { from: NodeId(1), to: NodeId(0), payload: vec![1], seq: 2 },
+            Envelope {
+                from: NodeId(0),
+                to: NodeId(1),
+                payload: vec![1],
+                seq: 1,
+            },
+            Envelope {
+                from: NodeId(1),
+                to: NodeId(0),
+                payload: vec![1],
+                seq: 2,
+            },
         ];
         assert_eq!(s.next(&only_slow), 1);
         assert_eq!(s.name(), "edge-delay");

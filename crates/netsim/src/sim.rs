@@ -77,9 +77,23 @@ impl<R: Reactor> Simulation<R> {
         self
     }
 
+    /// Replaces the noise model with an already-boxed instance, as produced
+    /// by [`crate::NoiseSpec::build`] (builder style).
+    pub fn with_noise_boxed(mut self, noise: Box<dyn NoiseModel>) -> Self {
+        self.noise = noise;
+        self
+    }
+
     /// Replaces the scheduler (builder style).
     pub fn with_scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
         self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Replaces the scheduler with an already-boxed instance, as produced by
+    /// [`crate::SchedulerSpec::build`] (builder style).
+    pub fn with_scheduler_boxed(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -177,10 +191,16 @@ impl<R: Reactor> Simulation<R> {
             return Ok(false);
         }
         let idx = self.scheduler.next(&self.inflight);
-        debug_assert!(idx < self.inflight.len(), "scheduler returned an out-of-range index");
+        debug_assert!(
+            idx < self.inflight.len(),
+            "scheduler returned an out-of-range index"
+        );
         let env = self.inflight.swap_remove(idx);
         let delivered_payload = self.noise.corrupt(&env);
-        debug_assert!(!delivered_payload.is_empty(), "noise must not delete messages");
+        debug_assert!(
+            !delivered_payload.is_empty(),
+            "noise must not delete messages"
+        );
         self.stats.record_delivery();
         self.steps += 1;
         if let Some(t) = &mut self.transcript {
@@ -212,11 +232,16 @@ impl<R: Reactor> Simulation<R> {
         let start_steps = self.steps;
         while !self.inflight.is_empty() {
             if self.steps - start_steps >= self.max_steps {
-                return Err(SimError::StepLimitExceeded { limit: self.max_steps });
+                return Err(SimError::StepLimitExceeded {
+                    limit: self.max_steps,
+                });
             }
             self.step()?;
         }
-        Ok(RunReport { steps: self.steps - start_steps, quiescent: true })
+        Ok(RunReport {
+            steps: self.steps - start_steps,
+            quiescent: true,
+        })
     }
 
     /// Convenience: [`start`](Self::start) followed by
@@ -249,7 +274,11 @@ impl<R: Reactor> Simulation<R> {
         self.enqueue_sends(node, outbox)
     }
 
-    fn enqueue_sends(&mut self, from: NodeId, outbox: Vec<(NodeId, Vec<u8>)>) -> Result<(), SimError> {
+    fn enqueue_sends(
+        &mut self,
+        from: NodeId,
+        outbox: Vec<(NodeId, Vec<u8>)>,
+    ) -> Result<(), SimError> {
         for (to, payload) in outbox {
             if !self.graph.has_edge(from, to) {
                 return Err(SimError::NotNeighbor { from, to });
@@ -257,7 +286,12 @@ impl<R: Reactor> Simulation<R> {
             if payload.is_empty() {
                 return Err(SimError::EmptyPayload { from, to });
             }
-            let env = Envelope { from, to, payload, seq: self.next_seq };
+            let env = Envelope {
+                from,
+                to,
+                payload,
+                seq: self.next_seq,
+            };
             self.next_seq += 1;
             self.stats.record_send(&env);
             if let Some(t) = &mut self.transcript {
@@ -289,7 +323,11 @@ mod tests {
 
     impl RingOnce {
         fn new(n: u32) -> Self {
-            RingOnce { n, seen: false, payload_seen: None }
+            RingOnce {
+                n,
+                seen: false,
+                payload_seen: None,
+            }
         }
     }
 
@@ -324,7 +362,10 @@ mod tests {
     fn rejects_mismatched_node_count() {
         let g = generators::cycle(4).unwrap();
         let nodes = vec![RingOnce::new(4)];
-        assert!(matches!(Simulation::new(g, nodes), Err(SimError::NodeCountMismatch { .. })));
+        assert!(matches!(
+            Simulation::new(g, nodes),
+            Err(SimError::NodeCountMismatch { .. })
+        ));
     }
 
     #[test]
@@ -410,7 +451,9 @@ mod tests {
             }
         }
         let g = generators::two_party();
-        let mut sim = Simulation::new(g, vec![PingPong, PingPong]).unwrap().with_max_steps(100);
+        let mut sim = Simulation::new(g, vec![PingPong, PingPong])
+            .unwrap()
+            .with_max_steps(100);
         assert_eq!(sim.run(), Err(SimError::StepLimitExceeded { limit: 100 }));
     }
 

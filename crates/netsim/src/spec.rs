@@ -1,0 +1,245 @@
+//! Serializable descriptions of noise models and schedulers.
+//!
+//! [`crate::NoiseModel`] and [`crate::Scheduler`] are stateful trait objects
+//! (they own RNGs), so they cannot themselves sit in a scenario matrix, be
+//! compared, printed in a report or parsed back from a CLI flag. [`NoiseSpec`]
+//! and [`SchedulerSpec`] are the value-level counterparts: plain enums with a
+//! stable label, a parser, and a `build(seed)` factory that produces a fresh
+//! boxed instance for one simulation run. Seeded variants take their seed at
+//! build time, so one spec value fans out across a whole seed sweep.
+
+use std::fmt;
+
+use crate::noise::{BitFlip, ConstantOne, FullCorruption, NoiseModel, Noiseless};
+use crate::scheduler::{FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
+
+/// A noise model, as data. `build(seed)` of equal specs with equal seeds
+/// yields identically-behaving models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseSpec {
+    /// Identity channels ([`Noiseless`]).
+    Noiseless,
+    /// Total content corruption ([`FullCorruption`]), the paper's model.
+    FullCorruption,
+    /// Every payload becomes the byte `1` ([`ConstantOne`]), the §6 adversary.
+    ConstantOne,
+    /// Independent per-bit flips with probability `p` ([`BitFlip`]).
+    BitFlip {
+        /// Per-bit flip probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+impl NoiseSpec {
+    /// The specs every campaign can sweep without extra parameters.
+    pub const BASIC: [NoiseSpec; 3] = [
+        NoiseSpec::Noiseless,
+        NoiseSpec::FullCorruption,
+        NoiseSpec::ConstantOne,
+    ];
+
+    /// Builds a fresh model instance for one run.
+    pub fn build(&self, seed: u64) -> Box<dyn NoiseModel> {
+        match *self {
+            NoiseSpec::Noiseless => Box::new(Noiseless),
+            NoiseSpec::FullCorruption => Box::new(FullCorruption::new(seed)),
+            NoiseSpec::ConstantOne => Box::new(ConstantOne),
+            NoiseSpec::BitFlip { p } => Box::new(BitFlip::new(p, seed)),
+        }
+    }
+
+    /// The stable textual form; [`NoiseSpec::parse`] is the inverse.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a label produced by [`NoiseSpec::label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on unknown names or bad
+    /// parameters.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        match s {
+            "noiseless" => Ok(NoiseSpec::Noiseless),
+            "full-corruption" => Ok(NoiseSpec::FullCorruption),
+            "constant-one" => Ok(NoiseSpec::ConstantOne),
+            _ => {
+                if let Some(p) = s.strip_prefix("bitflip(").and_then(|r| r.strip_suffix(')')) {
+                    let p: f64 = p
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("noise `{s}`: probability must be a number"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("noise `{s}`: probability must be in [0, 1]"));
+                    }
+                    Ok(NoiseSpec::BitFlip { p })
+                } else {
+                    Err(format!("unknown noise spec `{s}`"))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for NoiseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the `name()` of the model the spec builds, so specs and
+        // live instances agree in reports.
+        match *self {
+            NoiseSpec::Noiseless => f.write_str("noiseless"),
+            NoiseSpec::FullCorruption => f.write_str("full-corruption"),
+            NoiseSpec::ConstantOne => f.write_str("constant-one"),
+            NoiseSpec::BitFlip { p } => write!(f, "bitflip({p})"),
+        }
+    }
+}
+
+/// A scheduler, as data — see [`NoiseSpec`] for the rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerSpec {
+    /// Seeded uniform choice ([`RandomScheduler`]).
+    Random,
+    /// Global send order ([`FifoScheduler`]).
+    Fifo,
+    /// Newest first ([`LifoScheduler`]).
+    Lifo,
+}
+
+impl SchedulerSpec {
+    /// All schedulers expressible without extra parameters.
+    pub const ALL: [SchedulerSpec; 3] = [
+        SchedulerSpec::Random,
+        SchedulerSpec::Fifo,
+        SchedulerSpec::Lifo,
+    ];
+
+    /// Builds a fresh scheduler instance for one run.
+    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        match *self {
+            SchedulerSpec::Random => Box::new(RandomScheduler::new(seed)),
+            SchedulerSpec::Fifo => Box::new(FifoScheduler),
+            SchedulerSpec::Lifo => Box::new(LifoScheduler),
+        }
+    }
+
+    /// The stable textual form; [`SchedulerSpec::parse`] is the inverse.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a label produced by [`SchedulerSpec::label`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem on unknown names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "random" => Ok(SchedulerSpec::Random),
+            "fifo" => Ok(SchedulerSpec::Fifo),
+            "lifo" => Ok(SchedulerSpec::Lifo),
+            other => Err(format!("unknown scheduler spec `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SchedulerSpec::Random => f.write_str("random"),
+            SchedulerSpec::Fifo => f.write_str("fifo"),
+            SchedulerSpec::Lifo => f.write_str("lifo"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::Envelope;
+    use fdn_graph::NodeId;
+
+    fn env() -> Envelope {
+        Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: vec![7, 7],
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn noise_spec_builds_matching_models() {
+        assert_eq!(NoiseSpec::Noiseless.build(0).corrupt(&env()), vec![7, 7]);
+        assert_eq!(NoiseSpec::ConstantOne.build(0).corrupt(&env()), vec![1]);
+        let out = NoiseSpec::FullCorruption.build(3).corrupt(&env());
+        assert!(!out.is_empty() && out.len() <= 8);
+        assert_eq!(
+            NoiseSpec::BitFlip { p: 0.0 }.build(1).corrupt(&env()),
+            vec![7, 7]
+        );
+    }
+
+    #[test]
+    fn noise_spec_same_seed_same_stream() {
+        let mut a = NoiseSpec::FullCorruption.build(9);
+        let mut b = NoiseSpec::FullCorruption.build(9);
+        for _ in 0..20 {
+            assert_eq!(a.corrupt(&env()), b.corrupt(&env()));
+        }
+    }
+
+    #[test]
+    fn noise_spec_label_roundtrip() {
+        for spec in [
+            NoiseSpec::Noiseless,
+            NoiseSpec::FullCorruption,
+            NoiseSpec::ConstantOne,
+            NoiseSpec::BitFlip { p: 0.25 },
+        ] {
+            assert_eq!(NoiseSpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(NoiseSpec::parse("gaussian").is_err());
+        assert!(NoiseSpec::parse("bitflip(2.0)").is_err());
+        assert!(NoiseSpec::parse("bitflip(x)").is_err());
+    }
+
+    #[test]
+    fn noise_labels_match_model_names() {
+        for spec in [
+            NoiseSpec::Noiseless,
+            NoiseSpec::FullCorruption,
+            NoiseSpec::ConstantOne,
+        ] {
+            assert_eq!(spec.label(), spec.build(0).name());
+        }
+        assert_eq!(NoiseSpec::BitFlip { p: 0.5 }.build(0).name(), "bit-flip");
+    }
+
+    #[test]
+    fn scheduler_spec_builds_and_roundtrips() {
+        let inflight = vec![
+            Envelope {
+                from: NodeId(0),
+                to: NodeId(1),
+                payload: vec![1],
+                seq: 5,
+            },
+            Envelope {
+                from: NodeId(1),
+                to: NodeId(2),
+                payload: vec![1],
+                seq: 6,
+            },
+        ];
+        assert_eq!(SchedulerSpec::Fifo.build(0).next(&inflight), 0);
+        assert_eq!(SchedulerSpec::Lifo.build(0).next(&inflight), 1);
+        assert!(SchedulerSpec::Random.build(0).next(&inflight) < 2);
+        for spec in SchedulerSpec::ALL {
+            assert_eq!(SchedulerSpec::parse(&spec.label()).unwrap(), spec);
+            assert_eq!(spec.label(), spec.build(0).name());
+        }
+        assert!(SchedulerSpec::parse("priority").is_err());
+    }
+}

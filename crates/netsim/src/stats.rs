@@ -31,14 +31,20 @@ pub struct Stats {
 impl Stats {
     /// Creates zeroed counters for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Stats { per_node_sent: vec![0; n], ..Default::default() }
+        Stats {
+            per_node_sent: vec![0; n],
+            ..Default::default()
+        }
     }
 
     /// Records a send.
     pub fn record_send(&mut self, env: &Envelope) {
         self.sent_total += 1;
         self.bits_sent += env.bits();
-        *self.per_edge_sent.entry(Edge::new(env.from, env.to)).or_insert(0) += 1;
+        *self
+            .per_edge_sent
+            .entry(Edge::new(env.from, env.to))
+            .or_insert(0) += 1;
         if let Some(slot) = self.per_node_sent.get_mut(env.from.index()) {
             *slot += 1;
         }
@@ -62,6 +68,22 @@ impl Stats {
     /// The maximum number of messages sent by any single node.
     pub fn max_sent_by_node(&self) -> u64 {
         self.per_node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Freezes the counters into a cheap, ordered, aggregation-friendly
+    /// [`StatsSnapshot`] (per-edge counters sorted by edge, so two snapshots
+    /// of equal runs are equal values and serialize identically).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut per_edge_sent: Vec<(Edge, u64)> =
+            self.per_edge_sent.iter().map(|(e, c)| (*e, *c)).collect();
+        per_edge_sent.sort_unstable();
+        StatsSnapshot {
+            sent_total: self.sent_total,
+            delivered_total: self.delivered_total,
+            bits_sent: self.bits_sent,
+            per_node_sent: self.per_node_sent.clone(),
+            per_edge_sent,
+        }
     }
 
     /// Difference of the counters in `self` relative to an earlier snapshot
@@ -90,12 +112,89 @@ impl Stats {
     }
 }
 
+/// A frozen, ordered view of a [`Stats`] at one instant.
+///
+/// Unlike [`Stats`] (whose per-edge map has nondeterministic iteration
+/// order), a snapshot is a plain value: `Clone`/`PartialEq`/`Eq`, per-edge
+/// counters sorted by edge, and therefore safe to diff, aggregate across
+/// parallel runs, and serialize byte-identically. This is the type report
+/// aggregation consumes instead of copying counters field by field.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total messages (pulses) sent.
+    pub sent_total: u64,
+    /// Total messages delivered.
+    pub delivered_total: u64,
+    /// Total payload bits sent.
+    pub bits_sent: u64,
+    /// Messages sent per node (indexed by node id).
+    pub per_node_sent: Vec<u64>,
+    /// Messages sent per undirected edge, sorted by edge.
+    pub per_edge_sent: Vec<(Edge, u64)>,
+}
+
+impl StatsSnapshot {
+    /// The maximum number of messages sent by any single node.
+    pub fn max_sent_by_node(&self) -> u64 {
+        self.per_node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The heaviest per-edge load (messages on the busiest edge).
+    pub fn max_sent_on_edge(&self) -> u64 {
+        self.per_edge_sent
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-counter difference relative to an `earlier` snapshot of the same
+    /// run (edges that did not change are omitted).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut per_edge_sent = Vec::new();
+        let mut before = earlier.per_edge_sent.iter().copied().peekable();
+        for &(e, now) in &self.per_edge_sent {
+            let mut prev = 0;
+            while let Some(&(be, bc)) = before.peek() {
+                if be < e {
+                    before.next();
+                } else {
+                    if be == e {
+                        prev = bc;
+                    }
+                    break;
+                }
+            }
+            if now > prev {
+                per_edge_sent.push((e, now - prev));
+            }
+        }
+        StatsSnapshot {
+            sent_total: self.sent_total - earlier.sent_total,
+            delivered_total: self.delivered_total - earlier.delivered_total,
+            bits_sent: self.bits_sent - earlier.bits_sent,
+            per_node_sent: self
+                .per_node_sent
+                .iter()
+                .zip(earlier.per_node_sent.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, before)| now - before)
+                .collect(),
+            per_edge_sent,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn env(from: u32, to: u32, len: usize) -> Envelope {
-        Envelope { from: NodeId(from), to: NodeId(to), payload: vec![0; len], seq: 0 }
+        Envelope {
+            from: NodeId(from),
+            to: NodeId(to),
+            payload: vec![0; len],
+            seq: 0,
+        }
     }
 
     #[test]
@@ -136,5 +235,50 @@ mod tests {
         let s = Stats::default();
         assert_eq!(s.sent_total, 0);
         assert_eq!(s.max_sent_by_node(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_value_equal() {
+        let mut s = Stats::new(4);
+        // Insert edges in non-sorted order.
+        s.record_send(&env(2, 3, 1));
+        s.record_send(&env(0, 1, 1));
+        s.record_send(&env(1, 2, 1));
+        s.record_send(&env(0, 1, 1));
+        let snap = s.snapshot();
+        assert_eq!(snap.sent_total, 4);
+        assert_eq!(snap.max_sent_by_node(), 2);
+        let edges: Vec<Edge> = snap.per_edge_sent.iter().map(|&(e, _)| e).collect();
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        assert_eq!(edges, sorted);
+        assert_eq!(snap.max_sent_on_edge(), 2);
+        // Two snapshots of equal stats are equal values.
+        assert_eq!(snap, s.clone().snapshot());
+    }
+
+    #[test]
+    fn snapshot_since_diffs_counters() {
+        let mut s = Stats::new(3);
+        s.record_send(&env(0, 1, 1));
+        let first = s.snapshot();
+        s.record_send(&env(0, 1, 1));
+        s.record_send(&env(1, 2, 2));
+        s.record_delivery();
+        let d = s.snapshot().since(&first);
+        assert_eq!(d.sent_total, 2);
+        assert_eq!(d.delivered_total, 1);
+        assert_eq!(d.bits_sent, 24);
+        assert_eq!(
+            d.per_edge_sent,
+            vec![
+                (Edge::new(NodeId(0), NodeId(1)), 1),
+                (Edge::new(NodeId(1), NodeId(2)), 1),
+            ]
+        );
+        // Agrees with the Stats-level diff.
+        let mut earlier = Stats::new(3);
+        earlier.record_send(&env(0, 1, 1));
+        assert_eq!(d, s.since(&earlier).snapshot());
     }
 }

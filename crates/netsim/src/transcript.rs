@@ -13,9 +13,17 @@ use fdn_graph::NodeId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TranscriptEvent {
     /// `from` handed a message for `to` to the channel.
-    Sent { from: NodeId, to: NodeId, payload: Vec<u8> },
+    Sent {
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+    },
     /// `to` received a message from `from` (after noise).
-    Delivered { from: NodeId, to: NodeId, payload: Vec<u8> },
+    Delivered {
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+    },
 }
 
 impl TranscriptEvent {
@@ -76,9 +84,21 @@ mod tests {
     fn records_and_filters() {
         let mut t = Transcript::new();
         assert!(t.is_empty());
-        t.push(TranscriptEvent::Sent { from: NodeId(0), to: NodeId(1), payload: vec![1] });
-        t.push(TranscriptEvent::Delivered { from: NodeId(0), to: NodeId(1), payload: vec![1] });
-        t.push(TranscriptEvent::Sent { from: NodeId(1), to: NodeId(0), payload: vec![2] });
+        t.push(TranscriptEvent::Sent {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: vec![1],
+        });
+        t.push(TranscriptEvent::Delivered {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: vec![1],
+        });
+        t.push(TranscriptEvent::Sent {
+            from: NodeId(1),
+            to: NodeId(0),
+            payload: vec![2],
+        });
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
         assert_eq!(t.events().len(), 3);

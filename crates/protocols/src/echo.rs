@@ -142,9 +142,17 @@ mod tests {
         let inputs: Vec<u64> = (0..10).map(|i| (i * i + 1) as u64).collect();
         let expected: u64 = inputs.iter().sum();
         for seed in 0..8 {
-            let out = run_direct(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), seed)
-                .unwrap();
-            assert_eq!(decode_u64(out[0].as_ref().unwrap()), expected, "seed {seed}");
+            let out = run_direct(
+                &g,
+                |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]),
+                seed,
+            )
+            .unwrap();
+            assert_eq!(
+                decode_u64(out[0].as_ref().unwrap()),
+                expected,
+                "seed {seed}"
+            );
         }
     }
 
@@ -152,8 +160,12 @@ mod tests {
     fn works_on_theta_and_random_graphs() {
         for seed in 0..5 {
             let g = generators::random_two_edge_connected(9, 4, seed).unwrap();
-            let out = run_direct(&g, |v| EchoAggregate::new(v, NodeId(2), u64::from(v.0)), seed)
-                .unwrap();
+            let out = run_direct(
+                &g,
+                |v| EchoAggregate::new(v, NodeId(2), u64::from(v.0)),
+                seed,
+            )
+            .unwrap();
             assert_eq!(decode_u64(out[2].as_ref().unwrap()), (0..9).sum::<u64>());
         }
     }
@@ -161,8 +173,12 @@ mod tests {
     #[test]
     fn two_node_network() {
         let g = generators::two_party();
-        let out = run_direct(&g, |v| EchoAggregate::new(v, NodeId(0), 10 + u64::from(v.0)), 3)
-            .unwrap();
+        let out = run_direct(
+            &g,
+            |v| EchoAggregate::new(v, NodeId(0), 10 + u64::from(v.0)),
+            3,
+        )
+        .unwrap();
         assert_eq!(decode_u64(out[0].as_ref().unwrap()), 21);
     }
 

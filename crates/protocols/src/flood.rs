@@ -20,7 +20,12 @@ pub struct FloodBroadcast {
 impl FloodBroadcast {
     /// Creates the per-node instance. `value` is only meaningful at the root.
     pub fn new(node: NodeId, root: NodeId, value: Vec<u8>) -> Self {
-        FloodBroadcast { node, root, value, output: None }
+        FloodBroadcast {
+            node,
+            root,
+            value,
+            output: None,
+        }
     }
 
     /// Whether this node has already adopted a value.
@@ -65,8 +70,12 @@ mod tests {
     fn all_nodes_adopt_root_value() {
         let g = generators::petersen();
         for seed in 0..5 {
-            let out = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(3), vec![0xAB, 0xCD]), seed)
-                .unwrap();
+            let out = run_direct(
+                &g,
+                |v| FloodBroadcast::new(v, NodeId(3), vec![0xAB, 0xCD]),
+                seed,
+            )
+            .unwrap();
             assert!(out.iter().all(|o| o.as_deref() == Some(&[0xAB, 0xCD][..])));
         }
     }
@@ -75,8 +84,12 @@ mod tests {
     fn works_on_cycles_and_random_graphs() {
         for seed in 0..5 {
             let g = generators::random_two_edge_connected(10, 5, seed).unwrap();
-            let out = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(0), vec![seed as u8]), seed)
-                .unwrap();
+            let out = run_direct(
+                &g,
+                |v| FloodBroadcast::new(v, NodeId(0), vec![seed as u8]),
+                seed,
+            )
+            .unwrap();
             assert!(out.iter().all(|o| o.as_deref() == Some(&[seed as u8][..])));
         }
     }

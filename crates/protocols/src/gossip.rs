@@ -29,7 +29,13 @@ impl GossipAllToAll {
     pub fn new(node: NodeId, n: usize, value: u64) -> Self {
         let mut known = BTreeMap::new();
         known.insert(node.0, value);
-        GossipAllToAll { node, n, value, known, output: None }
+        GossipAllToAll {
+            node,
+            n,
+            value,
+            known,
+            output: None,
+        }
     }
 
     /// How many distinct inputs this node has learned so far.
@@ -72,9 +78,11 @@ impl InnerProtocol for GossipAllToAll {
     }
 
     fn on_deliver(&mut self, from: NodeId, payload: &[u8], io: &mut ProtocolIo) {
-        let Some((id, value)) = Self::decode_pair(payload) else { return };
-        if !self.known.contains_key(&id) {
-            self.known.insert(id, value);
+        let Some((id, value)) = Self::decode_pair(payload) else {
+            return;
+        };
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.known.entry(id) {
+            slot.insert(value);
             let msg = Self::encode_pair(id, value);
             for &v in &io.neighbors().to_vec() {
                 if v != from {
@@ -99,11 +107,14 @@ mod tests {
     #[test]
     fn everyone_learns_everything() {
         let g = generators::grid_torus(3, 3).unwrap();
-        let expected: Vec<u8> =
-            (0..9u64).flat_map(|i| encode_u64(i * 10 + 1)).collect();
+        let expected: Vec<u8> = (0..9u64).flat_map(|i| encode_u64(i * 10 + 1)).collect();
         for seed in 0..5 {
-            let out = run_direct(&g, |v| GossipAllToAll::new(v, 9, u64::from(v.0) * 10 + 1), seed)
-                .unwrap();
+            let out = run_direct(
+                &g,
+                |v| GossipAllToAll::new(v, 9, u64::from(v.0) * 10 + 1),
+                seed,
+            )
+            .unwrap();
             for o in out {
                 assert_eq!(o.unwrap(), expected);
             }

@@ -22,12 +22,18 @@ pub struct MaxIdLeaderElection {
 impl MaxIdLeaderElection {
     /// Creates the per-node instance with the node's own id as its candidate.
     pub fn new(node: NodeId) -> Self {
-        MaxIdLeaderElection { candidate: u64::from(node.0), best: u64::from(node.0) }
+        MaxIdLeaderElection {
+            candidate: u64::from(node.0),
+            best: u64::from(node.0),
+        }
     }
 
     /// Creates the per-node instance with an explicit candidate priority.
     pub fn with_candidate(candidate: u64) -> Self {
-        MaxIdLeaderElection { candidate, best: candidate }
+        MaxIdLeaderElection {
+            candidate,
+            best: candidate,
+        }
     }
 
     /// The largest candidate seen so far.
@@ -83,9 +89,12 @@ mod tests {
     fn custom_candidates_pick_custom_leader() {
         let g = generators::cycle(6).unwrap();
         let priorities = [5u64, 900, 3, 42, 17, 8];
-        let out =
-            run_direct(&g, |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]), 7)
-                .unwrap();
+        let out = run_direct(
+            &g,
+            |v| MaxIdLeaderElection::with_candidate(priorities[v.index()]),
+            7,
+        )
+        .unwrap();
         for o in out {
             assert_eq!(decode_u64(&o.unwrap()), 900);
         }

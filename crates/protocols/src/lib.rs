@@ -24,6 +24,7 @@ pub mod leader;
 pub mod token_ring;
 pub mod two_party;
 pub mod util;
+pub mod workload;
 
 pub use echo::EchoAggregate;
 pub use flood::FloodBroadcast;
@@ -32,3 +33,4 @@ pub use leader::MaxIdLeaderElection;
 pub use token_ring::TokenRingCounter;
 pub use two_party::TwoPartySum;
 pub use util::{run_direct, spawn};
+pub use workload::{flood_value, BoxedProtocol, WorkloadSpec};

@@ -25,7 +25,13 @@ impl TokenRingCounter {
     /// Creates the per-node instance for a ring of `n` nodes where node ids
     /// follow ring order (node `i`'s clockwise neighbour is `(i + 1) mod n`).
     pub fn new(node: NodeId, starter: NodeId, n: u32) -> Self {
-        TokenRingCounter { node, starter, n, forwarded: false, output: None }
+        TokenRingCounter {
+            node,
+            starter,
+            n,
+            forwarded: false,
+            output: None,
+        }
     }
 
     fn clockwise(&self) -> NodeId {
@@ -65,8 +71,7 @@ mod tests {
     fn counts_ring_size() {
         for n in [3usize, 5, 9, 16] {
             let g = generators::cycle(n).unwrap();
-            let out =
-                run_direct(&g, |v| TokenRingCounter::new(v, NodeId(0), n as u32), 1).unwrap();
+            let out = run_direct(&g, |v| TokenRingCounter::new(v, NodeId(0), n as u32), 1).unwrap();
             assert_eq!(decode_u64(out[0].as_ref().unwrap()), n as u64);
             // Only the starter outputs.
             assert!(out[1..].iter().all(Option::is_none));

@@ -25,7 +25,11 @@ impl TwoPartySum {
     /// Creates the instance for `node` (0 = Alice, 1 = Bob) with its private
     /// input.
     pub fn new(node: NodeId, input: u64) -> Self {
-        TwoPartySum { node, input, output: None }
+        TwoPartySum {
+            node,
+            input,
+            output: None,
+        }
     }
 
     fn peer(&self) -> NodeId {
@@ -72,8 +76,10 @@ mod tests {
         // every message is corrupted — the premise of Theorem 20.
         let g = generators::two_party();
         let inputs = [17u64, 25u64];
-        let nodes: Vec<_> =
-            g.nodes().map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()]))).collect();
+        let nodes: Vec<_> = g
+            .nodes()
+            .map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()])))
+            .collect();
         let mut sim = Simulation::new(g, nodes)
             .unwrap()
             .with_noise(ConstantOne)

@@ -18,13 +18,19 @@ where
 /// # Errors
 ///
 /// Propagates simulation errors (invalid sends, step-limit exhaustion).
-pub fn run_direct<P, F>(graph: &Graph, factory: F, seed: u64) -> Result<Vec<Option<Vec<u8>>>, SimError>
+pub fn run_direct<P, F>(
+    graph: &Graph,
+    factory: F,
+    seed: u64,
+) -> Result<Vec<Option<Vec<u8>>>, SimError>
 where
     P: InnerProtocol,
     F: Fn(NodeId) -> P,
 {
-    let nodes: Vec<DirectRunner<P>> =
-        graph.nodes().map(|v| DirectRunner::new(factory(v))).collect();
+    let nodes: Vec<DirectRunner<P>> = graph
+        .nodes()
+        .map(|v| DirectRunner::new(factory(v)))
+        .collect();
     let mut sim = Simulation::new(graph.clone(), nodes)?.with_scheduler(RandomScheduler::new(seed));
     sim.run()?;
     Ok(sim.outputs())

@@ -5,13 +5,16 @@
 //!
 //! Run with: `cargo run --example figure1`
 
-use fully_defective::prelude::*;
 use fully_defective::graph::ear::ear_decomposition;
 use fully_defective::graph::orientation::robbins_orientation;
+use fully_defective::prelude::*;
 
 fn describe(graph: &Graph, name: &str, root: NodeId) {
     println!("=== {name} ===");
-    println!("graph: {graph}, 2-edge-connected: {}", connectivity::is_two_edge_connected(graph));
+    println!(
+        "graph: {graph}, 2-edge-connected: {}",
+        connectivity::is_two_edge_connected(graph)
+    );
 
     // Figure 1(a): a Robbins (strongly-connected) orientation.
     let orientation = robbins_orientation(graph, root).expect("2-edge-connected");
@@ -26,7 +29,10 @@ fn describe(graph: &Graph, name: &str, root: NodeId) {
 
     // Figure 1(b)/3(c): the induced (possibly non-simple) Robbins cycle.
     let reference = robbins::reference_robbins_cycle(graph, root).expect("2-edge-connected");
-    println!("reference Robbins cycle ({} occurrences): {reference}", reference.len());
+    println!(
+        "reference Robbins cycle ({} occurrences): {reference}",
+        reference.len()
+    );
 
     // The same cycle built distributedly by Algorithm 4 over the
     // fully-defective network (content-oblivious construction).
@@ -36,7 +42,11 @@ fn describe(graph: &Graph, name: &str, root: NodeId) {
         .with_noise(FullCorruption::new(42))
         .with_scheduler(RandomScheduler::new(24));
     sim.run().expect("construction terminates");
-    let constructed = sim.node(root).cycle().expect("construction finished").clone();
+    let constructed = sim
+        .node(root)
+        .cycle()
+        .expect("construction finished")
+        .clone();
     constructed.validate(graph).expect("valid Robbins cycle");
     assert!(constructed.covers_all_edges(graph));
     println!(
@@ -51,6 +61,14 @@ fn describe(graph: &Graph, name: &str, root: NodeId) {
 }
 
 fn main() {
-    describe(&generators::figure1(), "Figure 1 style graph (a, b, c, d, e)", NodeId(0));
-    describe(&generators::figure3(), "Figure 3 graph (square + ear v1-v5-v3)", NodeId(0));
+    describe(
+        &generators::figure1(),
+        "Figure 1 style graph (a, b, c, d, e)",
+        NodeId(0),
+    );
+    describe(
+        &generators::figure3(),
+        "Figure 3 graph (square + ear v1-v5-v3)",
+        NodeId(0),
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     println!("network: {g}");
 
     // Per-node priorities (e.g. battery levels); the max should win.
-    let priorities: Vec<u64> = g.nodes().map(|v| (u64::from(v.0) * 37 + 11) % 100).collect();
+    let priorities: Vec<u64> = g
+        .nodes()
+        .map(|v| (u64::from(v.0) * 37 + 11) % 100)
+        .collect();
     let expected = *priorities.iter().max().expect("non-empty network");
     println!("priorities: {priorities:?}  => expected leader priority {expected}");
 
@@ -46,7 +49,11 @@ fn main() {
         let node = sim.node(v);
         let elected = decode_u64(&node.output().expect("decided"));
         assert_eq!(elected, expected, "node {v} elected the wrong leader");
-        assert_eq!(node.output(), baseline[v.index()], "node {v} deviates from the baseline");
+        assert_eq!(
+            node.output(),
+            baseline[v.index()],
+            "node {v} deviates from the baseline"
+        );
         cc_init += node.construction_pulses();
     }
     println!("every node elected priority {expected}, matching the noiseless baseline ✔");

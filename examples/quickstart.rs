@@ -13,7 +13,10 @@ fn main() {
     // v1-v5-v3. It is 2-edge-connected, so simulation is possible.
     let g = generators::figure3();
     println!("network: {g}");
-    println!("2-edge-connected: {}", connectivity::is_two_edge_connected(&g));
+    println!(
+        "2-edge-connected: {}",
+        connectivity::is_two_edge_connected(&g)
+    );
 
     // The inner protocol π: node v3 floods the payload to everyone.
     let payload = b"fully defective yet fully functional".to_vec();

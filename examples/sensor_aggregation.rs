@@ -41,6 +41,8 @@ fn main() {
     println!(
         "pulses: {} sent in total, of which {} during the cycle construction ✔",
         sim.stats().sent_total,
-        g.nodes().map(|v| sim.node(v).construction_pulses()).sum::<u64>()
+        g.nodes()
+            .map(|v| sim.node(v).construction_pulses())
+            .sum::<u64>()
     );
 }

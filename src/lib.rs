@@ -22,7 +22,11 @@
 //! * [`core`] — the paper's contribution: the content-oblivious cycle engine
 //!   (Algorithms 1–3), the distributed Robbins-cycle construction
 //!   (Algorithms 4–6), the end-to-end Theorem 2 compiler and the §6
-//!   impossibility harness.
+//!   impossibility harness;
+//! * [`lab`] — the experiment-campaign engine: declarative scenario matrices
+//!   (graph family × engine mode × encoding × workload × noise × scheduler ×
+//!   seed), a parallel rayon sweep, and aggregated JSON/CSV/markdown reports
+//!   (also available as the `fdn-lab` CLI).
 //!
 //! # Quickstart
 //!
@@ -54,6 +58,7 @@
 
 pub use fdn_core as core;
 pub use fdn_graph as graph;
+pub use fdn_lab as lab;
 pub use fdn_netsim as netsim;
 pub use fdn_protocols as protocols;
 
@@ -64,15 +69,20 @@ pub mod prelude {
         Encoding, FullSimulator, RobbinsEngine, WireDest, WireMessage,
     };
     pub use fdn_graph::{
-        connectivity, generators, robbins, Graph, GraphError, LocalCycleView, NodeId, RobbinsCycle,
+        connectivity, generators, robbins, Graph, GraphError, GraphFamily, LocalCycleView, NodeId,
+        RobbinsCycle,
+    };
+    pub use fdn_lab::{
+        run_campaign, run_scenario, Campaign, CampaignReport, EncodingSpec, EngineMode, LabError,
+        Scenario, SeedRange,
     };
     pub use fdn_netsim::{
-        DirectRunner, FullCorruption, InnerProtocol, Noiseless, RandomScheduler, Reactor, SimError,
-        Simulation,
+        DirectRunner, FullCorruption, InnerProtocol, NoiseSpec, Noiseless, RandomScheduler,
+        Reactor, SchedulerSpec, SimError, Simulation, Stats, StatsSnapshot,
     };
     pub use fdn_protocols::{
         EchoAggregate, FloodBroadcast, GossipAllToAll, MaxIdLeaderElection, TokenRingCounter,
-        TwoPartySum,
+        TwoPartySum, WorkloadSpec,
     };
 }
 
@@ -85,5 +95,12 @@ mod tests {
         assert!(connectivity::is_two_edge_connected(&g));
         let _ = Encoding::binary();
         let _ = NodeId(0);
+        let _ = GraphFamily::Petersen;
+        let _ = (
+            NoiseSpec::FullCorruption,
+            SchedulerSpec::Random,
+            WorkloadSpec::Leader,
+        );
+        assert!(Campaign::new("prelude").scenario_count() > 0);
     }
 }

@@ -2,24 +2,29 @@
 //! and schedule seed, the outputs produced over the fully-defective network
 //! equal the outputs of the noiseless baseline execution.
 
+use fully_defective::netsim::{ConstantOne, LifoScheduler};
 use fully_defective::prelude::*;
 use fully_defective::protocols::util::{decode_u64, run_direct};
-use fully_defective::netsim::{ConstantOne, LifoScheduler};
 
 fn run_defective<P, F>(graph: &Graph, factory: F, seed: u64) -> Vec<Option<Vec<u8>>>
 where
     P: InnerProtocol,
     F: FnMut(NodeId) -> P,
 {
-    let nodes =
-        full_simulators(graph, NodeId(0), Encoding::binary(), factory).expect("2EC input");
+    let nodes = full_simulators(graph, NodeId(0), Encoding::binary(), factory).expect("2EC input");
     let mut sim = Simulation::new(graph.clone(), nodes)
         .expect("one reactor per node")
         .with_noise(FullCorruption::new(seed))
-        .with_scheduler(RandomScheduler::new(seed.wrapping_mul(7919).wrapping_add(3)));
+        .with_scheduler(RandomScheduler::new(
+            seed.wrapping_mul(7919).wrapping_add(3),
+        ));
     sim.run().expect("run to quiescence");
     for v in graph.nodes() {
-        assert!(sim.node(v).error().is_none(), "node {v}: {:?}", sim.node(v).error());
+        assert!(
+            sim.node(v).error().is_none(),
+            "node {v}: {:?}",
+            sim.node(v).error()
+        );
     }
     sim.outputs()
 }
@@ -38,7 +43,11 @@ fn broadcast_equivalence_across_graphs_and_seeds() {
         let baseline =
             run_direct(g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), 0).unwrap();
         for seed in 0..2u64 {
-            let defective = run_defective(g, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), seed);
+            let defective = run_defective(
+                g,
+                |v| FloodBroadcast::new(v, NodeId(1), value.clone()),
+                seed,
+            );
             assert_eq!(defective, baseline, "graph {g} seed {seed}");
         }
     }
@@ -59,12 +68,23 @@ fn leader_election_equivalence() {
 fn aggregation_equivalence_at_the_root() {
     let g = generators::figure1();
     let inputs = [3u64, 1, 4, 1, 5];
-    let baseline =
-        run_direct(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), 2).unwrap();
-    let defective = run_defective(&g, |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]), 33);
+    let baseline = run_direct(
+        &g,
+        |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]),
+        2,
+    )
+    .unwrap();
+    let defective = run_defective(
+        &g,
+        |v| EchoAggregate::new(v, NodeId(0), inputs[v.index()]),
+        33,
+    );
     // The root's output (the global sum) is schedule-independent.
     assert_eq!(defective[0], baseline[0]);
-    assert_eq!(decode_u64(defective[0].as_ref().unwrap()), inputs.iter().sum::<u64>());
+    assert_eq!(
+        decode_u64(defective[0].as_ref().unwrap()),
+        inputs.iter().sum::<u64>()
+    );
 }
 
 #[test]
@@ -81,8 +101,7 @@ fn equivalence_holds_under_constant_one_noise_and_lifo_schedule() {
     // with the most reordering-prone scheduler.
     let g = generators::figure3();
     let value = vec![0xAA];
-    let baseline =
-        run_direct(&g, |v| FloodBroadcast::new(v, NodeId(4), value.clone()), 0).unwrap();
+    let baseline = run_direct(&g, |v| FloodBroadcast::new(v, NodeId(4), value.clone()), 0).unwrap();
     let nodes = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
         FloodBroadcast::new(v, NodeId(4), value.clone())
     })
@@ -106,8 +125,14 @@ fn content_obliviousness_noise_does_not_change_behaviour() {
             FloodBroadcast::new(v, NodeId(2), value.clone())
         })
         .unwrap();
-        let sim = Simulation::new(g.clone(), nodes).unwrap().with_scheduler(RandomScheduler::new(9));
-        let mut sim = if noisy { sim.with_noise(FullCorruption::new(77)) } else { sim };
+        let sim = Simulation::new(g.clone(), nodes)
+            .unwrap()
+            .with_scheduler(RandomScheduler::new(9));
+        let mut sim = if noisy {
+            sim.with_noise(FullCorruption::new(77))
+        } else {
+            sim
+        };
         sim.run().unwrap();
         (sim.stats().sent_total, sim.outputs())
     };
@@ -119,11 +144,17 @@ fn content_obliviousness_noise_does_not_change_behaviour() {
 
 #[test]
 fn simulation_is_rejected_on_bridged_networks() {
-    for g in [generators::two_party(), generators::barbell(3).unwrap(), generators::path(5).unwrap()]
-    {
+    for g in [
+        generators::two_party(),
+        generators::barbell(3).unwrap(),
+        generators::path(5).unwrap(),
+    ] {
         let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
             FloodBroadcast::new(v, NodeId(0), vec![1])
         });
-        assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)), "graph {g} was not rejected");
+        assert!(
+            matches!(res, Err(CoreError::NotTwoEdgeConnected)),
+            "graph {g} was not rejected"
+        );
     }
 }

@@ -15,15 +15,19 @@ fn direct_two_party_sum_breaks_under_total_corruption() {
     // The content-carrying protocol works noiselessly ...
     let g = generators::two_party();
     let inputs = [19u64, 23u64];
-    let nodes: Vec<_> =
-        g.nodes().map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()]))).collect();
+    let nodes: Vec<_> = g
+        .nodes()
+        .map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()])))
+        .collect();
     let mut sim = Simulation::new(g.clone(), nodes).unwrap();
     sim.run().unwrap();
     assert_eq!(decode_u64(&sim.node(NodeId(0)).output().unwrap()), 42);
 
     // ... and breaks once every message is corrupted to "1".
-    let nodes: Vec<_> =
-        g.nodes().map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()]))).collect();
+    let nodes: Vec<_> = g
+        .nodes()
+        .map(|v| DirectRunner::new(TwoPartySum::new(v, inputs[v.index()])))
+        .collect();
     let mut sim = Simulation::new(g, nodes)
         .unwrap()
         .with_noise(ConstantOne)
@@ -37,7 +41,9 @@ fn the_bridge_network_cannot_be_compiled() {
     // Theorem 3: the simulator itself refuses networks with a bridge, because
     // no simulation exists there.
     let g = generators::two_party();
-    let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| TwoPartySum::new(v, 1));
+    let res = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+        TwoPartySum::new(v, 1)
+    });
     assert!(matches!(res, Err(CoreError::NotTwoEdgeConnected)));
 }
 
@@ -86,11 +92,16 @@ fn constant_functions_are_trivially_computable() {
     impl CountingParty for Constant {
         fn action(&self, _input: u64, received: u32) -> Action {
             if received == 0 {
-                Action::SendAndOutput { count: 1, output: 7 }
+                Action::SendAndOutput {
+                    count: 1,
+                    output: 7,
+                }
             } else {
                 Action::Send { count: 0 }
             }
         }
     }
-    assert!(find_counterexample(&Constant, |_x, _y| 7, &(0..8).collect::<Vec<_>>(), 1000).is_none());
+    assert!(
+        find_counterexample(&Constant, |_x, _y| 7, &(0..8).collect::<Vec<_>>(), 1000).is_none()
+    );
 }

@@ -13,19 +13,34 @@ where
     S: fully_defective::netsim::Scheduler + 'static,
 {
     let value = vec![0xD1, 0xCE];
-    let baseline =
-        run_direct(graph, |v| FloodBroadcast::new(v, NodeId(1), value.clone()), 0).unwrap();
+    let baseline = run_direct(
+        graph,
+        |v| FloodBroadcast::new(v, NodeId(1), value.clone()),
+        0,
+    )
+    .unwrap();
     let nodes = full_simulators(graph, NodeId(0), Encoding::binary(), |v| {
         FloodBroadcast::new(v, NodeId(1), value.clone())
     })
     .unwrap();
-    let mut sim =
-        Simulation::new(graph.clone(), nodes).unwrap().with_noise(noise).with_scheduler(scheduler);
-    sim.run().unwrap_or_else(|e| panic!("{tag}: simulation failed: {e}"));
+    let mut sim = Simulation::new(graph.clone(), nodes)
+        .unwrap()
+        .with_noise(noise)
+        .with_scheduler(scheduler);
+    sim.run()
+        .unwrap_or_else(|e| panic!("{tag}: simulation failed: {e}"));
     for v in graph.nodes() {
-        assert!(sim.node(v).error().is_none(), "{tag}: node {v}: {:?}", sim.node(v).error());
+        assert!(
+            sim.node(v).error().is_none(),
+            "{tag}: node {v}: {:?}",
+            sim.node(v).error()
+        );
     }
-    assert_eq!(sim.outputs(), baseline, "{tag}: outputs deviate from the baseline");
+    assert_eq!(
+        sim.outputs(),
+        baseline,
+        "{tag}: outputs deviate from the baseline"
+    );
 }
 
 #[test]
@@ -115,7 +130,10 @@ fn quiescence_with_a_silent_protocol() {
     assert!(report.quiescent);
     assert!(sim.is_quiescent());
     for v in g.nodes() {
-        assert!(sim.node(v).is_online(), "node {v} did not finish pre-processing");
+        assert!(
+            sim.node(v).is_online(),
+            "node {v} did not finish pre-processing"
+        );
         assert_eq!(sim.node(v).output(), None);
     }
 }
