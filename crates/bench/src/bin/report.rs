@@ -1,14 +1,15 @@
 //! Regenerates the experiment tables of EXPERIMENTS.md via the `fdn-lab`
 //! campaign engine.
 //!
-//! Usage: `cargo run -p fdn-bench --release --bin report [e1|e2|e3|e4|e5|e6|e7|all]`
+//! Usage: `cargo run -p fdn-bench --release --bin report [e1|...|e8|all]`
 //!
 //! Every experiment is one declarative [`Campaign`]: the matrix is expanded,
 //! swept in parallel, aggregated per cell, and the table below is a custom
 //! rendering of the resulting [`fdn_lab::CampaignReport`]. E1–E4 and E6
 //! reproduce the paper's cost tables (Lemmas 7/9/13/14, Theorem 15,
 //! Theorem 2); E5 and E7 are correctness sweeps (success rates must be 100%
-//! everywhere).
+//! everywhere); E8 deliberately leaves the paper's model and charts the
+//! deletion-noise frontier (success is *expected* to collapse).
 
 use fdn_graph::GraphFamily;
 use fdn_lab::{run_campaign, Campaign, CampaignReport, EncodingSpec, EngineMode, SeedRange};
@@ -312,6 +313,56 @@ fn e7_robustness() {
     summarize_correctness(&report);
 }
 
+fn e8_deletion_frontier() {
+    println!(
+        "\n## E8 — beyond the model: the deletion-noise frontier (the paper forbids deletion; \
+         these adversaries chart where Theorem 2 breaks)\n"
+    );
+    let mut c = Campaign::preset("quick").expect("preset");
+    c.name = "e8".into();
+    c.families = vec![
+        GraphFamily::Figure3,
+        GraphFamily::Cycle { n: 8 },
+        GraphFamily::Petersen,
+    ];
+    c.modes = vec![EngineMode::Full];
+    c.workloads = vec![WorkloadSpec::Flood { payload_bytes: 4 }];
+    c.noises = vec![
+        NoiseSpec::FullCorruption, // in-model baseline: must stay at 100%
+        NoiseSpec::Omission { drop_per_mille: 10 },
+        NoiseSpec::Omission { drop_per_mille: 50 },
+        NoiseSpec::Omission {
+            drop_per_mille: 200,
+        },
+        NoiseSpec::CrashLink { at_pulse: 40 },
+        NoiseSpec::Burst { period: 8, len: 2 },
+    ];
+    c.schedulers = vec![SchedulerSpec::Random];
+    c.seeds = SeedRange {
+        start: 31,
+        count: 5,
+    };
+    let report = run(&c);
+    println!("| graph | noise | success | quiescent | errors | dropped p50 | pulses p50 |");
+    println!("|---|---|---|---|---|---|---|");
+    for cell in &report.cells {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.0} | {:.0} |",
+            cell.family,
+            cell.noise,
+            fdn_lab::fmt_rate(cell.success_rate),
+            fdn_lab::fmt_rate(cell.quiescence_rate),
+            cell.errors,
+            cell.dropped.p50,
+            cell.pulses.p50,
+        );
+    }
+    println!(
+        "\n(full-corruption rows stay at 100% — alteration alone is harmless, Theorem 2; \
+         every deletion row shows the no-deletion assumption is load-bearing)"
+    );
+}
+
 /// Renders a correctness sweep: per-(noise, scheduler) success rates plus a
 /// verdict line.
 fn summarize_correctness(report: &CampaignReport) {
@@ -389,5 +440,8 @@ fn main() {
     }
     if run_it("e7") {
         e7_robustness();
+    }
+    if run_it("e8") {
+        e8_deletion_frontier();
     }
 }

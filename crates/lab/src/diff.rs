@@ -1,0 +1,523 @@
+//! Cell-by-cell comparison of two campaign reports — the regression gate.
+//!
+//! Campaign reports are byte-deterministic, so any difference between two
+//! saved reports of the same campaign is a real behavioural change. This
+//! module turns that property into a CI gate: [`diff_reports`] matches the
+//! cells of a *base* and a *candidate* report by their six-axis identity
+//! (family/mode/encoding/workload/noise/scheduler), classifies every change
+//! against a [`DiffTolerance`], and renders the result as markdown or JSON.
+//! The `fdn-lab diff` subcommand exits non-zero iff
+//! [`ReportDiff::has_regressions`], which makes `lab-out/` artifacts directly
+//! comparable across commits.
+//!
+//! What counts as a **regression**:
+//!
+//! * a cell present in the base but missing from the candidate (coverage
+//!   loss);
+//! * a success- or quiescence-rate drop beyond the rate tolerance;
+//! * more erroring runs than before;
+//! * a relative increase of the p50 or p95 pulse cost beyond the metric
+//!   tolerance.
+//!
+//! New cells, rate improvements, and pulse-cost decreases are reported but
+//! never fail the gate.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::report::{fmt_rate, CampaignReport, CellReport};
+
+/// Thresholds below which a change is noise, not a finding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffTolerance {
+    /// Absolute tolerated drop of success/quiescence rates (in `[0, 1]`;
+    /// `0.0` means any drop is a regression).
+    pub rate: f64,
+    /// Tolerated relative increase of p50/p95 pulses (`0.1` = +10%; `0.0`
+    /// means any increase is a regression).
+    pub pulses: f64,
+}
+
+impl Default for DiffTolerance {
+    /// The strict gate: identical reports pass, any regression fails.
+    fn default() -> Self {
+        DiffTolerance {
+            rate: 0.0,
+            pulses: 0.0,
+        }
+    }
+}
+
+/// How a cell changed between the two reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellChange {
+    /// Present only in the candidate report.
+    Added,
+    /// Present only in the base report.
+    Removed,
+    /// Present in both with at least one noted difference.
+    Changed,
+}
+
+/// The comparison result for one cell identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// The six-axis cell id (`family/mode/encoding/workload/noise/scheduler`).
+    pub cell: String,
+    /// The kind of change.
+    pub change: CellChange,
+    /// Human-readable differences that do not fail the gate.
+    pub notes: Vec<String>,
+    /// Differences that count as regressions (each fails the gate).
+    pub regressions: Vec<String>,
+}
+
+/// The full delta between two campaign reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDiff {
+    /// Name of the base report.
+    pub base: String,
+    /// Name of the candidate report.
+    pub candidate: String,
+    /// Cells matched in both reports (order of the base report).
+    pub matched: usize,
+    /// Cells with no noted difference at the configured tolerance.
+    pub unchanged: usize,
+    /// Per-cell changes, in base-report order (removed/changed first, then
+    /// added cells in candidate order).
+    pub deltas: Vec<CellDelta>,
+    /// The tolerance the comparison ran under.
+    pub tolerance: DiffTolerance,
+}
+
+/// The id a cell is matched by across reports.
+fn cell_key(c: &CellReport) -> String {
+    format!(
+        "{}/{}/{}/{}/{}/{}",
+        c.family, c.mode, c.encoding, c.workload, c.noise, c.scheduler
+    )
+}
+
+/// Relative change of `now` versus `base` (`0.1` = +10%); `None` when the
+/// base is zero (no meaningful ratio).
+fn rel_change(base: f64, now: f64) -> Option<f64> {
+    (base != 0.0).then(|| (now - base) / base)
+}
+
+fn compare_cells(base: &CellReport, now: &CellReport, tol: &DiffTolerance) -> CellDelta {
+    let mut notes = Vec::new();
+    let mut regressions = Vec::new();
+
+    let mut rate = |label: &str, b: f64, n: f64| {
+        let delta = n - b;
+        if delta < -tol.rate {
+            regressions.push(format!("{label} fell {} -> {}", fmt_rate(b), fmt_rate(n)));
+        } else if delta > tol.rate {
+            notes.push(format!(
+                "{label} improved {} -> {}",
+                fmt_rate(b),
+                fmt_rate(n)
+            ));
+        }
+    };
+    rate("success rate", base.success_rate, now.success_rate);
+    rate("quiescence rate", base.quiescence_rate, now.quiescence_rate);
+
+    if now.errors > base.errors {
+        regressions.push(format!("errors rose {} -> {}", base.errors, now.errors));
+    } else if now.errors < base.errors {
+        notes.push(format!("errors fell {} -> {}", base.errors, now.errors));
+    }
+
+    let mut pulse = |label: &str, b: f64, n: f64| {
+        if b == n {
+            return;
+        }
+        match rel_change(b, n) {
+            Some(rel) if rel > tol.pulses => {
+                regressions.push(format!(
+                    "{label} rose {b:.0} -> {n:.0} (+{:.1}%)",
+                    rel * 100.0
+                ));
+            }
+            Some(rel) if rel < -tol.pulses => {
+                notes.push(format!(
+                    "{label} fell {b:.0} -> {n:.0} ({:.1}%)",
+                    rel * 100.0
+                ));
+            }
+            Some(_) => {}
+            None => notes.push(format!("{label} changed {b:.0} -> {n:.0}")),
+        }
+    };
+    pulse("pulses p50", base.pulses.p50, now.pulses.p50);
+    pulse("pulses p95", base.pulses.p95, now.pulses.p95);
+
+    if base.runs != now.runs {
+        notes.push(format!("runs changed {} -> {}", base.runs, now.runs));
+    }
+
+    CellDelta {
+        cell: cell_key(base),
+        change: CellChange::Changed,
+        notes,
+        regressions,
+    }
+}
+
+/// Compares `candidate` against `base` under `tolerance`.
+pub fn diff_reports(
+    base: &CampaignReport,
+    candidate: &CampaignReport,
+    tolerance: DiffTolerance,
+) -> ReportDiff {
+    // Index each side once: reports can hold thousands of cells, and the
+    // formatted key is too expensive to rebuild per probe.
+    let candidate_by_key: HashMap<String, &CellReport> =
+        candidate.cells.iter().map(|c| (cell_key(c), c)).collect();
+    let base_keys: HashSet<String> = base.cells.iter().map(cell_key).collect();
+    let mut deltas = Vec::new();
+    let mut matched = 0usize;
+    let mut unchanged = 0usize;
+    for b in &base.cells {
+        let key = cell_key(b);
+        match candidate_by_key.get(&key) {
+            Some(now) => {
+                matched += 1;
+                let delta = compare_cells(b, now, &tolerance);
+                if delta.notes.is_empty() && delta.regressions.is_empty() {
+                    unchanged += 1;
+                } else {
+                    deltas.push(delta);
+                }
+            }
+            None => deltas.push(CellDelta {
+                cell: key,
+                change: CellChange::Removed,
+                notes: Vec::new(),
+                regressions: vec!["cell removed from the campaign (coverage loss)".to_string()],
+            }),
+        }
+    }
+    for c in &candidate.cells {
+        let key = cell_key(c);
+        if !base_keys.contains(&key) {
+            deltas.push(CellDelta {
+                cell: key,
+                change: CellChange::Added,
+                notes: vec!["new cell (not present in the base report)".to_string()],
+                regressions: Vec::new(),
+            });
+        }
+    }
+    ReportDiff {
+        base: base.name.clone(),
+        candidate: candidate.name.clone(),
+        matched,
+        unchanged,
+        deltas,
+        tolerance,
+    }
+}
+
+impl ReportDiff {
+    /// Number of individual regression findings across all cells.
+    pub fn regression_count(&self) -> usize {
+        self.deltas.iter().map(|d| d.regressions.len()).sum()
+    }
+
+    /// Whether the gate fails.
+    pub fn has_regressions(&self) -> bool {
+        self.regression_count() > 0
+    }
+
+    /// Renders the delta as a markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# Campaign diff: `{}` -> `{}`",
+            self.base, self.candidate
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} matched cell(s), {} unchanged, {} changed, {} regression finding(s) \
+             (tolerance: rate {}, pulses {:.1}%).",
+            self.matched,
+            self.unchanged,
+            self.deltas.len(),
+            self.regression_count(),
+            fmt_rate(self.tolerance.rate),
+            self.tolerance.pulses * 100.0,
+        );
+        if self.deltas.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "No differences beyond tolerance.");
+            return out;
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| cell | change | finding | gate |");
+        let _ = writeln!(out, "|---|---|---|---|");
+        for d in &self.deltas {
+            let change = match d.change {
+                CellChange::Added => "added",
+                CellChange::Removed => "removed",
+                CellChange::Changed => "changed",
+            };
+            // Backticks do not protect `|` inside a markdown table cell, so
+            // the cell key needs the same escaping as the finding text.
+            let cell = d.cell.replace('|', "\\|");
+            for r in &d.regressions {
+                let _ = writeln!(
+                    out,
+                    "| `{cell}` | {change} | {} | **REGRESSION** |",
+                    r.replace('|', "\\|")
+                );
+            }
+            for n in &d.notes {
+                let _ = writeln!(
+                    out,
+                    "| `{cell}` | {change} | {} | ok |",
+                    n.replace('|', "\\|")
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the delta as a JSON document.
+    pub fn to_json_string(&self) -> String {
+        let delta_json = |d: &CellDelta| {
+            Json::obj(vec![
+                ("cell", Json::Str(d.cell.clone())),
+                (
+                    "change",
+                    Json::Str(
+                        match d.change {
+                            CellChange::Added => "added",
+                            CellChange::Removed => "removed",
+                            CellChange::Changed => "changed",
+                        }
+                        .to_string(),
+                    ),
+                ),
+                (
+                    "regressions",
+                    Json::Arr(d.regressions.iter().map(|r| Json::Str(r.clone())).collect()),
+                ),
+                (
+                    "notes",
+                    Json::Arr(d.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+                ),
+            ])
+        };
+        Json::obj(vec![
+            ("base", Json::Str(self.base.clone())),
+            ("candidate", Json::Str(self.candidate.clone())),
+            ("matched", Json::Num(self.matched as f64)),
+            ("unchanged", Json::Num(self.unchanged as f64)),
+            (
+                "regression_count",
+                Json::Num(self.regression_count() as f64),
+            ),
+            (
+                "tolerance",
+                Json::obj(vec![
+                    ("rate", Json::Num(self.tolerance.rate)),
+                    ("pulses", Json::Num(self.tolerance.pulses)),
+                ]),
+            ),
+            (
+                "deltas",
+                Json::Arr(self.deltas.iter().map(delta_json).collect()),
+            ),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::MetricSummary;
+
+    fn cell(noise: &str, success: f64, p50: f64) -> CellReport {
+        CellReport {
+            family: "figure3".to_string(),
+            mode: "full".to_string(),
+            encoding: "binary".to_string(),
+            workload: "flood(4)".to_string(),
+            noise: noise.to_string(),
+            scheduler: "random".to_string(),
+            nodes: 5,
+            edges: 8,
+            reference_cycle_len: 8,
+            runs: 4,
+            errors: 0,
+            success_rate: success,
+            quiescence_rate: 1.0,
+            pulses: MetricSummary {
+                min: p50,
+                mean: p50,
+                p50,
+                p95: p50,
+                max: p50,
+            },
+            bits: MetricSummary::ZERO,
+            steps: MetricSummary::ZERO,
+            dropped: MetricSummary::ZERO,
+            cc_init: MetricSummary::ZERO,
+            online_pulses: MetricSummary::ZERO,
+            max_node_pulses: MetricSummary::ZERO,
+            max_edge_pulses: MetricSummary::ZERO,
+            cycle_len: MetricSummary::ZERO,
+            baseline_messages: MetricSummary::ZERO,
+            overhead: None,
+        }
+    }
+
+    fn report(name: &str, cells: Vec<CellReport>) -> CampaignReport {
+        CampaignReport {
+            name: name.to_string(),
+            scenario_count: cells.len() * 4,
+            seeds_per_cell: 4,
+            skipped: vec![],
+            cells,
+        }
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let a = report("a", vec![cell("noiseless", 1.0, 100.0)]);
+        let d = diff_reports(&a, &a, DiffTolerance::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.matched, 1);
+        assert_eq!(d.unchanged, 1);
+        assert!(d.deltas.is_empty());
+        assert!(d.to_markdown().contains("No differences beyond tolerance"));
+    }
+
+    #[test]
+    fn success_rate_drop_is_a_regression_and_rise_is_not() {
+        let base = report("base", vec![cell("noiseless", 1.0, 100.0)]);
+        let worse = report("new", vec![cell("noiseless", 0.75, 100.0)]);
+        let d = diff_reports(&base, &worse, DiffTolerance::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.regression_count(), 1);
+        assert!(d.deltas[0].regressions[0].contains("success rate fell 100% -> 75%"));
+        // The reverse direction is an improvement, not a regression.
+        let d = diff_reports(&worse, &base, DiffTolerance::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.deltas[0].notes[0], "success rate improved 75% -> 100%");
+    }
+
+    #[test]
+    fn rate_tolerance_absorbs_small_drops() {
+        let base = report("base", vec![cell("noiseless", 1.0, 100.0)]);
+        let slightly = report("new", vec![cell("noiseless", 0.95, 100.0)]);
+        let tol = DiffTolerance {
+            rate: 0.10,
+            pulses: 0.0,
+        };
+        assert!(!diff_reports(&base, &slightly, tol).has_regressions());
+        assert!(diff_reports(&base, &slightly, DiffTolerance::default()).has_regressions());
+    }
+
+    #[test]
+    fn pulse_increase_beyond_tolerance_is_a_regression() {
+        let base = report("base", vec![cell("noiseless", 1.0, 100.0)]);
+        let slower = report("new", vec![cell("noiseless", 1.0, 130.0)]);
+        let tol = |pulses| DiffTolerance { rate: 0.0, pulses };
+        let d = diff_reports(&base, &slower, tol(0.1));
+        assert!(d.has_regressions());
+        // p50 and p95 both moved by +30%.
+        assert_eq!(d.regression_count(), 2);
+        assert!(d.deltas[0].regressions[0].contains("+30.0%"));
+        // A 50% tolerance absorbs it; a speedup is never a regression.
+        assert!(!diff_reports(&base, &slower, tol(0.5)).has_regressions());
+        assert!(!diff_reports(&slower, &base, tol(0.1)).has_regressions());
+    }
+
+    #[test]
+    fn removed_cells_fail_the_gate_and_added_cells_do_not() {
+        let both = report(
+            "base",
+            vec![
+                cell("noiseless", 1.0, 100.0),
+                cell("omission(200)", 0.5, 80.0),
+            ],
+        );
+        let only_one = report("new", vec![cell("noiseless", 1.0, 100.0)]);
+        let d = diff_reports(&both, &only_one, DiffTolerance::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.deltas.len(), 1);
+        assert_eq!(d.deltas[0].change, CellChange::Removed);
+        assert!(d.deltas[0].cell.contains("omission(200)"));
+        // Adding a cell is a note, not a failure.
+        let d = diff_reports(&only_one, &both, DiffTolerance::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.deltas[0].change, CellChange::Added);
+    }
+
+    #[test]
+    fn error_increase_is_a_regression() {
+        let base = report("base", vec![cell("noiseless", 1.0, 100.0)]);
+        let mut bad_cell = cell("noiseless", 1.0, 100.0);
+        bad_cell.errors = 2;
+        let bad = report("new", vec![bad_cell]);
+        let d = diff_reports(&base, &bad, DiffTolerance::default());
+        assert!(d.has_regressions());
+        assert!(d.deltas[0].regressions[0].contains("errors rose 0 -> 2"));
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_cover_both_formats() {
+        let base = report(
+            "base",
+            vec![cell("noiseless", 1.0, 100.0), cell("burst(8,2)", 0.9, 90.0)],
+        );
+        let new = report("new", vec![cell("noiseless", 0.5, 150.0)]);
+        let d = diff_reports(&base, &new, DiffTolerance::default());
+        assert_eq!(d.to_markdown(), d.to_markdown());
+        assert_eq!(d.to_json_string(), d.to_json_string());
+        let md = d.to_markdown();
+        assert!(md.contains("**REGRESSION**"));
+        assert!(md.contains("removed"));
+        let j = Json::parse(&d.to_json_string()).unwrap();
+        assert_eq!(
+            j.get("regression_count").and_then(Json::as_u64),
+            Some(d.regression_count() as u64)
+        );
+        assert_eq!(j.get("base").and_then(Json::as_str), Some("base"));
+    }
+
+    #[test]
+    fn markdown_escapes_pipes_in_cell_keys() {
+        let base = report("base", vec![cell("weird|noise", 1.0, 100.0)]);
+        let now = report("new", vec![cell("weird|noise", 0.5, 100.0)]);
+        let d = diff_reports(&base, &now, DiffTolerance::default());
+        assert!(d.has_regressions());
+        let md = d.to_markdown();
+        assert!(md.contains("weird\\|noise"));
+        let bars = |line: &str| line.replace("\\|", "").matches('|').count();
+        let lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.iter().all(|l| bars(l) == bars(lines[0])));
+    }
+
+    #[test]
+    fn zero_base_pulses_is_a_note_not_a_division() {
+        let mut z = cell("noiseless", 1.0, 0.0);
+        z.pulses = MetricSummary::ZERO;
+        let base = report("base", vec![z]);
+        let now = report("new", vec![cell("noiseless", 1.0, 10.0)]);
+        let d = diff_reports(&base, &now, DiffTolerance::default());
+        // 0 -> 10 has no meaningful relative change; it is reported as a note.
+        assert!(!d.has_regressions());
+        assert!(d.deltas[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("changed 0 -> 10")));
+    }
+}

@@ -17,8 +17,13 @@
 //! 3. **Execute** with [`run_campaign`]: every scenario is an independent
 //!    deterministic simulation, swept in parallel with rayon.
 //! 4. **Aggregate** into a [`CampaignReport`]: per-cell min/mean/p50/p95/max
-//!    of pulses, steps, `CCinit`, online pulses and per-message overhead,
-//!    plus success and quiescence rates — rendered as JSON, CSV or markdown.
+//!    of pulses, steps, drops, `CCinit`, online pulses and per-message
+//!    overhead, plus success and quiescence rates — rendered as JSON, CSV or
+//!    markdown.
+//! 5. **Gate** on the result: [`diff_reports`] compares two saved reports
+//!    cell-by-cell against a [`DiffTolerance`] (the `fdn-lab diff`
+//!    subcommand exits non-zero on regression), turning `lab-out/` into a
+//!    CI regression gate.
 //!
 //! Reports contain no wall-clock data and every stage is order-preserving,
 //! so two runs of the same campaign produce **byte-identical** reports
@@ -42,6 +47,7 @@
 //! The `fdn-lab` binary exposes the same engine on the command line
 //! (`run`, `list-scenarios`, `report`); see the repository README.
 
+pub mod diff;
 pub mod error;
 pub mod json;
 pub mod presets;
@@ -49,9 +55,10 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use diff::{diff_reports, CellChange, CellDelta, DiffTolerance, ReportDiff};
 pub use error::LabError;
 pub use json::Json;
 pub use presets::PRESET_NAMES;
-pub use report::{aggregate, percentile, CampaignReport, CellReport, MetricSummary};
+pub use report::{aggregate, fmt_rate, percentile, CampaignReport, CellReport, MetricSummary};
 pub use runner::{run_campaign, run_expanded, run_scenario, ScenarioOutcome};
 pub use spec::{Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, SkippedCell};

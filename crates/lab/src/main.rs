@@ -5,6 +5,8 @@
 //! fdn-lab run [matrix flags] [--threads N] [--out DIR]
 //! fdn-lab list-scenarios [matrix flags]
 //! fdn-lab report --input FILE [--format md|csv|json]
+//! fdn-lab diff BASE.json CANDIDATE.json [--tol-rate X] [--tol-pulses Y]
+//!              [--format md|json]        # exit 0 clean, 2 on regression
 //!
 //! Matrix flags (each overrides one axis of the chosen --preset):
 //!   --preset quick|standard|paper     base campaign   [default: standard]
@@ -13,7 +15,8 @@
 //!   --modes CSV       full,cycle
 //!   --encodings CSV   binary,unary
 //!   --workloads CSV   flood(4),leader,echo,gossip,token-ring
-//!   --noises CSV      noiseless,full-corruption,constant-one,bitflip(0.1)
+//!   --noises CSV      noiseless,full-corruption,constant-one,bitflip(0.1),
+//!                     omission(200),crash-link(40),burst(8,2)
 //!   --schedulers CSV  random,fifo,lifo
 //!   --seeds N         seeds per cell
 //!   --seed-start K    first seed      [default: 1]
@@ -24,9 +27,13 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use fdn_graph::GraphFamily;
-use fdn_lab::{run_expanded, Campaign, CampaignReport, LabError};
+use fdn_lab::{diff_reports, run_expanded, Campaign, CampaignReport, DiffTolerance, LabError};
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
+
+/// Exit code of `fdn-lab diff` when regressions are present (distinct from
+/// the generic error exit 1, so CI can tell "regression" from "broke").
+const EXIT_REGRESSION: i32 = 2;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +49,7 @@ fn dispatch(args: &[String]) -> Result<(), LabError> {
         Some("run") => cmd_run(&args[1..]),
         Some("list-scenarios") => cmd_list(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
             Ok(())
@@ -58,6 +66,8 @@ fn usage() -> String {
     \x20                 write JSON + CSV + markdown reports\n\
     \x20 list-scenarios  print the expanded matrix without running it\n\
     \x20 report          re-render a saved JSON report (--input FILE)\n\
+    \x20 diff            compare two saved JSON reports cell-by-cell;\n\
+    \x20                 exit 0 when clean, 2 on regression\n\
      \n\
      Matrix flags (override one axis of the chosen --preset):\n\
     \x20 --preset quick|standard|paper   base campaign [default: standard]\n\
@@ -66,7 +76,8 @@ fn usage() -> String {
     \x20 --modes CSV                     full,cycle\n\
     \x20 --encodings CSV                 binary,unary\n\
     \x20 --workloads CSV                 flood(4),leader,echo,gossip,token-ring\n\
-    \x20 --noises CSV                    noiseless,full-corruption,constant-one,bitflip(0.1)\n\
+    \x20 --noises CSV                    noiseless,full-corruption,constant-one,bitflip(0.1),\n\
+    \x20                                 omission(200),crash-link(40),burst(8,2)\n\
     \x20 --schedulers CSV                random,fifo,lifo\n\
     \x20 --seeds N / --seed-start K      seed sweep per cell\n\
     \x20 --max-steps N                   delivery limit per scenario\n\
@@ -74,7 +85,14 @@ fn usage() -> String {
      Execution flags:\n\
     \x20 --threads N                     worker threads [default: all cores]\n\
     \x20 --out DIR                       report directory [default: lab-out]\n\
-    \x20 --format md|csv|json            (report command) output format\n"
+    \x20 --format md|csv|json            (report command) output format\n\
+     \n\
+     Diff flags (`fdn-lab diff BASE.json CANDIDATE.json`):\n\
+    \x20 --tol-rate X                    tolerated success/quiescence drop,\n\
+    \x20                                 absolute in [0,1] [default: 0]\n\
+    \x20 --tol-pulses Y                  tolerated relative p50/p95 pulse\n\
+    \x20                                 increase (0.1 = +10%) [default: 0]\n\
+    \x20 --format md|json                delta report format [default: md]\n"
         .to_string()
 }
 
@@ -262,14 +280,14 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
     );
     for cell in failed {
         println!(
-            "  {}/{}/{}/{}/{}/{}: success {:.0}%, {} error(s)",
+            "  {}/{}/{}/{}/{}/{}: success {}, {} error(s)",
             cell.family,
             cell.mode,
             cell.encoding,
             cell.workload,
             cell.noise,
             cell.scheduler,
-            cell.success_rate * 100.0,
+            fdn_lab::fmt_rate(cell.success_rate),
             cell.errors
         );
     }
@@ -315,6 +333,62 @@ fn cmd_report(args: &[String]) -> Result<(), LabError> {
         "csv" => print!("{}", report.to_csv()),
         "json" => print!("{}", report.to_json_string()),
         other => return Err(LabError::Usage(format!("unknown format `{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_tol(flag: &str, v: &str) -> Result<f64, LabError> {
+    let x: f64 = v
+        .parse()
+        .map_err(|_| LabError::Usage(format!("flag `{flag}` needs a number, got `{v}`")))?;
+    if !(x.is_finite() && x >= 0.0) {
+        return Err(LabError::Usage(format!(
+            "flag `{flag}` must be a non-negative number, got `{v}`"
+        )));
+    }
+    Ok(x)
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), LabError> {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut tolerance = DiffTolerance::default();
+    let mut format = "md".to_string();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--tol-rate" => tolerance.rate = parse_tol(flag, flags.value(flag)?)?,
+            "--tol-pulses" => tolerance.pulses = parse_tol(flag, flags.value(flag)?)?,
+            "--format" => format = flags.value(flag)?.to_string(),
+            other if other.starts_with("--") => {
+                return Err(LabError::Usage(format!("unknown flag `{other}`")))
+            }
+            positional => inputs.push(PathBuf::from(positional)),
+        }
+    }
+    let [base_path, candidate_path] = inputs.as_slice() else {
+        return Err(LabError::Usage(
+            "diff requires exactly two report files: BASE.json CANDIDATE.json".into(),
+        ));
+    };
+    let load = |path: &Path| -> Result<CampaignReport, LabError> {
+        let text = std::fs::read_to_string(path)?;
+        CampaignReport::from_json_str(&text)
+            .map_err(|e| LabError::Parse(format!("{}: {e}", path.display())))
+    };
+    let base = load(base_path)?;
+    let candidate = load(candidate_path)?;
+    let delta = diff_reports(&base, &candidate, tolerance);
+    match format.as_str() {
+        "md" => print!("{}", delta.to_markdown()),
+        "json" => print!("{}", delta.to_json_string()),
+        other => return Err(LabError::Usage(format!("unknown format `{other}`"))),
+    }
+    if delta.has_regressions() {
+        eprintln!(
+            "fdn-lab diff: {} regression finding(s) — failing the gate",
+            delta.regression_count()
+        );
+        std::process::exit(EXIT_REGRESSION);
     }
     Ok(())
 }

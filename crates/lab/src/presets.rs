@@ -2,10 +2,16 @@
 //!
 //! * `quick` — a smoke-test sweep (a minute of laptop time is overkill).
 //! * `standard` — the default: 10 graph families under both engine modes,
-//!   two noise models and all three schedulers; several hundred scenarios.
+//!   all three schedulers, the paper's noise models *and* the three
+//!   deletion-side frontier adversaries; several hundred scenarios.
 //! * `paper` — the broadest built-in matrix: adds the heavier workloads
 //!   (echo, gossip, token ring), the §6 constant-one adversary and more
 //!   seeds.
+//!
+//! Every preset sweeps [`NoiseSpec::DELETION`] alongside the paper-model
+//! noises: the alteration cells must stay at 100% success (Theorem 2) while
+//! the deletion cells chart where the construction breaks once the paper's
+//! no-deletion assumption is violated.
 
 use fdn_graph::GraphFamily;
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
@@ -16,6 +22,16 @@ use crate::spec::{Campaign, EncodingSpec, EngineMode, SeedRange};
 
 /// The built-in preset names, in documentation order.
 pub const PRESET_NAMES: [&str; 3] = ["quick", "standard", "paper"];
+
+/// The given alteration noises plus the canonical deletion-side frontier
+/// sweep ([`NoiseSpec::DELETION`]).
+fn with_deletion(alteration: &[NoiseSpec]) -> Vec<NoiseSpec> {
+    alteration
+        .iter()
+        .copied()
+        .chain(NoiseSpec::DELETION)
+        .collect()
+}
 
 impl Campaign {
     /// Builds a named preset campaign.
@@ -37,7 +53,7 @@ impl Campaign {
                     WorkloadSpec::Flood { payload_bytes: 2 },
                     WorkloadSpec::Leader,
                 ],
-                noises: vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption],
+                noises: with_deletion(&[NoiseSpec::Noiseless, NoiseSpec::FullCorruption]),
                 schedulers: vec![SchedulerSpec::Random, SchedulerSpec::Fifo],
                 seeds: SeedRange { start: 1, count: 2 },
                 ..Campaign::new("quick")
@@ -69,7 +85,7 @@ impl Campaign {
                     WorkloadSpec::Flood { payload_bytes: 4 },
                     WorkloadSpec::Leader,
                 ],
-                noises: vec![NoiseSpec::Noiseless, NoiseSpec::FullCorruption],
+                noises: with_deletion(&[NoiseSpec::Noiseless, NoiseSpec::FullCorruption]),
                 schedulers: vec![
                     SchedulerSpec::Random,
                     SchedulerSpec::Fifo,
@@ -111,11 +127,11 @@ impl Campaign {
                     WorkloadSpec::Echo,
                     WorkloadSpec::TokenRing,
                 ],
-                noises: vec![
+                noises: with_deletion(&[
                     NoiseSpec::Noiseless,
                     NoiseSpec::FullCorruption,
                     NoiseSpec::ConstantOne,
-                ],
+                ]),
                 schedulers: vec![
                     SchedulerSpec::Random,
                     SchedulerSpec::Fifo,
@@ -151,5 +167,21 @@ mod tests {
     #[test]
     fn unknown_preset_is_a_usage_error() {
         assert!(matches!(Campaign::preset("warp"), Err(LabError::Usage(_))));
+    }
+
+    #[test]
+    fn every_preset_sweeps_the_deletion_frontier() {
+        for name in PRESET_NAMES {
+            let c = Campaign::preset(name).unwrap();
+            for noise in NoiseSpec::DELETION {
+                assert!(c.noises.contains(&noise), "{name} misses {noise}");
+            }
+            // The deletion variants expand into runnable scenarios, not just
+            // spec entries.
+            assert!(
+                c.expand().iter().any(|s| s.cell.noise.deletes()),
+                "{name} expands no deletion scenario"
+            );
+        }
     }
 }

@@ -16,14 +16,43 @@ use crate::json::Json;
 use crate::runner::ScenarioOutcome;
 use crate::spec::{Campaign, SkippedCell};
 
-/// Quotes a CSV field when it contains a separator, quote or newline
-/// (RFC 4180): label fields like `theta(1,2,3)` must not split columns.
+/// Quotes a CSV field when it contains a separator, quote, or line break
+/// (RFC 4180 requires quoting CR as well as LF): label fields like
+/// `theta(1,2,3)` must not split columns or rows.
 fn csv_field(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
     }
+}
+
+/// Escapes a value for use inside a markdown table cell (`|` would otherwise
+/// split the column).
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+/// Renders a rate in `[0, 1]` as a percentage with enough precision that
+/// near-misses stay visible: `100%` and `0%` are shown only for *exactly* 1
+/// and 0, everything else keeps two decimals (trailing zeros trimmed) and is
+/// clamped into `(0, 100)` — so 0.995 renders as `99.5%`, never `100%`.
+pub fn fmt_rate(rate: f64) -> String {
+    if rate >= 1.0 {
+        return "100%".to_string();
+    }
+    if rate <= 0.0 || rate.is_nan() {
+        return "0%".to_string();
+    }
+    let pct = (rate * 100.0).clamp(0.01, 99.99);
+    let mut s = format!("{pct:.2}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    format!("{s}%")
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 100]`).
@@ -54,16 +83,33 @@ pub struct MetricSummary {
 }
 
 impl MetricSummary {
+    /// The all-zero summary, used as the default for metrics absent from
+    /// older saved reports.
+    pub const ZERO: MetricSummary = MetricSummary {
+        min: 0.0,
+        mean: 0.0,
+        p50: 0.0,
+        p95: 0.0,
+        max: 0.0,
+    };
+
     /// Summarizes `values`; `None` if there are none.
+    ///
+    /// NaN observations are deliberately *filtered out* rather than sorted or
+    /// averaged: a NaN would poison the mean and (although `total_cmp` cannot
+    /// panic) would sort past `+inf` and silently distort max/p95. A metric
+    /// whose observations are all NaN summarizes to `None`, same as an empty
+    /// one.
     pub fn from_values(values: &[f64]) -> Option<MetricSummary> {
-        if values.is_empty() {
+        let finite_or_inf: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if finite_or_inf.is_empty() {
             return None;
         }
-        let mut sorted = values.to_vec();
+        let mut sorted = finite_or_inf.clone();
         sorted.sort_by(f64::total_cmp);
         Some(MetricSummary {
             min: sorted[0],
-            mean: values.iter().sum::<f64>() / values.len() as f64,
+            mean: finite_or_inf.iter().sum::<f64>() / finite_or_inf.len() as f64,
             p50: percentile(&sorted, 50.0),
             p95: percentile(&sorted, 95.0),
             max: sorted[sorted.len() - 1],
@@ -81,10 +127,15 @@ impl MetricSummary {
     }
 
     fn from_json(j: &Json) -> Result<MetricSummary, String> {
-        let field = |k: &str| {
-            j.get(k)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| format!("metric field `{k}` missing"))
+        // JSON has no NaN/infinity; the writer renders them as `null`
+        // (see `Json::render`), so `null` parses back as NaN — the round
+        // trip is lossy in spelling but total, never an error.
+        let field = |k: &str| match j.get(k) {
+            Some(Json::Null) => Ok(f64::NAN),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("metric field `{k}` is not a number")),
+            None => Err(format!("metric field `{k}` missing")),
         };
         Ok(MetricSummary {
             min: field("min")?,
@@ -132,6 +183,9 @@ pub struct CellReport {
     pub bits: MetricSummary,
     /// Deliveries performed.
     pub steps: MetricSummary,
+    /// Messages deleted in transit (0 under the paper's alteration-only
+    /// model; positive under the deletion-side noise adversaries).
+    pub dropped: MetricSummary,
     /// Construction-phase pulses (`CCinit`).
     pub cc_init: MetricSummary,
     /// Online-phase pulses.
@@ -225,6 +279,7 @@ fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
         pulses: metric(&|o| o.stats.sent_total as f64),
         bits: metric(&|o| o.stats.bits_sent as f64),
         steps: metric(&|o| o.steps as f64),
+        dropped: metric(&|o| o.stats.dropped_total as f64),
         cc_init: metric(&|o| o.cc_init as f64),
         online_pulses: metric(&|o| o.online_pulses as f64),
         max_node_pulses: metric(&|o| o.stats.max_sent_by_node() as f64),
@@ -257,6 +312,7 @@ impl CellReport {
             ("pulses", self.pulses.to_json()),
             ("bits", self.bits.to_json()),
             ("steps", self.steps.to_json()),
+            ("dropped", self.dropped.to_json()),
             ("cc_init", self.cc_init.to_json()),
             ("online_pulses", self.online_pulses.to_json()),
             ("max_node_pulses", self.max_node_pulses.to_json()),
@@ -311,6 +367,12 @@ impl CellReport {
             pulses: m("pulses")?,
             bits: m("bits")?,
             steps: m("steps")?,
+            // Reports written before the deletion-noise models lack this
+            // metric; treat absence as all-zero (nothing was ever dropped).
+            dropped: match j.get("dropped") {
+                None => MetricSummary::ZERO,
+                Some(v) => MetricSummary::from_json(v)?,
+            },
             cc_init: m("cc_init")?,
             online_pulses: m("online_pulses")?,
             max_node_pulses: m("max_node_pulses")?,
@@ -416,6 +478,7 @@ impl CampaignReport {
             "pulses",
             "bits",
             "steps",
+            "dropped",
             "cc_init",
             "online_pulses",
             "max_node_pulses",
@@ -451,6 +514,7 @@ impl CampaignReport {
                 Some(c.pulses),
                 Some(c.bits),
                 Some(c.steps),
+                Some(c.dropped),
                 Some(c.cc_init),
                 Some(c.online_pulses),
                 Some(c.max_node_pulses),
@@ -486,26 +550,28 @@ impl CampaignReport {
         let _ = writeln!(out);
         out.push_str(
             "| family | mode | enc | workload | noise | sched | n | m | \\|C\\| p50 | \
-             success | quiesc | pulses p50 | pulses p95 | CCinit p50 | overhead p50 |\n",
+             success | quiesc | pulses p50 | pulses p95 | dropped p50 | CCinit p50 | \
+             overhead p50 |\n",
         );
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for c in &self.cells {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.0}% | {:.0}% | {:.0} | {:.0} | {:.0} | {} |",
-                c.family,
-                c.mode,
-                c.encoding,
-                c.workload,
-                c.noise,
-                c.scheduler,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {} |",
+                md_cell(&c.family),
+                md_cell(&c.mode),
+                md_cell(&c.encoding),
+                md_cell(&c.workload),
+                md_cell(&c.noise),
+                md_cell(&c.scheduler),
                 c.nodes,
                 c.edges,
                 c.cycle_len.p50,
-                c.success_rate * 100.0,
-                c.quiescence_rate * 100.0,
+                fmt_rate(c.success_rate),
+                fmt_rate(c.quiescence_rate),
                 c.pulses.p50,
                 c.pulses.p95,
+                c.dropped.p50,
                 c.cc_init.p50,
                 c.overhead.map_or("—".to_string(), |o| format!("{:.1}", o.p50)),
             );
@@ -565,9 +631,156 @@ mod tests {
     }
 
     #[test]
+    fn csv_fields_with_line_breaks_are_quoted() {
+        // RFC 4180 requires quoting CR, not just LF.
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("a\rb"), "\"a\rb\"");
+        assert_eq!(csv_field("a\r\nb"), "\"a\r\nb\"");
+    }
+
+    #[test]
     fn metric_summary_json_roundtrip() {
         let m = MetricSummary::from_values(&[1.5, 2.5, 9.0]).unwrap();
         let j = m.to_json();
         assert_eq!(MetricSummary::from_json(&j).unwrap(), m);
+    }
+
+    #[test]
+    fn metric_summary_nan_round_trips_as_null() {
+        // A NaN metric renders as `null` and must parse back (as NaN), not
+        // fail the whole report parse.
+        let m = MetricSummary {
+            mean: f64::NAN,
+            ..MetricSummary::ZERO
+        };
+        let j = m.to_json();
+        assert!(j.render().contains("null"));
+        let parsed = MetricSummary::from_json(&j).unwrap();
+        assert!(parsed.mean.is_nan());
+        assert_eq!(parsed.min, 0.0);
+        // A non-numeric, non-null field is still a structural error.
+        let bad = Json::obj(vec![
+            ("min", Json::Str("oops".into())),
+            ("mean", Json::Num(0.0)),
+            ("p50", Json::Num(0.0)),
+            ("p95", Json::Num(0.0)),
+            ("max", Json::Num(0.0)),
+        ]);
+        assert!(MetricSummary::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn from_values_filters_nan_deliberately() {
+        // NaN observations neither panic, poison the mean, nor distort the
+        // order statistics: they are dropped before summarizing.
+        let m = MetricSummary::from_values(&[f64::NAN, 4.0, 1.0, f64::NAN, 3.0, 2.0]).unwrap();
+        assert_eq!(
+            m,
+            MetricSummary::from_values(&[4.0, 1.0, 3.0, 2.0]).unwrap()
+        );
+        assert_eq!(m.max, 4.0);
+        assert!(!m.mean.is_nan());
+        // All-NaN behaves like empty.
+        assert!(MetricSummary::from_values(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn rates_render_with_enough_precision() {
+        assert_eq!(fmt_rate(1.0), "100%");
+        assert_eq!(fmt_rate(0.0), "0%");
+        assert_eq!(fmt_rate(0.995), "99.5%");
+        assert_eq!(fmt_rate(0.5), "50%");
+        assert_eq!(fmt_rate(0.3333), "33.33%");
+        // Near-misses never collapse into the exact endpoints.
+        assert_eq!(fmt_rate(0.99999), "99.99%");
+        assert_eq!(fmt_rate(0.00001), "0.01%");
+    }
+
+    #[test]
+    fn markdown_escapes_pipes_in_label_cells() {
+        assert_eq!(md_cell("flood(4)"), "flood(4)");
+        assert_eq!(md_cell("weird|label"), "weird\\|label");
+        let cell = CellReport {
+            family: "fam|ily".to_string(),
+            mode: "full".to_string(),
+            encoding: "binary".to_string(),
+            workload: "flood(4)".to_string(),
+            noise: "mix|ed".to_string(),
+            scheduler: "random".to_string(),
+            nodes: 5,
+            edges: 8,
+            reference_cycle_len: 8,
+            runs: 2,
+            errors: 1,
+            success_rate: 0.995,
+            quiescence_rate: 0.5,
+            pulses: MetricSummary::ZERO,
+            bits: MetricSummary::ZERO,
+            steps: MetricSummary::ZERO,
+            dropped: MetricSummary::ZERO,
+            cc_init: MetricSummary::ZERO,
+            online_pulses: MetricSummary::ZERO,
+            max_node_pulses: MetricSummary::ZERO,
+            max_edge_pulses: MetricSummary::ZERO,
+            cycle_len: MetricSummary::ZERO,
+            baseline_messages: MetricSummary::ZERO,
+            overhead: None,
+        };
+        let report = CampaignReport {
+            name: "md".to_string(),
+            scenario_count: 2,
+            seeds_per_cell: 2,
+            skipped: vec![],
+            cells: vec![cell],
+        };
+        let md = report.to_markdown();
+        assert!(md.contains("fam\\|ily"));
+        assert!(md.contains("mix\\|ed"));
+        assert!(md.contains("| 99.5% | 50% |"));
+        // Every row has the same number of columns as the header (escaped
+        // pipes inside cell values do not count as separators).
+        let bars = |line: &str| line.replace("\\|", "").matches('|').count();
+        let lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.len() >= 3);
+        assert!(lines.iter().all(|l| bars(l) == bars(lines[0])));
+    }
+
+    #[test]
+    fn cell_report_without_dropped_metric_parses_as_zero() {
+        // Simulate a report saved before the deletion-noise models existed by
+        // deleting the `dropped` entry from a freshly rendered cell.
+        let cell = CellReport {
+            family: "figure3".to_string(),
+            mode: "full".to_string(),
+            encoding: "binary".to_string(),
+            workload: "flood(4)".to_string(),
+            noise: "noiseless".to_string(),
+            scheduler: "random".to_string(),
+            nodes: 5,
+            edges: 8,
+            reference_cycle_len: 8,
+            runs: 1,
+            errors: 0,
+            success_rate: 1.0,
+            quiescence_rate: 1.0,
+            pulses: MetricSummary::ZERO,
+            bits: MetricSummary::ZERO,
+            steps: MetricSummary::ZERO,
+            dropped: MetricSummary::from_values(&[7.0]).unwrap(),
+            cc_init: MetricSummary::ZERO,
+            online_pulses: MetricSummary::ZERO,
+            max_node_pulses: MetricSummary::ZERO,
+            max_edge_pulses: MetricSummary::ZERO,
+            cycle_len: MetricSummary::ZERO,
+            baseline_messages: MetricSummary::ZERO,
+            overhead: None,
+        };
+        let Json::Obj(fields) = cell.to_json() else {
+            panic!("cell renders as an object");
+        };
+        let legacy = Json::Obj(fields.into_iter().filter(|(k, _)| k != "dropped").collect());
+        let parsed = CellReport::from_json(&legacy).unwrap();
+        assert_eq!(parsed.dropped, MetricSummary::ZERO);
+        assert_eq!(parsed.family, "figure3");
     }
 }

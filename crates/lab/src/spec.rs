@@ -291,6 +291,15 @@ impl Campaign {
                                         "unary encoding is exponential; only flood(0) is swept"
                                             .to_string(),
                                     )
+                                } else if encoding == EncodingSpec::Unary && noise.deletes() {
+                                    // A unary value is a pulse *count*; deleting
+                                    // one pulse silently decodes as a different
+                                    // value, so the combination measures nothing
+                                    // and its exponential stalls burn the whole
+                                    // step budget.
+                                    Some(
+                                        "unary counting cannot tolerate deletion noise".to_string(),
+                                    )
                                 } else {
                                     None
                                 };
@@ -388,6 +397,29 @@ mod tests {
             .iter()
             .all(|s| matches!(s.cell.workload, WorkloadSpec::Flood { payload_bytes: 0 })));
         assert!(skipped.iter().any(|s| s.reason.contains("unary")));
+    }
+
+    #[test]
+    fn unary_never_pairs_with_deletion_noise() {
+        let mut c = matrix();
+        c.families = vec![GraphFamily::Cycle { n: 4 }];
+        c.encodings = vec![EncodingSpec::Unary];
+        c.workloads = vec![WorkloadSpec::Flood { payload_bytes: 0 }];
+        c.noises = vec![
+            NoiseSpec::FullCorruption,
+            NoiseSpec::Omission {
+                drop_per_mille: 100,
+            },
+            NoiseSpec::Burst { period: 4, len: 1 },
+        ];
+        let (scenarios, skipped) = c.expand_with_skips();
+        assert!(scenarios.iter().all(|s| !s.cell.noise.deletes()));
+        assert!(!scenarios.is_empty(), "alteration noise still runs");
+        let deletion_skips: Vec<_> = skipped
+            .iter()
+            .filter(|s| s.reason.contains("deletion"))
+            .collect();
+        assert_eq!(deletion_skips.len(), 4); // 2 deletion noises x 2 schedulers
     }
 
     #[test]

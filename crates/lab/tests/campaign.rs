@@ -1,8 +1,11 @@
 //! Integration tests of the campaign engine: determinism under parallelism,
-//! correctness of aggregation, and JSON round-tripping.
+//! correctness of aggregation, JSON round-tripping, the deletion-noise
+//! frontier, and the report diff gate.
 
 use fdn_graph::GraphFamily;
-use fdn_lab::{run_campaign, Campaign, CampaignReport, EngineMode, SeedRange};
+use fdn_lab::{
+    diff_reports, run_campaign, Campaign, CampaignReport, DiffTolerance, EngineMode, SeedRange,
+};
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
 
@@ -77,6 +80,81 @@ fn report_json_roundtrip_preserves_everything() {
     let parsed = CampaignReport::from_json_str(&json).unwrap();
     assert_eq!(parsed, report);
     assert_eq!(parsed.to_json_string(), json);
+}
+
+#[test]
+fn deletion_noise_frontier_degrades_gracefully_and_deterministically() {
+    // The three deletion-side adversaries violate the paper's no-deletion
+    // assumption: the construction is expected to lose success (recorded per
+    // cell), while the runs themselves must neither panic nor hang, and the
+    // report must stay byte-deterministic.
+    let mut campaign = Campaign::new("frontier");
+    campaign.families = vec![GraphFamily::Figure3, GraphFamily::Cycle { n: 5 }];
+    campaign.noises = std::iter::once(NoiseSpec::FullCorruption)
+        .chain(NoiseSpec::DELETION)
+        .collect();
+    campaign.seeds = SeedRange { start: 1, count: 3 };
+    let report = run_campaign(&campaign).unwrap();
+    assert_eq!(
+        report.to_json_string(),
+        run_campaign(&campaign).unwrap().to_json_string()
+    );
+    // The paper-model cells still succeed everywhere …
+    for cell in report.cells.iter().filter(|c| c.noise == "full-corruption") {
+        assert_eq!(cell.success_rate, 1.0, "{}", cell.family);
+        assert_eq!(cell.dropped.max, 0.0);
+    }
+    // … while every deletion cell recorded drops, and the sweep as a whole
+    // shows the frontier (at these rates the construction reliably breaks).
+    let deletion_cells: Vec<_> = report
+        .cells
+        .iter()
+        .filter(|c| c.noise != "full-corruption")
+        .collect();
+    assert_eq!(deletion_cells.len(), 6);
+    for cell in &deletion_cells {
+        assert!(cell.dropped.min > 0.0, "{}/{}", cell.family, cell.noise);
+    }
+    assert!(deletion_cells.iter().any(|c| c.success_rate < 1.0));
+    // The JSON round trip carries the new dropped metric.
+    let parsed = CampaignReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn diff_gate_passes_on_rerun_and_fails_on_degradation() {
+    let campaign = test_campaign();
+    let base = run_campaign(&campaign).unwrap();
+    let rerun = run_campaign(&campaign).unwrap();
+    let clean = diff_reports(&base, &rerun, DiffTolerance::default());
+    assert!(!clean.has_regressions());
+    assert_eq!(clean.unchanged, base.cells.len());
+
+    // Degrade one cell the way a behavioural regression would: lower its
+    // success rate and raise its pulse cost, then round-trip through JSON as
+    // the CLI does.
+    let mut worse = rerun.clone();
+    worse.cells[0].success_rate = 0.25;
+    worse.cells[1].pulses.p50 *= 2.0;
+    let worse = CampaignReport::from_json_str(&worse.to_json_string()).unwrap();
+    let gate = diff_reports(&base, &worse, DiffTolerance::default());
+    assert!(gate.has_regressions());
+    assert!(gate.regression_count() >= 2);
+    let md = gate.to_markdown();
+    assert!(md.contains("REGRESSION"));
+    // A generous tolerance absorbs the pulse change but not the rate drop.
+    let loose = diff_reports(
+        &base,
+        &worse,
+        DiffTolerance {
+            rate: 0.0,
+            pulses: 2.0,
+        },
+    );
+    assert!(loose
+        .deltas
+        .iter()
+        .all(|d| d.regressions.iter().all(|r| r.contains("success rate"))));
 }
 
 #[test]

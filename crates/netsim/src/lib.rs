@@ -10,7 +10,10 @@
 //! * channels are **not FIFO**;
 //! * the channel noise is **alteration noise**: a [`NoiseModel`] may rewrite
 //!   the content of every message arbitrarily, but can neither delete nor
-//!   inject messages — a *fully-defective* network corrupts everything;
+//!   inject messages — a *fully-defective* network corrupts everything.
+//!   Deletion-side adversaries ([`Omission`], [`CrashLink`], [`Burst`])
+//!   deliberately violate that contract to measure where the paper's
+//!   construction breaks once deletion is allowed;
 //! * nodes are event-driven state machines ([`Reactor`]): they act on start
 //!   and on every message reception.
 //!
@@ -66,7 +69,10 @@ pub mod transcript;
 
 pub use envelope::Envelope;
 pub use error::SimError;
-pub use noise::{BitFlip, ConstantOne, FullCorruption, NoiseModel, Noiseless, TargetedEdges};
+pub use noise::{
+    BitFlip, Burst, ConstantOne, CrashLink, FullCorruption, NoiseModel, Noiseless, Omission,
+    TargetedEdges,
+};
 pub use protocol::{Dest, DirectRunner, InnerProtocol, ProtocolIo, ProtocolMsg};
 pub use reactor::{Context, Reactor};
 pub use scheduler::{EdgeDelayScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};

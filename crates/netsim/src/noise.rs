@@ -3,9 +3,17 @@
 //! The paper's *fully-defective* network applies **alteration noise**: once a
 //! message `m ∈ {0,1}+` is sent, the receiver gets *some* `m' ∈ {0,1}+` — the
 //! content may be rewritten arbitrarily, but the message can neither be
-//! deleted nor can messages be injected. The models here implement exactly
-//! that contract: [`NoiseModel::corrupt`] always returns a non-empty payload
-//! and is invoked exactly once per sent message.
+//! deleted nor can messages be injected. The alteration models here implement
+//! exactly that contract: [`NoiseModel::corrupt`] always returns a non-empty
+//! payload and is invoked exactly once per sent message.
+//!
+//! A second group of models deliberately steps *outside* the paper's model to
+//! probe where the no-deletion assumption is load-bearing: [`Omission`],
+//! [`CrashLink`] and [`Burst`] may **delete** messages by overriding
+//! [`NoiseModel::deliver`]. Follow-up work (e.g. content-oblivious leader
+//! election under crash faults) asks exactly this boundary question; sweeping
+//! these adversaries in a campaign measures *where* the Theorem 2 construction
+//! breaks — expected loss of quiescence or success, never a panic or hang.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,12 +24,21 @@ use fdn_graph::graph::Edge;
 use crate::envelope::Envelope;
 
 /// A channel noise model. Implementations may keep internal state (e.g. an
-/// RNG) and are invoked once per delivered message.
+/// RNG) and are invoked once per scheduled delivery.
 pub trait NoiseModel {
     /// Produces the payload actually delivered to the receiver for a message
-    /// sent as `env.payload`. Must return a non-empty payload (the noise
-    /// cannot delete messages).
+    /// sent as `env.payload`. Must return a non-empty payload (alteration
+    /// noise cannot delete messages).
     fn corrupt(&mut self, env: &Envelope) -> Vec<u8>;
+
+    /// The full channel action for one scheduled delivery: `Some(payload)` is
+    /// handed to the receiver, `None` deletes the message. The default is the
+    /// paper's contract — alteration only, never deletion — so only the
+    /// deletion-side adversaries ([`Omission`], [`CrashLink`], [`Burst`])
+    /// override this.
+    fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
+        Some(self.corrupt(env))
+    }
 
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &'static str {
@@ -162,8 +179,171 @@ impl<N: NoiseModel> NoiseModel for TargetedEdges<N> {
         }
     }
 
+    fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
+        // Forward the full channel action, so a deletion-side inner model
+        // (e.g. `Omission` on a single bridge) keeps its ability to drop.
+        if self.edges.contains(&Edge::new(env.from, env.to)) {
+            self.inner.deliver(env)
+        } else {
+            Some(env.payload.clone())
+        }
+    }
+
     fn name(&self) -> &'static str {
         "targeted-edges"
+    }
+}
+
+/// Independent message deletion: each scheduled delivery is dropped with
+/// probability `drop_per_mille / 1000`, and delivered unaltered otherwise.
+///
+/// This is the classical omission-fault channel, which the paper's model
+/// explicitly forbids. Content is left untouched so that sweeps isolate the
+/// effect of deletion from the effect of alteration (the Theorem 2 engine is
+/// content-oblivious, so corrupting dropped-channel content as well would not
+/// change what breaks).
+#[derive(Debug, Clone)]
+pub struct Omission {
+    drop_per_mille: u16,
+    rng: StdRng,
+}
+
+impl Omission {
+    /// Creates the model dropping `drop_per_mille` out of every 1000
+    /// deliveries in expectation, with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_per_mille` exceeds 1000.
+    pub fn new(drop_per_mille: u16, seed: u64) -> Self {
+        assert!(
+            drop_per_mille <= 1000,
+            "drop rate is per mille and must be <= 1000"
+        );
+        Omission {
+            drop_per_mille,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl NoiseModel for Omission {
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
+        env.payload.clone()
+    }
+
+    fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
+        if self.rng.gen_range(0..1000u32) < u32::from(self.drop_per_mille) {
+            None
+        } else {
+            Some(env.payload.clone())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "omission"
+    }
+}
+
+/// A crash fault on one link: the undirected edge carrying the `at_pulse`-th
+/// scheduled delivery (0-indexed) fails permanently — that delivery and every
+/// later message on the same edge are deleted. Deliveries before the crash,
+/// and on every other edge, pass unaltered.
+///
+/// Deterministic (no RNG): which edge crashes is a function of the schedule,
+/// so a fixed scenario seed reproduces the exact crash.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashLink {
+    at_pulse: u64,
+    seen: u64,
+    crashed: Option<Edge>,
+}
+
+impl CrashLink {
+    /// Creates the model crashing the link of the `at_pulse`-th delivery.
+    pub fn new(at_pulse: u64) -> Self {
+        CrashLink {
+            at_pulse,
+            seen: 0,
+            crashed: None,
+        }
+    }
+
+    /// The edge that crashed, once it has.
+    pub fn crashed_edge(&self) -> Option<Edge> {
+        self.crashed
+    }
+}
+
+impl NoiseModel for CrashLink {
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
+        env.payload.clone()
+    }
+
+    fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
+        let edge = Edge::new(env.from, env.to);
+        if self.crashed.is_none() && self.seen == self.at_pulse {
+            self.crashed = Some(edge);
+        }
+        self.seen += 1;
+        if self.crashed == Some(edge) {
+            None
+        } else {
+            Some(env.payload.clone())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "crash-link"
+    }
+}
+
+/// Periodic burst deletion: deliveries are counted globally, and within every
+/// window of `period` deliveries the first `len` are deleted (the rest pass
+/// unaltered). Models correlated outages — e.g. a router blackout every few
+/// pulses — as opposed to [`Omission`]'s independent drops. Deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct Burst {
+    period: u64,
+    len: u64,
+    seen: u64,
+}
+
+impl Burst {
+    /// Creates the model deleting the first `len` of every `period`
+    /// deliveries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `len` exceeds `period`.
+    pub fn new(period: u64, len: u64) -> Self {
+        assert!(period > 0, "burst period must be positive");
+        assert!(len <= period, "burst length must not exceed the period");
+        Burst {
+            period,
+            len,
+            seen: 0,
+        }
+    }
+}
+
+impl NoiseModel for Burst {
+    fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
+        env.payload.clone()
+    }
+
+    fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
+        let phase = self.seen % self.period;
+        self.seen += 1;
+        if phase < self.len {
+            None
+        } else {
+            Some(env.payload.clone())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "burst"
     }
 }
 
@@ -238,6 +418,97 @@ mod tests {
     }
 
     #[test]
+    fn alteration_models_never_delete_via_deliver() {
+        let e = env(vec![3, 4]);
+        assert_eq!(Noiseless.deliver(&e), Some(vec![3, 4]));
+        assert_eq!(ConstantOne.deliver(&e), Some(vec![1]));
+        let delivered = FullCorruption::new(2).deliver(&e).unwrap();
+        assert!(!delivered.is_empty());
+    }
+
+    #[test]
+    fn omission_drops_at_the_configured_rate() {
+        let mut always = Omission::new(1000, 4);
+        let mut never = Omission::new(0, 4);
+        let e = env(vec![9]);
+        assert!((0..100).all(|_| always.deliver(&e).is_none()));
+        assert!((0..100).all(|_| never.deliver(&e) == Some(vec![9])));
+        assert_eq!(always.name(), "omission");
+        // Roughly half at 500 per mille, deterministic per seed.
+        let count = |seed| {
+            let mut n = Omission::new(500, seed);
+            (0..1000).filter(|_| n.deliver(&e).is_none()).count()
+        };
+        assert!((350..650).contains(&count(7)));
+        assert_eq!(count(7), count(7));
+        // Surviving deliveries keep the payload unaltered.
+        assert_eq!(never.corrupt(&e), vec![9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn omission_rejects_bad_rate() {
+        let _ = Omission::new(1001, 0);
+    }
+
+    #[test]
+    fn crash_link_kills_one_edge_permanently() {
+        let mut n = CrashLink::new(2);
+        let ab = env(vec![5]); // edge (0,1)
+        let cd = Envelope {
+            from: NodeId(2),
+            to: NodeId(3),
+            payload: vec![6],
+            seq: 0,
+        };
+        let ba = Envelope {
+            from: NodeId(1),
+            to: NodeId(0),
+            payload: vec![7],
+            seq: 0,
+        };
+        assert_eq!(n.deliver(&ab), Some(vec![5])); // pulse 0: before the crash
+        assert_eq!(n.deliver(&cd), Some(vec![6])); // pulse 1: before the crash
+        assert_eq!(n.crashed_edge(), None);
+        assert_eq!(n.deliver(&ab), None); // pulse 2: edge (0,1) crashes
+        assert_eq!(n.crashed_edge(), Some(Edge::new(NodeId(0), NodeId(1))));
+        assert_eq!(n.deliver(&cd), Some(vec![6])); // other edges keep working
+        assert_eq!(n.deliver(&ba), None); // both directions are dead
+        assert_eq!(n.name(), "crash-link");
+    }
+
+    #[test]
+    fn crash_link_never_fires_past_the_run() {
+        let mut n = CrashLink::new(1000);
+        let e = env(vec![1]);
+        assert!((0..100).all(|_| n.deliver(&e) == Some(vec![1])));
+        assert_eq!(n.crashed_edge(), None);
+    }
+
+    #[test]
+    fn burst_drops_periodic_prefixes() {
+        let mut n = Burst::new(4, 2);
+        let e = env(vec![8]);
+        let pattern: Vec<bool> = (0..8).map(|_| n.deliver(&e).is_some()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, true, false, false, true, true]
+        );
+        assert_eq!(n.name(), "burst");
+        // len == 0 never drops; len == period always drops.
+        let mut open = Burst::new(3, 0);
+        assert!((0..9).all(|_| open.deliver(&e).is_some()));
+        let mut closed = Burst::new(3, 3);
+        assert!((0..9).all(|_| closed.deliver(&e).is_none()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn burst_rejects_len_beyond_period() {
+        let _ = Burst::new(2, 3);
+    }
+
+    #[test]
     fn targeted_edges_only_corrupts_listed_edges() {
         let bridge = Edge::new(NodeId(0), NodeId(1));
         let mut n = TargetedEdges::new([bridge], ConstantOne);
@@ -250,5 +521,21 @@ mod tests {
         };
         assert_eq!(n.corrupt(&other), vec![5, 6]);
         assert_eq!(n.name(), "targeted-edges");
+    }
+
+    #[test]
+    fn targeted_edges_forwards_deletion_to_listed_edges_only() {
+        let bridge = Edge::new(NodeId(0), NodeId(1));
+        let mut n = TargetedEdges::new([bridge], Omission::new(1000, 5));
+        // The listed edge drops everything (inner deliver is forwarded) …
+        assert_eq!(n.deliver(&env(vec![5, 6])), None);
+        // … while other edges deliver unaltered.
+        let other = Envelope {
+            from: NodeId(2),
+            to: NodeId(3),
+            payload: vec![5, 6],
+            seq: 0,
+        };
+        assert_eq!(n.deliver(&other), Some(vec![5, 6]));
     }
 }

@@ -17,7 +17,8 @@ pub const DEFAULT_MAX_STEPS: u64 = 50_000_000;
 /// Summary of one [`Simulation::run_to_quiescence`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunReport {
-    /// Number of deliveries performed.
+    /// Number of scheduler steps performed (deliveries plus messages deleted
+    /// by a deletion-side noise model).
     pub steps: u64,
     /// Whether the network reached quiescence (no message in flight).
     pub quiescent: bool,
@@ -176,9 +177,11 @@ impl<R: Reactor> Simulation<R> {
         Ok(())
     }
 
-    /// Delivers a single message (chosen by the scheduler, corrupted by the
-    /// noise model) and queues whatever the receiving reactor sends in
-    /// response. Returns `false` if nothing was in flight.
+    /// Processes a single scheduled delivery: the scheduler picks an in-flight
+    /// message, the noise model either rewrites it (alteration) or deletes it
+    /// (deletion-side adversaries only), and — if it survives — the receiving
+    /// reactor runs and its sends are queued. Returns `false` if nothing was
+    /// in flight.
     ///
     /// # Errors
     ///
@@ -196,13 +199,27 @@ impl<R: Reactor> Simulation<R> {
             "scheduler returned an out-of-range index"
         );
         let env = self.inflight.swap_remove(idx);
-        let delivered_payload = self.noise.corrupt(&env);
+        self.steps += 1;
+        let Some(delivered_payload) = self.noise.deliver(&env) else {
+            // Deleted in transit: the receiver never observes anything, so no
+            // reactor runs. The step still counts towards the step limit —
+            // that is what lets run_to_quiescence absorb delete-everything
+            // adversaries without hanging.
+            self.stats.record_drop();
+            if let Some(t) = &mut self.transcript {
+                t.push(TranscriptEvent::Dropped {
+                    from: env.from,
+                    to: env.to,
+                    payload: env.payload,
+                });
+            }
+            return Ok(true);
+        };
         debug_assert!(
             !delivered_payload.is_empty(),
-            "noise must not delete messages"
+            "noise must not deliver empty payloads"
         );
         self.stats.record_delivery();
-        self.steps += 1;
         if let Some(t) = &mut self.transcript {
             t.push(TranscriptEvent::Delivered {
                 from: env.from,
@@ -413,6 +430,55 @@ mod tests {
         for id in 1..6 {
             assert!(sim.node(NodeId(id)).output().is_some());
         }
+    }
+
+    #[test]
+    fn omission_drops_messages_and_still_quiesces() {
+        use crate::noise::Omission;
+        // Dropping everything: the run drains without any delivery, and the
+        // drop path (not the step limit) absorbs the adversary.
+        let mut sim = ring_sim(5)
+            .with_noise(Omission::new(1000, 3))
+            .with_transcript();
+        let report = sim.run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.steps, 1); // node 0's send is dropped; nothing follows
+        assert_eq!(sim.stats().delivered_total, 0);
+        assert_eq!(sim.stats().dropped_total, 1);
+        assert!(sim.outputs().iter().all(Option::is_none));
+        let t = sim.transcript().unwrap();
+        assert!(t
+            .events()
+            .iter()
+            .any(|e| matches!(e, TranscriptEvent::Dropped { .. })));
+    }
+
+    #[test]
+    fn crash_link_halts_the_ring_at_the_crash() {
+        use crate::noise::CrashLink;
+        // The ring token crosses edges one at a time; crashing at pulse 2
+        // kills the third hop and the remaining nodes never hear anything.
+        let mut sim = ring_sim(6).with_noise(CrashLink::new(2));
+        let report = sim.run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(sim.stats().delivered_total, 2);
+        assert_eq!(sim.stats().dropped_total, 1);
+        assert_eq!(sim.outputs().iter().filter(|o| o.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn burst_noise_is_deterministic_and_never_panics() {
+        use crate::noise::Burst;
+        let run = |period, len| {
+            let mut sim = ring_sim(8).with_noise(Burst::new(period, len));
+            let report = sim.run().unwrap();
+            (report.steps, sim.stats().dropped_total)
+        };
+        assert_eq!(run(4, 1), run(4, 1));
+        // burst(1,0) never drops: plain ring behaviour.
+        assert_eq!(run(1, 0), (7, 0));
+        // burst(1,1) drops everything: one step, one drop.
+        assert_eq!(run(1, 1), (1, 1));
     }
 
     #[test]

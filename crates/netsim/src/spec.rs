@@ -10,7 +10,9 @@
 
 use std::fmt;
 
-use crate::noise::{BitFlip, ConstantOne, FullCorruption, NoiseModel, Noiseless};
+use crate::noise::{
+    BitFlip, Burst, ConstantOne, CrashLink, FullCorruption, NoiseModel, Noiseless, Omission,
+};
 use crate::scheduler::{FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
 
 /// A noise model, as data. `build(seed)` of equal specs with equal seeds
@@ -28,6 +30,25 @@ pub enum NoiseSpec {
         /// Per-bit flip probability in `[0, 1]`.
         p: f64,
     },
+    /// Independent message deletion ([`Omission`]) — outside the paper's
+    /// model, used to measure where the no-deletion assumption bites.
+    Omission {
+        /// Deliveries dropped out of every 1000, in `[0, 1000]`.
+        drop_per_mille: u16,
+    },
+    /// Permanent crash of the link carrying the `at_pulse`-th delivery
+    /// ([`CrashLink`]) — outside the paper's model.
+    CrashLink {
+        /// 0-indexed delivery at which the crash occurs.
+        at_pulse: u64,
+    },
+    /// Periodic burst deletion ([`Burst`]) — outside the paper's model.
+    Burst {
+        /// Window length in deliveries (positive).
+        period: u64,
+        /// Deliveries deleted at the start of each window (`<= period`).
+        len: u64,
+    },
 }
 
 impl NoiseSpec {
@@ -38,6 +59,25 @@ impl NoiseSpec {
         NoiseSpec::ConstantOne,
     ];
 
+    /// Canonical deletion-side frontier sweep: one representative of each
+    /// adversary that violates the paper's no-deletion assumption.
+    pub const DELETION: [NoiseSpec; 3] = [
+        NoiseSpec::Omission {
+            drop_per_mille: 200,
+        },
+        NoiseSpec::CrashLink { at_pulse: 40 },
+        NoiseSpec::Burst { period: 8, len: 2 },
+    ];
+
+    /// Whether this spec can delete messages (i.e. steps outside the paper's
+    /// alteration-only model).
+    pub fn deletes(&self) -> bool {
+        matches!(
+            self,
+            NoiseSpec::Omission { .. } | NoiseSpec::CrashLink { .. } | NoiseSpec::Burst { .. }
+        )
+    }
+
     /// Builds a fresh model instance for one run.
     pub fn build(&self, seed: u64) -> Box<dyn NoiseModel> {
         match *self {
@@ -45,6 +85,9 @@ impl NoiseSpec {
             NoiseSpec::FullCorruption => Box::new(FullCorruption::new(seed)),
             NoiseSpec::ConstantOne => Box::new(ConstantOne),
             NoiseSpec::BitFlip { p } => Box::new(BitFlip::new(p, seed)),
+            NoiseSpec::Omission { drop_per_mille } => Box::new(Omission::new(drop_per_mille, seed)),
+            NoiseSpec::CrashLink { at_pulse } => Box::new(CrashLink::new(at_pulse)),
+            NoiseSpec::Burst { period, len } => Box::new(Burst::new(period, len)),
         }
     }
 
@@ -75,6 +118,46 @@ impl NoiseSpec {
                         return Err(format!("noise `{s}`: probability must be in [0, 1]"));
                     }
                     Ok(NoiseSpec::BitFlip { p })
+                } else if let Some(r) = s
+                    .strip_prefix("omission(")
+                    .and_then(|r| r.strip_suffix(')'))
+                {
+                    let drop_per_mille: u16 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("noise `{s}`: drop rate must be an integer"))?;
+                    if drop_per_mille > 1000 {
+                        return Err(format!("noise `{s}`: drop rate is per mille (0..=1000)"));
+                    }
+                    Ok(NoiseSpec::Omission { drop_per_mille })
+                } else if let Some(r) = s
+                    .strip_prefix("crash-link(")
+                    .and_then(|r| r.strip_suffix(')'))
+                {
+                    let at_pulse: u64 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("noise `{s}`: crash pulse must be an integer"))?;
+                    Ok(NoiseSpec::CrashLink { at_pulse })
+                } else if let Some(r) = s.strip_prefix("burst(").and_then(|r| r.strip_suffix(')')) {
+                    let (period, len) = r
+                        .split_once(',')
+                        .ok_or_else(|| format!("noise `{s}`: expected burst(period,len)"))?;
+                    let period: u64 = period
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("noise `{s}`: period must be an integer"))?;
+                    let len: u64 = len
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("noise `{s}`: length must be an integer"))?;
+                    if period == 0 {
+                        return Err(format!("noise `{s}`: period must be positive"));
+                    }
+                    if len > period {
+                        return Err(format!("noise `{s}`: length must not exceed the period"));
+                    }
+                    Ok(NoiseSpec::Burst { period, len })
                 } else {
                     Err(format!("unknown noise spec `{s}`"))
                 }
@@ -92,6 +175,9 @@ impl fmt::Display for NoiseSpec {
             NoiseSpec::FullCorruption => f.write_str("full-corruption"),
             NoiseSpec::ConstantOne => f.write_str("constant-one"),
             NoiseSpec::BitFlip { p } => write!(f, "bitflip({p})"),
+            NoiseSpec::Omission { drop_per_mille } => write!(f, "omission({drop_per_mille})"),
+            NoiseSpec::CrashLink { at_pulse } => write!(f, "crash-link({at_pulse})"),
+            NoiseSpec::Burst { period, len } => write!(f, "burst({period},{len})"),
         }
     }
 }
@@ -197,12 +283,49 @@ mod tests {
             NoiseSpec::FullCorruption,
             NoiseSpec::ConstantOne,
             NoiseSpec::BitFlip { p: 0.25 },
+            NoiseSpec::Omission {
+                drop_per_mille: 125,
+            },
+            NoiseSpec::CrashLink { at_pulse: 17 },
+            NoiseSpec::Burst { period: 6, len: 2 },
         ] {
+            assert_eq!(NoiseSpec::parse(&spec.label()).unwrap(), spec);
+        }
+        for spec in NoiseSpec::DELETION {
             assert_eq!(NoiseSpec::parse(&spec.label()).unwrap(), spec);
         }
         assert!(NoiseSpec::parse("gaussian").is_err());
         assert!(NoiseSpec::parse("bitflip(2.0)").is_err());
         assert!(NoiseSpec::parse("bitflip(x)").is_err());
+        assert!(NoiseSpec::parse("omission(1001)").is_err());
+        assert!(NoiseSpec::parse("omission(x)").is_err());
+        assert!(NoiseSpec::parse("crash-link(soon)").is_err());
+        assert!(NoiseSpec::parse("burst(4)").is_err());
+        assert!(NoiseSpec::parse("burst(0,0)").is_err());
+        assert!(NoiseSpec::parse("burst(2,3)").is_err());
+    }
+
+    #[test]
+    fn deletion_specs_build_deleting_models_and_alteration_specs_do_not() {
+        for spec in NoiseSpec::DELETION {
+            assert!(spec.deletes());
+        }
+        for spec in NoiseSpec::BASIC {
+            assert!(!spec.deletes());
+            assert!(spec.build(1).deliver(&env()).is_some());
+        }
+        assert!(!NoiseSpec::BitFlip { p: 0.5 }.deletes());
+        // omission(1000) deletes everything; burst(1,1) deletes everything;
+        // crash-link(0) deletes the very first delivery.
+        let mut all = NoiseSpec::Omission {
+            drop_per_mille: 1000,
+        }
+        .build(3);
+        assert!(all.deliver(&env()).is_none());
+        let mut burst = NoiseSpec::Burst { period: 1, len: 1 }.build(3);
+        assert!(burst.deliver(&env()).is_none());
+        let mut crash = NoiseSpec::CrashLink { at_pulse: 0 }.build(3);
+        assert!(crash.deliver(&env()).is_none());
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct Stats {
     pub sent_total: u64,
     /// Total messages delivered so far.
     pub delivered_total: u64,
+    /// Total messages deleted by the noise model (always 0 under the paper's
+    /// alteration-only contract; deletion-side adversaries may drop).
+    pub dropped_total: u64,
     /// Total payload bits sent (the paper's `CC` counts bits of sent
     /// messages).
     pub bits_sent: u64,
@@ -55,6 +58,11 @@ impl Stats {
         self.delivered_total += 1;
     }
 
+    /// Records a message deleted by the noise model.
+    pub fn record_drop(&mut self) {
+        self.dropped_total += 1;
+    }
+
     /// Messages sent by a specific node.
     pub fn sent_by(&self, node: NodeId) -> u64 {
         self.per_node_sent.get(node.index()).copied().unwrap_or(0)
@@ -80,6 +88,7 @@ impl Stats {
         StatsSnapshot {
             sent_total: self.sent_total,
             delivered_total: self.delivered_total,
+            dropped_total: self.dropped_total,
             bits_sent: self.bits_sent,
             per_node_sent: self.per_node_sent.clone(),
             per_edge_sent,
@@ -100,6 +109,7 @@ impl Stats {
         Stats {
             sent_total: self.sent_total - earlier.sent_total,
             delivered_total: self.delivered_total - earlier.delivered_total,
+            dropped_total: self.dropped_total - earlier.dropped_total,
             bits_sent: self.bits_sent - earlier.bits_sent,
             per_edge_sent: per_edge,
             per_node_sent: self
@@ -125,6 +135,8 @@ pub struct StatsSnapshot {
     pub sent_total: u64,
     /// Total messages delivered.
     pub delivered_total: u64,
+    /// Total messages deleted by the noise model.
+    pub dropped_total: u64,
     /// Total payload bits sent.
     pub bits_sent: u64,
     /// Messages sent per node (indexed by node id).
@@ -172,6 +184,7 @@ impl StatsSnapshot {
         StatsSnapshot {
             sent_total: self.sent_total - earlier.sent_total,
             delivered_total: self.delivered_total - earlier.delivered_total,
+            dropped_total: self.dropped_total - earlier.dropped_total,
             bits_sent: self.bits_sent - earlier.bits_sent,
             per_node_sent: self
                 .per_node_sent
@@ -234,7 +247,22 @@ mod tests {
     fn default_is_zero() {
         let s = Stats::default();
         assert_eq!(s.sent_total, 0);
+        assert_eq!(s.dropped_total, 0);
         assert_eq!(s.max_sent_by_node(), 0);
+    }
+
+    #[test]
+    fn drops_are_counted_and_diffed() {
+        let mut s = Stats::new(2);
+        s.record_send(&env(0, 1, 1));
+        s.record_drop();
+        let first = s.clone();
+        s.record_drop();
+        s.record_drop();
+        assert_eq!(s.dropped_total, 3);
+        assert_eq!(s.snapshot().dropped_total, 3);
+        assert_eq!(s.since(&first).dropped_total, 2);
+        assert_eq!(s.snapshot().since(&first.snapshot()).dropped_total, 2);
     }
 
     #[test]

@@ -24,15 +24,24 @@ pub enum TranscriptEvent {
         to: NodeId,
         payload: Vec<u8>,
     },
+    /// The noise model deleted the message `from` sent towards `to` (only
+    /// possible under deletion-side adversaries, never in the paper's model).
+    /// The payload is the one that was sent; neither endpoint observes the
+    /// event.
+    Dropped {
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+    },
 }
 
 impl TranscriptEvent {
-    /// The node performing the action (sender for `Sent`, receiver for
-    /// `Delivered`).
+    /// The node performing (or, for `Dropped`, suffering) the action: sender
+    /// for `Sent`, receiver for `Delivered` and `Dropped`.
     pub fn actor(&self) -> NodeId {
         match self {
             TranscriptEvent::Sent { from, .. } => *from,
-            TranscriptEvent::Delivered { to, .. } => *to,
+            TranscriptEvent::Delivered { to, .. } | TranscriptEvent::Dropped { to, .. } => *to,
         }
     }
 }
@@ -107,5 +116,13 @@ mod tests {
         let local1 = t.local(NodeId(1));
         assert_eq!(local1.len(), 2);
         assert_eq!(local1[0].actor(), NodeId(1));
+        // A dropped message is attributed to its would-be receiver.
+        t.push(TranscriptEvent::Dropped {
+            from: NodeId(1),
+            to: NodeId(0),
+            payload: vec![3],
+        });
+        assert_eq!(t.local(NodeId(0)).len(), 2);
+        assert_eq!(t.events()[3].actor(), NodeId(0));
     }
 }

@@ -43,5 +43,30 @@ fn main() -> Result<(), LabError> {
     assert!(report.cells.iter().all(|c| c.success_rate == 1.0));
 
     print!("{}", report.to_markdown());
+
+    // The frontier: the same matrix under deletion-side adversaries, which
+    // the paper's model forbids. Success is *expected* to collapse — the
+    // interesting output is where and how (early quiescence with dropped
+    // pulses, never a panic or hang).
+    let mut frontier = campaign.clone();
+    frontier.name = "example-frontier".to_string();
+    frontier.noises = NoiseSpec::DELETION.to_vec();
+    eprintln!(
+        "running {} deletion-frontier scenarios…",
+        frontier.scenario_count()
+    );
+    let frontier_report = run_campaign(&frontier)?;
+    println!();
+    print!("{}", frontier_report.to_markdown());
+    let broken = frontier_report
+        .cells
+        .iter()
+        .filter(|c| c.success_rate < 1.0)
+        .count();
+    println!(
+        "\ndeletion frontier: {} of {} cells lost success once messages could be dropped",
+        broken,
+        frontier_report.cells.len()
+    );
     Ok(())
 }

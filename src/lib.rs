@@ -73,12 +73,13 @@ pub mod prelude {
         RobbinsCycle,
     };
     pub use fdn_lab::{
-        run_campaign, run_scenario, Campaign, CampaignReport, EncodingSpec, EngineMode, LabError,
-        Scenario, SeedRange,
+        diff_reports, run_campaign, run_scenario, Campaign, CampaignReport, DiffTolerance,
+        EncodingSpec, EngineMode, LabError, ReportDiff, Scenario, SeedRange,
     };
     pub use fdn_netsim::{
-        DirectRunner, FullCorruption, InnerProtocol, NoiseSpec, Noiseless, RandomScheduler,
-        Reactor, SchedulerSpec, SimError, Simulation, Stats, StatsSnapshot,
+        Burst, CrashLink, DirectRunner, FullCorruption, InnerProtocol, NoiseSpec, Noiseless,
+        Omission, RandomScheduler, Reactor, SchedulerSpec, SimError, Simulation, Stats,
+        StatsSnapshot,
     };
     pub use fdn_protocols::{
         EchoAggregate, FloodBroadcast, GossipAllToAll, MaxIdLeaderElection, TokenRingCounter,
