@@ -1,0 +1,69 @@
+//! Scheduling cost of the link-indexed event core.
+//!
+//! The refactor's claim: a scheduling decision ranges over the non-empty
+//! *links* (bounded by the directed edge count) instead of the in-flight
+//! *messages* (unbounded), so driving a congested network costs the same per
+//! step no matter how deep the queues get. These benchmarks drive a
+//! pre-loaded network to quiescence at increasing congestion levels: per-step
+//! cost should stay flat across `depth` for every scheduler (the
+//! first-generation flat-scan engine degraded linearly for fifo/lifo).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdn_graph::{generators, NodeId};
+use fdn_netsim::{Context, Reactor, SchedulerSpec, Simulation};
+
+/// A sink: messages are consumed, never answered. The interesting work is
+/// draining the pre-loaded queues, i.e. pure event-core throughput.
+struct Sink;
+
+impl Reactor for Sink {
+    fn on_start(&mut self, _ctx: &mut Context) {}
+    fn on_message(&mut self, _from: NodeId, _payload: &[u8], _ctx: &mut Context) {}
+    fn output(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Builds a ring simulation with `depth` messages pre-loaded on every
+/// directed link, and drains it under the given scheduler.
+fn drain(n: usize, depth: usize, scheduler: SchedulerSpec) -> u64 {
+    let g = generators::cycle(n).unwrap();
+    let nodes = (0..n).map(|_| Sink).collect();
+    let mut sim = Simulation::new(g, nodes)
+        .unwrap()
+        .with_scheduler_boxed(scheduler.build(7));
+    sim.start().unwrap();
+    for _ in 0..depth {
+        for u in 0..n {
+            let next = NodeId(((u + 1) % n) as u32);
+            let prev = NodeId(((u + n - 1) % n) as u32);
+            sim.with_node_mut(NodeId(u as u32), |_, ctx| {
+                ctx.send(next, vec![1]);
+                ctx.send(prev, vec![1]);
+            })
+            .unwrap();
+        }
+    }
+    let report = sim.run_to_quiescence().unwrap();
+    assert_eq!(report.steps, (2 * n * depth) as u64);
+    report.steps
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_core_drain");
+    group.sample_size(10);
+    let n = 64usize;
+    for scheduler in SchedulerSpec::ALL {
+        for depth in [1usize, 8, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(scheduler.label(), format!("depth{depth}")),
+                &depth,
+                |b, &depth| b.iter(|| drain(n, depth, scheduler)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drain);
+criterion_main!(benches);

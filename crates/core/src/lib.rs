@@ -38,5 +38,5 @@ pub use encoding::Encoding;
 pub use engine::RobbinsEngine;
 pub use error::CoreError;
 pub use full::{full_simulators, FullSimulator};
-pub use reactors::{cycle_simulators, CycleSimulator};
+pub use reactors::{cycle_simulators, cycle_simulators_prevalidated, CycleSimulator};
 pub use wire::{WireDest, WireMessage};

@@ -154,6 +154,39 @@ pub fn cycle_simulators<P, F>(
     graph: &Graph,
     cycle: &RobbinsCycle,
     encoding: Encoding,
+    factory: F,
+) -> Result<Vec<CycleSimulator<P>>, CoreError>
+where
+    P: InnerProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    if !connectivity::is_two_edge_connected(graph) {
+        return Err(CoreError::NotTwoEdgeConnected);
+    }
+    cycle
+        .validate(graph)
+        .map_err(|e| CoreError::InvalidCycle(e.to_string()))?;
+    cycle_simulators_prevalidated(graph, cycle, encoding, factory)
+}
+
+/// Like [`cycle_simulators`], but skips the 2-edge-connectivity check and the
+/// cycle/graph cross-validation. This is the construction-cache handoff: a
+/// caller that validated `(graph, cycle)` **once** (e.g. `fdn-lab`'s topology
+/// cache) re-hands the same pair to fresh simulator nodes for every seed of a
+/// sweep without paying the `O(|C|)` validation per run.
+///
+/// The node views are built in one `O(|C|)` pass
+/// ([`RobbinsCycle::local_views`]) rather than one scan per node.
+///
+/// # Errors
+///
+/// Returns an error if the graph is too large for the wire format or a graph
+/// node does not appear on the cycle (a Robbins cycle visits every node, so
+/// this only fires on mismatched inputs the caller failed to validate).
+pub fn cycle_simulators_prevalidated<P, F>(
+    graph: &Graph,
+    cycle: &RobbinsCycle,
+    encoding: Encoding,
     mut factory: F,
 ) -> Result<Vec<CycleSimulator<P>>, CoreError>
 where
@@ -166,18 +199,13 @@ where
             max: crate::wire::MAX_NODE_ID as usize + 1,
         });
     }
-    if !connectivity::is_two_edge_connected(graph) {
-        return Err(CoreError::NotTwoEdgeConnected);
-    }
-    cycle
-        .validate(graph)
-        .map_err(|e| CoreError::InvalidCycle(e.to_string()))?;
+    let mut views = cycle.local_views();
     let holder = cycle.root();
     graph
         .nodes()
         .map(|v| {
-            let view = cycle
-                .local_view(v)
+            let view = views
+                .remove(&v)
                 .ok_or_else(|| CoreError::InvalidCycle(format!("node {v} not on the cycle")))?;
             CycleSimulator::new(
                 view,

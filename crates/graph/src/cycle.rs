@@ -357,6 +357,31 @@ impl RobbinsCycle {
         }
     }
 
+    /// The local views of **all** nodes on the cycle, keyed by node, built in
+    /// a single pass over the sequence. Equivalent to calling
+    /// [`RobbinsCycle::local_view`] for every distinct node, but `O(|C|)`
+    /// instead of `O(n·|C|)` — the difference matters when a cached cycle is
+    /// re-handed to fresh simulator nodes for every seed of a sweep.
+    pub fn local_views(&self) -> HashMap<NodeId, LocalCycleView> {
+        let n = self.seq.len();
+        let mut views: HashMap<NodeId, LocalCycleView> = HashMap::new();
+        for i in 0..n {
+            let node = self.seq[i];
+            let occ = Occurrence {
+                prev: self.seq[(i + n - 1) % n],
+                next: self.seq[(i + 1) % n],
+            };
+            views
+                .entry(node)
+                .and_modify(|v| v.occurrences.push(occ))
+                .or_insert_with(|| LocalCycleView {
+                    node,
+                    occurrences: vec![occ],
+                });
+        }
+        views
+    }
+
     /// The shortest directed path from `from` to `to` that uses only arcs of
     /// this cycle (the paper's `z ⇒_C root` notation). Ties are broken
     /// deterministically (BFS visiting lower node ids first), matching the
@@ -478,6 +503,23 @@ mod tests {
         c.validate(&g).unwrap();
         assert!(c.covers_all_edges(&g));
         assert_eq!(c.to_string(), "[v0 -> v1 -> v2 -> v3 -> v0]");
+    }
+
+    #[test]
+    fn bulk_local_views_match_per_node_views() {
+        // A non-simple cycle with repeated nodes (Figure 3's, built by the
+        // reference construction): the one-pass builder must agree with the
+        // per-node scan for every distinct node.
+        let g = crate::generators::figure3();
+        let c = crate::robbins::reference_robbins_cycle(&g, NodeId(0)).unwrap();
+        assert!(c.distinct_nodes().len() < c.len(), "cycle is non-simple");
+        let bulk = c.local_views();
+        assert_eq!(bulk.len(), c.distinct_nodes().len());
+        for node in c.distinct_nodes() {
+            assert_eq!(bulk.get(&node), c.local_view(node).as_ref(), "{node}");
+        }
+        // Nodes absent from the cycle are absent from the map.
+        assert!(!bulk.contains_key(&NodeId(9)));
     }
 
     #[test]

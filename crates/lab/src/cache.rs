@@ -1,0 +1,174 @@
+//! The construction cache: topology work shared across a seed sweep.
+//!
+//! Expanding a campaign multiplies every cell by its seed range, and the
+//! first-generation runner rebuilt the *entire topology* — graph and
+//! reference Robbins cycle (the Lemma 19 construction, the steep part,
+//! which itself establishes 2-edge-connectivity) — once **per scenario**.
+//! But none of that work depends on the seed:
+//!
+//! * [`GraphFamily::build`] is deterministic — equal families yield equal
+//!   graphs (random families carry their own seed *inside* the family value);
+//! * the reference Robbins cycle is a deterministic function of the graph and
+//!   the designated root;
+//! * scenario seeds feed **only** the noise model and the scheduler (and, in
+//!   full mode, thereby the distributed construction's interleaving).
+//!
+//! So the cache memoises exactly the seed-independent prefix, keyed by
+//! [`GraphFamily`]: one graph build, one reference cycle and one cycle/graph
+//! validation per family, reused by every seed of every cell
+//! that shares the family. What is **not** cached — deliberately — is the
+//! full-mode *distributed* construction: its pulse interleaving depends on
+//! the scheduler seed, so reusing it across seeds would collapse the very
+//! asynchrony the sweep measures. (See the README's soundness argument.)
+//!
+//! The cache is created per campaign run and shared across the rayon worker
+//! threads. Lookups are single-flight: each family has one `OnceLock` slot,
+//! so concurrent first lookups of the same family block on a single build
+//! instead of redundantly re-running the Lemma 19 construction — seeds of
+//! one cell are dispatched back-to-back, exactly the racy case.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fdn_graph::{robbins, Graph, GraphFamily, RobbinsCycle};
+use fdn_protocols::WorkloadSpec;
+
+/// The seed-independent topology of one [`GraphFamily`]: everything a
+/// scenario needs that is legal to reuse across its seed range.
+#[derive(Debug)]
+pub struct CachedTopology {
+    /// The built graph.
+    pub graph: Graph,
+    /// The reference Robbins cycle rooted at [`WorkloadSpec::ROOT`], already
+    /// validated against the graph, or the construction error rendered as
+    /// text (non-2-edge-connected families fail here — Theorem 3 — which is
+    /// also how cycle-mode scenarios learn the family is ineligible).
+    pub cycle: Result<RobbinsCycle, String>,
+}
+
+impl CachedTopology {
+    fn build(family: GraphFamily) -> Result<CachedTopology, String> {
+        let graph = family.build().map_err(|e| e.to_string())?;
+        let cycle = robbins::reference_robbins_cycle(&graph, WorkloadSpec::ROOT)
+            .map_err(|e| e.to_string())
+            .and_then(|c| {
+                // Validate once here so the per-seed handoff
+                // (`cycle_simulators_prevalidated`) can skip it.
+                c.validate(&graph).map_err(|e| e.to_string())?;
+                Ok(c)
+            });
+        Ok(CachedTopology { graph, cycle })
+    }
+}
+
+/// One single-flight build slot per family.
+type TopologySlot = Arc<OnceLock<Result<Arc<CachedTopology>, String>>>;
+
+/// A per-campaign memo of [`CachedTopology`] values, safe to share across
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct TopologyCache {
+    map: Mutex<HashMap<GraphFamily, TopologySlot>>,
+}
+
+impl TopologyCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TopologyCache::default()
+    }
+
+    /// The cached topology of `family`, building it on first use.
+    /// Single-flight: concurrent first lookups of one family block on a
+    /// single build; the map lock itself is only held to fetch the slot, so
+    /// a slow construction (Lemma 19 at large n) never serializes workers
+    /// sweeping *other* families.
+    ///
+    /// # Errors
+    ///
+    /// Returns the family's build error as text (cached like a success: the
+    /// build is deterministic, so every call sees the same text).
+    pub fn get(&self, family: GraphFamily) -> Result<Arc<CachedTopology>, String> {
+        let slot: TopologySlot = {
+            let mut map = self.map.lock().expect("cache lock");
+            Arc::clone(map.entry(family).or_default())
+        };
+        slot.get_or_init(|| CachedTopology::build(family).map(Arc::new))
+            .clone()
+    }
+
+    /// Number of families with a cache slot (successful or failed builds).
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_one_topology_per_family() {
+        let cache = TopologyCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(GraphFamily::Figure3).unwrap();
+        let b = cache.get(GraphFamily::Figure3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+        assert_eq!(cache.len(), 1);
+        cache.get(GraphFamily::Cycle { n: 5 }).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_topology_matches_direct_construction() {
+        let cache = TopologyCache::new();
+        let fam = GraphFamily::RandomTwoEdgeConnected {
+            n: 8,
+            extra_edges: 4,
+            seed: 1,
+        };
+        let topo = cache.get(fam).unwrap();
+        assert_eq!(topo.graph, fam.build().unwrap());
+        let direct = robbins::reference_robbins_cycle(&topo.graph, WorkloadSpec::ROOT).unwrap();
+        assert_eq!(topo.cycle.as_ref().unwrap(), &direct);
+    }
+
+    #[test]
+    fn non_two_edge_connected_families_cache_the_error() {
+        let cache = TopologyCache::new();
+        let topo = cache.get(GraphFamily::Path { n: 4 }).unwrap();
+        let err = topo.cycle.as_ref().unwrap_err();
+        assert!(err.contains("2-edge-connected"), "{err}");
+    }
+
+    #[test]
+    fn invalid_parameters_surface_the_build_error() {
+        let cache = TopologyCache::new();
+        let err = cache.get(GraphFamily::Cycle { n: 2 }).unwrap_err();
+        assert!(!err.is_empty());
+        // The (deterministic) error is cached like a success: same text on
+        // every lookup, one slot in the map.
+        assert_eq!(cache.get(GraphFamily::Cycle { n: 2 }).unwrap_err(), err);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_first_lookups_are_single_flight() {
+        // Hammer one family from many threads: every caller gets the same
+        // Arc (one build happened), and the cache holds exactly one slot.
+        let cache = std::sync::Arc::new(TopologyCache::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || cache.get(GraphFamily::Petersen).unwrap())
+            })
+            .collect();
+        let topos: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(topos.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(cache.len(), 1);
+    }
+}

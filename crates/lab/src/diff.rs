@@ -351,6 +351,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: noise.to_string(),
             scheduler: "random".to_string(),
+            first_scenario_index: 0,
             nodes: 5,
             edges: 8,
             reference_cycle_len: 8,
@@ -372,6 +373,7 @@ mod tests {
             online_pulses: MetricSummary::ZERO,
             max_node_pulses: MetricSummary::ZERO,
             max_edge_pulses: MetricSummary::ZERO,
+            max_inflight: MetricSummary::ZERO,
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,

@@ -47,6 +47,7 @@
 //! The `fdn-lab` binary exposes the same engine on the command line
 //! (`run`, `list-scenarios`, `report`); see the repository README.
 
+pub mod cache;
 pub mod diff;
 pub mod error;
 pub mod json;
@@ -55,10 +56,17 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use cache::{CachedTopology, TopologyCache};
 pub use diff::{diff_reports, CellChange, CellDelta, DiffTolerance, ReportDiff};
 pub use error::LabError;
 pub use json::Json;
 pub use presets::PRESET_NAMES;
-pub use report::{aggregate, fmt_rate, percentile, CampaignReport, CellReport, MetricSummary};
-pub use runner::{run_campaign, run_expanded, run_scenario, ScenarioOutcome};
-pub use spec::{Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, SkippedCell};
+pub use report::{
+    aggregate, fmt_rate, merge_reports, percentile, CampaignReport, CellReport, MetricSummary,
+};
+pub use runner::{
+    run_campaign, run_expanded, run_scenario, run_scenario_with, run_shard, ScenarioOutcome,
+};
+pub use spec::{
+    shard_slice, Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, Shard, SkippedCell,
+};

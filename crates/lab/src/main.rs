@@ -2,14 +2,15 @@
 //! matrices, and re-render saved reports.
 //!
 //! ```text
-//! fdn-lab run [matrix flags] [--threads N] [--out DIR]
-//! fdn-lab list-scenarios [matrix flags]
+//! fdn-lab run [matrix flags] [--threads N] [--out DIR] [--shard K/M]
+//! fdn-lab list-scenarios [matrix flags] [--family SUBSTR] [--noise SUBSTR]
 //! fdn-lab report --input FILE [--format md|csv|json]
+//! fdn-lab merge SHARD.json... [--out FILE]   # recombine per-shard reports
 //! fdn-lab diff BASE.json CANDIDATE.json [--tol-rate X] [--tol-pulses Y]
 //!              [--format md|json]        # exit 0 clean, 2 on regression
 //!
 //! Matrix flags (each overrides one axis of the chosen --preset):
-//!   --preset quick|standard|paper     base campaign   [default: standard]
+//!   --preset quick|standard|paper|scale  base campaign  [default: standard]
 //!   --name NAME                       report name     [default: preset name]
 //!   --families CSV    e.g. cycle(8),petersen,random2ec(10,5,s2)
 //!   --modes CSV       full,cycle
@@ -27,7 +28,10 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use fdn_graph::GraphFamily;
-use fdn_lab::{diff_reports, run_expanded, Campaign, CampaignReport, DiffTolerance, LabError};
+use fdn_lab::{
+    diff_reports, merge_reports, run_expanded, run_shard, shard_slice, Campaign, CampaignReport,
+    DiffTolerance, LabError, Shard,
+};
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
 
@@ -49,6 +53,7 @@ fn dispatch(args: &[String]) -> Result<(), LabError> {
         Some("run") => cmd_run(&args[1..]),
         Some("list-scenarios") => cmd_list(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
@@ -65,12 +70,15 @@ fn usage() -> String {
     \x20 run             expand the matrix, run every scenario in parallel,\n\
     \x20                 write JSON + CSV + markdown reports\n\
     \x20 list-scenarios  print the expanded matrix without running it\n\
+    \x20                 (--family SUBSTR / --noise SUBSTR filter the listing)\n\
     \x20 report          re-render a saved JSON report (--input FILE)\n\
+    \x20 merge           recombine per-shard reports (run --shard K/M) into\n\
+    \x20                 the whole campaign's report (--out FILE, else stdout)\n\
     \x20 diff            compare two saved JSON reports cell-by-cell;\n\
     \x20                 exit 0 when clean, 2 on regression\n\
      \n\
      Matrix flags (override one axis of the chosen --preset):\n\
-    \x20 --preset quick|standard|paper   base campaign [default: standard]\n\
+    \x20 --preset quick|standard|paper|scale  base campaign [default: standard]\n\
     \x20 --name NAME                     report name\n\
     \x20 --families CSV                  cycle(8),petersen,random2ec(10,5,s2),...\n\
     \x20 --modes CSV                     full,cycle\n\
@@ -85,6 +93,8 @@ fn usage() -> String {
      Execution flags:\n\
     \x20 --threads N                     worker threads [default: all cores]\n\
     \x20 --out DIR                       report directory [default: lab-out]\n\
+    \x20 --shard K/M                     run only the K-th of M deterministic\n\
+    \x20                                 cell slices (recombine with `merge`)\n\
     \x20 --format md|csv|json            (report command) output format\n\
      \n\
      Diff flags (`fdn-lab diff BASE.json CANDIDATE.json`):\n\
@@ -127,6 +137,7 @@ struct RunOptions {
     campaign: Campaign,
     threads: Option<usize>,
     out_dir: PathBuf,
+    shard: Option<Shard>,
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
@@ -143,6 +154,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
     let mut campaign = Campaign::preset(&preset)?;
     let mut threads = None;
     let mut out_dir = PathBuf::from("lab-out");
+    let mut shard = None;
     let parse_err = |flag: &str, e: String| LabError::Usage(format!("{flag}: {e}"));
 
     let mut flags = Flags::new(args);
@@ -195,6 +207,9 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
                 threads = Some(parse_num(flag, flags.value(flag)?)? as usize);
             }
             "--out" => out_dir = PathBuf::from(flags.value(flag)?),
+            "--shard" => {
+                shard = Some(Shard::parse(flags.value(flag)?).map_err(|e| parse_err(flag, e))?);
+            }
             other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -202,6 +217,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
         campaign,
         threads,
         out_dir,
+        shard,
     })
 }
 
@@ -245,7 +261,15 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
             .num_threads(n)
             .build_global();
     }
-    let (scenarios, skipped) = opts.campaign.expand_with_skips();
+    let (mut scenarios, skipped) = opts.campaign.expand_with_skips();
+    if let Some(shard) = opts.shard {
+        let full = scenarios.len();
+        scenarios = shard_slice(&scenarios, shard);
+        eprintln!(
+            "shard {shard}: {} of {full} scenarios (cell-atomic slice)",
+            scenarios.len()
+        );
+    }
     eprintln!(
         "campaign `{}`: {} scenarios across {} worker threads ({} combinations skipped)",
         opts.campaign.name,
@@ -254,7 +278,13 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
         skipped.len()
     );
     let started = Instant::now();
-    let report = run_expanded(&opts.campaign, scenarios, skipped)?;
+    // A shard is allowed to be empty (more shards than cells): it still
+    // writes a report so a fleet driver can merge all M shards uniformly.
+    // An unsharded empty expansion stays an error.
+    let report = match opts.shard {
+        Some(_) => run_shard(&opts.campaign, scenarios, skipped),
+        None => run_expanded(&opts.campaign, scenarios, skipped)?,
+    };
     let elapsed = started.elapsed();
     eprintln!(
         "{} scenarios finished in {elapsed:.2?} ({:.1} scenarios/s)",
@@ -262,10 +292,23 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
         report.scenario_count as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     std::fs::create_dir_all(&opts.out_dir)?;
-    let base = opts.out_dir.join(&report.name);
-    write_report(&base, "json", &report.to_json_string())?;
-    write_report(&base, "csv", &report.to_csv())?;
-    write_report(&base, "md", &report.to_markdown())?;
+    // Shard runs get a distinguishing file stem; the report *content* keeps
+    // the plain campaign name so that `merge` reproduces the unsharded
+    // report byte-for-byte.
+    let stem = match opts.shard {
+        Some(shard) => format!("{}.shard{}of{}", report.name, shard.index, shard.count),
+        None => report.name.clone(),
+    };
+    write_report(&opts.out_dir, &stem, "json", &report.to_json_string())?;
+    write_report(&opts.out_dir, &stem, "csv", &report.to_csv())?;
+    // The wall clock lives only in the markdown rendering; JSON/CSV stay
+    // byte-deterministic for the diff gate and shard merging.
+    write_report(
+        &opts.out_dir,
+        &stem,
+        "md",
+        &report.to_markdown_with_wall_clock(Some(elapsed.as_secs_f64())),
+    )?;
     let failed: Vec<&fdn_lab::CellReport> = report
         .cells
         .iter()
@@ -294,22 +337,141 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
     Ok(())
 }
 
-fn write_report(base: &Path, ext: &str, contents: &str) -> Result<(), LabError> {
-    let path = base.with_extension(ext);
+// `Path::with_extension` would eat the `.shardKofM` suffix of sharded stems,
+// so the extension is appended explicitly.
+fn write_report(dir: &Path, stem: &str, ext: &str, contents: &str) -> Result<(), LabError> {
+    let path = dir.join(format!("{stem}.{ext}"));
     std::fs::write(&path, contents)?;
     println!("wrote {}", path.display());
     Ok(())
 }
 
 fn cmd_list(args: &[String]) -> Result<(), LabError> {
-    let opts = parse_run_options(args)?;
-    let (scenarios, skipped) = opts.campaign.expand_with_skips();
-    for s in &scenarios {
-        println!("{:>6}  {}", s.index, s.id());
+    // `--family` / `--noise` are listing filters, not matrix axes: pull them
+    // out before handing the rest to the shared matrix parser. Values are
+    // substring matches on the labels, so `--family cycle` covers every
+    // `cycle(n)` while `--family "cycle(120)"` pins one.
+    let mut family_filter: Option<String> = None;
+    let mut noise_filter: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--family" => family_filter = Some(flags.value(flag)?.to_string()),
+            "--noise" => noise_filter = Some(flags.value(flag)?.to_string()),
+            other => {
+                rest.push(other.to_string());
+                if takes_value(other) {
+                    rest.push(flags.value(other)?.to_string());
+                }
+            }
+        }
     }
-    eprintln!("{} scenarios", scenarios.len());
+    let opts = parse_run_options(&rest)?;
+    let keep = |family: &str, noise: &str| {
+        family_filter.as_deref().is_none_or(|f| family.contains(f))
+            && noise_filter.as_deref().is_none_or(|n| noise.contains(n))
+    };
+    let (mut scenarios, skipped) = opts.campaign.expand_with_skips();
+    if let Some(shard) = opts.shard {
+        scenarios = shard_slice(&scenarios, shard);
+    }
+    let mut shown = 0usize;
+    for s in &scenarios {
+        if keep(&s.cell.family.label(), &s.cell.noise.label()) {
+            println!("{:>6}  {}", s.index, s.id());
+            shown += 1;
+        }
+    }
+    if shown == scenarios.len() {
+        eprintln!("{shown} scenarios");
+    } else {
+        eprintln!("{shown} of {} scenarios match the filters", scenarios.len());
+    }
     for s in &skipped {
-        eprintln!("skipped {} — {}", s.cell, s.reason);
+        if s.matches(family_filter.as_deref(), noise_filter.as_deref()) {
+            eprintln!("skipped {} — {}", s.cell, s.reason);
+        }
+    }
+    Ok(())
+}
+
+/// Parses the `K`/`M` of a `NAME.shardKofM.json`-style file name, as written
+/// by `run --shard K/M`.
+fn shard_file_tag(path: &Path) -> Option<(usize, usize)> {
+    let name = path.file_name()?.to_str()?;
+    let rest = &name[name.rfind(".shard")? + ".shard".len()..];
+    let rest = rest.strip_suffix(".json").unwrap_or(rest);
+    let (k, m) = rest.split_once("of")?;
+    Some((k.parse().ok()?, m.parse().ok()?))
+}
+
+/// When every input carries a `.shardKofM` file tag, requires the set to be
+/// complete: one file per shard, all with the same `M`. Report *content*
+/// cannot reveal missing tail shards (empty shards merge neutrally), so the
+/// file names are the only place an incomplete set is reliably visible.
+fn check_shard_file_set(inputs: &[PathBuf]) -> Result<(), LabError> {
+    let tags: Option<Vec<(usize, usize)>> = inputs.iter().map(|p| shard_file_tag(p)).collect();
+    let Some(tags) = tags else {
+        return Ok(()); // not a pure shard-file set; the content checks rule
+    };
+    let m = tags[0].1;
+    if tags.iter().any(|&(_, tm)| tm != m) {
+        return Err(LabError::Usage(
+            "merge inputs disagree on the shard count M in their file names".into(),
+        ));
+    }
+    let mut ks: Vec<usize> = tags.iter().map(|&(k, _)| k).collect();
+    ks.sort_unstable();
+    if ks != (0..m).collect::<Vec<_>>() {
+        return Err(LabError::Usage(format!(
+            "incomplete shard set: file names cover shards {ks:?} but M = {m}; pass every \
+             shard of the campaign (0..{m}) to merge"
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), LabError> {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--out" => out = Some(PathBuf::from(flags.value(flag)?)),
+            other if other.starts_with("--") => {
+                return Err(LabError::Usage(format!("unknown flag `{other}`")))
+            }
+            positional => inputs.push(PathBuf::from(positional)),
+        }
+    }
+    if inputs.is_empty() {
+        return Err(LabError::Usage(
+            "merge requires at least one shard report: SHARD.json...".into(),
+        ));
+    }
+    check_shard_file_set(&inputs)?;
+    let reports = inputs
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)?;
+            CampaignReport::from_json_str(&text)
+                .map_err(|e| LabError::Parse(format!("{}: {e}", path.display())))
+        })
+        .collect::<Result<Vec<_>, LabError>>()?;
+    let merged = merge_reports(&reports).map_err(LabError::Usage)?;
+    eprintln!(
+        "merged {} shard report(s): {} scenarios across {} cells",
+        reports.len(),
+        merged.scenario_count,
+        merged.cells.len()
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, merged.to_json_string())?;
+            println!("wrote {}", path.display());
+        }
+        None => print!("{}", merged.to_json_string()),
     }
     Ok(())
 }

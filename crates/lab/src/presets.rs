@@ -7,6 +7,15 @@
 //! * `paper` — the broadest built-in matrix: adds the heavier workloads
 //!   (echo, gossip, token ring), the §6 constant-one adversary and more
 //!   seeds.
+//! * `scale` — the big-topology sweep: rings, theta graphs and chorded
+//!   random 2EC graphs at n ∈ {50, 80, 120}, both engine modes. Exercises
+//!   the construction cache (the reference Robbins cycle of each family is
+//!   built once and reused across the seed range) and the link-indexed event
+//!   core; its report charts where the Lemma 19 construction cost outgrows
+//!   the step budget (full mode on chorded graphs at n >= 80), while every
+//!   cycle-mode cell completes well under the default limit. The campaign
+//!   wall-clock is recorded in the markdown report header so future changes
+//!   can track the speedup.
 //!
 //! Every preset sweeps [`NoiseSpec::DELETION`] alongside the paper-model
 //! noises: the alteration cells must stay at 100% success (Theorem 2) while
@@ -21,7 +30,7 @@ use crate::error::LabError;
 use crate::spec::{Campaign, EncodingSpec, EngineMode, SeedRange};
 
 /// The built-in preset names, in documentation order.
-pub const PRESET_NAMES: [&str; 3] = ["quick", "standard", "paper"];
+pub const PRESET_NAMES: [&str; 4] = ["quick", "standard", "paper", "scale"];
 
 /// The given alteration noises plus the canonical deletion-side frontier
 /// sweep ([`NoiseSpec::DELETION`]).
@@ -140,6 +149,58 @@ impl Campaign {
                 seeds: SeedRange { start: 1, count: 3 },
                 ..Campaign::new("paper")
             }),
+            "scale" => Ok(Campaign {
+                families: vec![
+                    GraphFamily::Cycle { n: 50 },
+                    GraphFamily::Cycle { n: 80 },
+                    GraphFamily::Cycle { n: 120 },
+                    GraphFamily::Theta {
+                        a: 16,
+                        b: 16,
+                        c: 16,
+                    },
+                    GraphFamily::Theta {
+                        a: 26,
+                        b: 26,
+                        c: 26,
+                    },
+                    GraphFamily::Theta {
+                        a: 40,
+                        b: 39,
+                        c: 39,
+                    },
+                    GraphFamily::RandomTwoEdgeConnected {
+                        n: 50,
+                        extra_edges: 10,
+                        seed: 1,
+                    },
+                    GraphFamily::RandomTwoEdgeConnected {
+                        n: 80,
+                        extra_edges: 15,
+                        seed: 1,
+                    },
+                    GraphFamily::RandomTwoEdgeConnected {
+                        n: 120,
+                        extra_edges: 20,
+                        seed: 1,
+                    },
+                ],
+                modes: vec![EngineMode::Full, EngineMode::CycleOnly],
+                encodings: vec![EncodingSpec::Binary],
+                // One small-payload workload and one scheduler: at this
+                // size the interesting axis is n, not the matrix breadth.
+                workloads: vec![WorkloadSpec::Flood { payload_bytes: 2 }],
+                noises: vec![NoiseSpec::FullCorruption],
+                schedulers: vec![SchedulerSpec::Random],
+                seeds: SeedRange { start: 1, count: 2 },
+                // Enough for every cycle-mode cell and for full mode on
+                // rings/thetas at n = 120 (~11M pulses); full mode on the
+                // chorded random graphs at n >= 80 exceeds any practical
+                // budget (Lemma 19) and is *expected* to hit this limit —
+                // that frontier is part of the preset's report.
+                max_steps: 20_000_000,
+                ..Campaign::new("scale")
+            }),
             other => Err(LabError::Usage(format!(
                 "unknown preset `{other}` (expected one of {})",
                 PRESET_NAMES.join("|")
@@ -170,8 +231,11 @@ mod tests {
     }
 
     #[test]
-    fn every_preset_sweeps_the_deletion_frontier() {
-        for name in PRESET_NAMES {
+    fn every_small_preset_sweeps_the_deletion_frontier() {
+        // `scale` is exempt: a deletion adversary on an n >= 50 topology
+        // only stalls the construction into the 20M-step budget, seed after
+        // seed — the frontier is already charted by the small presets.
+        for name in PRESET_NAMES.iter().filter(|&&n| n != "scale") {
             let c = Campaign::preset(name).unwrap();
             for noise in NoiseSpec::DELETION {
                 assert!(c.noises.contains(&noise), "{name} misses {noise}");
@@ -183,5 +247,29 @@ mod tests {
                 "{name} expands no deletion scenario"
             );
         }
+    }
+
+    #[test]
+    fn scale_preset_reaches_n_120_in_both_modes() {
+        let c = Campaign::preset("scale").unwrap();
+        let (scenarios, skipped) = c.expand_with_skips();
+        assert!(skipped.is_empty(), "every scale family is 2EC and floods");
+        // 9 families x 2 modes x 2 seeds.
+        assert_eq!(scenarios.len(), 36);
+        for family in &c.families {
+            let g = family.build().unwrap();
+            assert!(g.node_count() >= 50, "{family} is not a scale topology");
+        }
+        assert!(c
+            .families
+            .iter()
+            .any(|f| f.build().unwrap().node_count() >= 120));
+        for mode in [EngineMode::Full, EngineMode::CycleOnly] {
+            assert!(scenarios.iter().any(|s| s.cell.mode == mode));
+        }
+        // No deletion noise at scale (see the deletion-frontier test), and a
+        // step budget that accommodates the n = 120 cycle-mode cells.
+        assert!(c.noises.iter().all(|n| !n.deletes()));
+        assert!(c.max_steps >= 20_000_000);
     }
 }

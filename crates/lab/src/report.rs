@@ -9,9 +9,7 @@
 
 use std::fmt::Write as _;
 
-use fdn_graph::robbins;
-use fdn_protocols::WorkloadSpec;
-
+use crate::cache::TopologyCache;
 use crate::json::Json;
 use crate::runner::ScenarioOutcome;
 use crate::spec::{Campaign, SkippedCell};
@@ -163,6 +161,11 @@ pub struct CellReport {
     pub noise: String,
     /// Scheduler label.
     pub scheduler: String,
+    /// Index (in the campaign's full expansion) of the cell's first scenario.
+    /// Identifies the cell's position in expansion order even when the
+    /// report covers only a shard of the matrix — [`merge_reports`] sorts by
+    /// it to recombine shards into the unsharded cell order.
+    pub first_scenario_index: usize,
     /// Nodes in the graph.
     pub nodes: usize,
     /// Edges in the graph.
@@ -194,6 +197,9 @@ pub struct CellReport {
     pub max_node_pulses: MetricSummary,
     /// Pulses sent over the busiest edge.
     pub max_edge_pulses: MetricSummary,
+    /// High-water mark of messages simultaneously in flight (queue-depth
+    /// observability of the link-indexed event core).
+    pub max_inflight: MetricSummary,
     /// Length of the cycle actually used.
     pub cycle_len: MetricSummary,
     /// Messages of the noiseless direct baseline (0 when the workload cannot
@@ -220,10 +226,13 @@ pub struct CampaignReport {
 }
 
 /// Groups outcomes by cell (in encounter order) and summarizes each group.
+/// The `cache` supplies the per-family reference cycle for the
+/// `reference_cycle_len` column without rebuilding it per cell.
 pub fn aggregate(
     campaign: &Campaign,
     outcomes: &[ScenarioOutcome],
     skipped: &[SkippedCell],
+    cache: &TopologyCache,
 ) -> CampaignReport {
     let mut order: Vec<String> = Vec::new();
     let mut groups: Vec<Vec<&ScenarioOutcome>> = Vec::new();
@@ -237,7 +246,10 @@ pub fn aggregate(
             }
         }
     }
-    let cells = groups.iter().map(|group| summarize_cell(group)).collect();
+    let cells = groups
+        .iter()
+        .map(|group| summarize_cell(group, cache))
+        .collect();
     CampaignReport {
         name: campaign.name.clone(),
         scenario_count: outcomes.len(),
@@ -247,7 +259,7 @@ pub fn aggregate(
     }
 }
 
-fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
+fn summarize_cell(group: &[&ScenarioOutcome], cache: &TopologyCache) -> CellReport {
     let cell = group[0].scenario.cell;
     let runs = group.len();
     let metric = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
@@ -255,12 +267,10 @@ fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
         MetricSummary::from_values(&values).expect("group is non-empty")
     };
     let overhead_values: Vec<f64> = group.iter().filter_map(|o| o.overhead_ratio()).collect();
-    let reference_cycle_len = cell
-        .family
-        .build()
+    let reference_cycle_len = cache
+        .get(cell.family)
         .ok()
-        .and_then(|g| robbins::reference_robbins_cycle(&g, WorkloadSpec::ROOT).ok())
-        .map(|c| c.len())
+        .and_then(|topo| topo.cycle.as_ref().ok().map(fdn_graph::RobbinsCycle::len))
         .unwrap_or(0);
     CellReport {
         family: cell.family.label(),
@@ -269,6 +279,11 @@ fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
         workload: cell.workload.label(),
         noise: cell.noise.label(),
         scheduler: cell.scheduler.label(),
+        first_scenario_index: group
+            .iter()
+            .map(|o| o.scenario.index)
+            .min()
+            .expect("group is non-empty"),
         nodes: group[0].nodes,
         edges: group[0].edges,
         reference_cycle_len,
@@ -284,6 +299,7 @@ fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
         online_pulses: metric(&|o| o.online_pulses as f64),
         max_node_pulses: metric(&|o| o.stats.max_sent_by_node() as f64),
         max_edge_pulses: metric(&|o| o.stats.max_sent_on_edge() as f64),
+        max_inflight: metric(&|o| o.stats.max_inflight as f64),
         cycle_len: metric(&|o| o.cycle_len as f64),
         baseline_messages: metric(&|o| o.baseline_messages as f64),
         overhead: MetricSummary::from_values(&overhead_values),
@@ -291,6 +307,16 @@ fn summarize_cell(group: &[&ScenarioOutcome]) -> CellReport {
 }
 
 impl CellReport {
+    /// The six-axis cell identity, in the same `/`-joined label format as
+    /// `Cell::id()` (and as skipped-cell entries): the key reports are
+    /// matched on when diffing and merging.
+    pub fn cell_id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{}",
+            self.family, self.mode, self.encoding, self.workload, self.noise, self.scheduler
+        )
+    }
+
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("family", Json::Str(self.family.clone())),
@@ -299,6 +325,10 @@ impl CellReport {
             ("workload", Json::Str(self.workload.clone())),
             ("noise", Json::Str(self.noise.clone())),
             ("scheduler", Json::Str(self.scheduler.clone())),
+            (
+                "first_scenario_index",
+                Json::Num(self.first_scenario_index as f64),
+            ),
             ("nodes", Json::Num(self.nodes as f64)),
             ("edges", Json::Num(self.edges as f64)),
             (
@@ -317,6 +347,7 @@ impl CellReport {
             ("online_pulses", self.online_pulses.to_json()),
             ("max_node_pulses", self.max_node_pulses.to_json()),
             ("max_edge_pulses", self.max_edge_pulses.to_json()),
+            ("max_inflight", self.max_inflight.to_json()),
             ("cycle_len", self.cycle_len.to_json()),
             ("baseline_messages", self.baseline_messages.to_json()),
             (
@@ -357,6 +388,12 @@ impl CellReport {
             workload: s("workload")?,
             noise: s("noise")?,
             scheduler: s("scheduler")?,
+            // Reports saved before sharded campaigns lack this index; 0
+            // keeps them parseable (their cells are already in order).
+            first_scenario_index: j
+                .get("first_scenario_index")
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize,
             nodes: n("nodes")?,
             edges: n("edges")?,
             reference_cycle_len: n("reference_cycle_len")?,
@@ -377,6 +414,12 @@ impl CellReport {
             online_pulses: m("online_pulses")?,
             max_node_pulses: m("max_node_pulses")?,
             max_edge_pulses: m("max_edge_pulses")?,
+            // Reports written before the link-indexed event core lack the
+            // queue-depth metric; treat absence as all-zero.
+            max_inflight: match j.get("max_inflight") {
+                None => MetricSummary::ZERO,
+                Some(v) => MetricSummary::from_json(v)?,
+            },
             cycle_len: m("cycle_len")?,
             baseline_messages: m("baseline_messages")?,
             overhead: match j.get("overhead") {
@@ -471,8 +514,8 @@ impl CampaignReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "family,mode,encoding,workload,noise,scheduler,nodes,edges,reference_cycle_len,\
-             runs,errors,success_rate,quiescence_rate",
+            "family,mode,encoding,workload,noise,scheduler,first_scenario_index,nodes,edges,\
+             reference_cycle_len,runs,errors,success_rate,quiescence_rate",
         );
         for metric in [
             "pulses",
@@ -483,6 +526,7 @@ impl CampaignReport {
             "online_pulses",
             "max_node_pulses",
             "max_edge_pulses",
+            "max_inflight",
             "cycle_len",
             "baseline_messages",
             "overhead",
@@ -495,13 +539,14 @@ impl CampaignReport {
         for c in &self.cells {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(&c.family),
                 csv_field(&c.mode),
                 csv_field(&c.encoding),
                 csv_field(&c.workload),
                 csv_field(&c.noise),
                 csv_field(&c.scheduler),
+                c.first_scenario_index,
                 c.nodes,
                 c.edges,
                 c.reference_cycle_len,
@@ -519,6 +564,7 @@ impl CampaignReport {
                 Some(c.online_pulses),
                 Some(c.max_node_pulses),
                 Some(c.max_edge_pulses),
+                Some(c.max_inflight),
                 Some(c.cycle_len),
                 Some(c.baseline_messages),
                 c.overhead,
@@ -537,6 +583,15 @@ impl CampaignReport {
 
     /// Renders the report as a markdown document.
     pub fn to_markdown(&self) -> String {
+        self.to_markdown_with_wall_clock(None)
+    }
+
+    /// Renders the report as a markdown document, optionally recording the
+    /// campaign's wall-clock time in the header. The wall clock lives **only**
+    /// in this rendering: the JSON/CSV reports stay clock-free so that equal
+    /// campaigns keep producing byte-identical machine-readable artifacts
+    /// (the determinism the diff gate and shard merging rely on).
+    pub fn to_markdown_with_wall_clock(&self, wall_clock_secs: Option<f64>) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "# Campaign `{}`", self.name);
         let _ = writeln!(out);
@@ -547,17 +602,25 @@ impl CampaignReport {
             self.cells.len(),
             self.seeds_per_cell
         );
+        if let Some(secs) = wall_clock_secs {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "Wall clock: {secs:.2}s ({:.1} scenarios/s).",
+                self.scenario_count as f64 / secs.max(1e-9),
+            );
+        }
         let _ = writeln!(out);
         out.push_str(
             "| family | mode | enc | workload | noise | sched | n | m | \\|C\\| p50 | \
-             success | quiesc | pulses p50 | pulses p95 | dropped p50 | CCinit p50 | \
-             overhead p50 |\n",
+             success | quiesc | pulses p50 | pulses p95 | dropped p50 | maxQ p50 | \
+             CCinit p50 | overhead p50 |\n",
         );
-        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for c in &self.cells {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {} |",
                 md_cell(&c.family),
                 md_cell(&c.mode),
                 md_cell(&c.encoding),
@@ -572,6 +635,7 @@ impl CampaignReport {
                 c.pulses.p50,
                 c.pulses.p95,
                 c.dropped.p50,
+                c.max_inflight.p50,
                 c.cc_init.p50,
                 c.overhead.map_or("—".to_string(), |o| format!("{:.1}", o.p50)),
             );
@@ -586,6 +650,99 @@ impl CampaignReport {
         }
         out
     }
+}
+
+/// Recombines per-shard [`CampaignReport`]s (produced by `fdn-lab run
+/// --shard K/M`) into the report of the whole campaign.
+///
+/// Cell aggregation is associative because sharding is **cell-atomic**: a
+/// shard runs every seed of each of its cells, so each shard report already
+/// carries the cell's final summary and merging reduces to re-interleaving
+/// cells into expansion order (by [`CellReport::first_scenario_index`]).
+/// Every shard expands the *full* matrix before slicing, so the skip lists
+/// coincide and deduplicate to the unsharded list. The result is
+/// **byte-identical** to the report of an unsharded run of the same
+/// campaign.
+///
+/// # Errors
+///
+/// Returns a description of the problem if no report is given, the reports
+/// disagree on campaign name or seed count, or two reports cover the same
+/// cell (overlapping or repeated shards).
+pub fn merge_reports(reports: &[CampaignReport]) -> Result<CampaignReport, String> {
+    let first = reports
+        .first()
+        .ok_or_else(|| "merge needs at least one report".to_string())?;
+    let mut cells: Vec<CellReport> = Vec::new();
+    let mut skipped: Vec<SkippedCell> = Vec::new();
+    let mut scenario_count = 0usize;
+    for r in reports {
+        if r.name != first.name {
+            return Err(format!(
+                "cannot merge campaigns `{}` and `{}`: shard reports must come from the same \
+                 campaign",
+                first.name, r.name
+            ));
+        }
+        if r.seeds_per_cell != first.seeds_per_cell {
+            return Err(format!(
+                "cannot merge: seeds per cell differ ({} vs {})",
+                first.seeds_per_cell, r.seeds_per_cell
+            ));
+        }
+        scenario_count += r.scenario_count;
+        for s in &r.skipped {
+            if !skipped.contains(s) {
+                skipped.push(s.clone());
+            }
+        }
+        cells.extend(r.cells.iter().cloned());
+    }
+    cells.sort_by_key(|c| c.first_scenario_index);
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for c in &cells {
+        let id = c.cell_id();
+        if !seen.insert(id.clone()) {
+            return Err(format!(
+                "cell `{id}` appears in more than one report: shards overlap or a report was \
+                 merged twice"
+            ));
+        }
+    }
+    // Cells tile the expansion's scenario indices (each cell is a contiguous
+    // seed block), so a *missing* shard leaves a hole the duplicate check
+    // cannot see. Verify the tiling — unless every index is 0, which marks
+    // reports saved before sharding existed (nothing to verify there).
+    // Limitation: a shard set whose only gaps are at the *tail* (possible
+    // when there are more shards than cells) tiles perfectly and cannot be
+    // detected from report content alone; the `fdn-lab merge` CLI closes
+    // that hole by checking `.shardKofM` file names for a complete 0..M set.
+    if cells.iter().any(|c| c.first_scenario_index > 0) {
+        let mut expected = 0usize;
+        for c in &cells {
+            if c.first_scenario_index != expected {
+                return Err(format!(
+                    "shard set is incomplete: scenarios {expected}..{} are missing (cell \
+                     `{}/{}/{}` starts at {}); pass every shard of the campaign to merge",
+                    c.first_scenario_index, c.family, c.mode, c.noise, c.first_scenario_index
+                ));
+            }
+            expected += c.runs;
+        }
+        if expected != scenario_count {
+            return Err(format!(
+                "shard set is incomplete: cells cover {expected} scenarios but the reports \
+                 claim {scenario_count}"
+            ));
+        }
+    }
+    Ok(CampaignReport {
+        name: first.name.clone(),
+        scenario_count,
+        seeds_per_cell: first.seeds_per_cell,
+        skipped,
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -707,6 +864,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: "mix|ed".to_string(),
             scheduler: "random".to_string(),
+            first_scenario_index: 0,
             nodes: 5,
             edges: 8,
             reference_cycle_len: 8,
@@ -722,6 +880,7 @@ mod tests {
             online_pulses: MetricSummary::ZERO,
             max_node_pulses: MetricSummary::ZERO,
             max_edge_pulses: MetricSummary::ZERO,
+            max_inflight: MetricSummary::ZERO,
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,
@@ -756,6 +915,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: "noiseless".to_string(),
             scheduler: "random".to_string(),
+            first_scenario_index: 0,
             nodes: 5,
             edges: 8,
             reference_cycle_len: 8,
@@ -771,6 +931,7 @@ mod tests {
             online_pulses: MetricSummary::ZERO,
             max_node_pulses: MetricSummary::ZERO,
             max_edge_pulses: MetricSummary::ZERO,
+            max_inflight: MetricSummary::ZERO,
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,

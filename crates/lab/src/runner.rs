@@ -1,20 +1,23 @@
 //! Execution of a single [`Scenario`] and of whole campaigns in parallel.
 //!
-//! Each scenario is an independent deterministic simulation: the graph is
-//! rebuilt from its family, the noise/scheduler instances are rebuilt from
-//! their specs with seeds derived from the scenario seed, and the outcome is
-//! a plain value. That independence is what makes the rayon sweep in
-//! [`run_campaign`] trivially safe — and, because results are collected in
-//! scenario order and contain no wall-clock data, byte-identical across runs
-//! regardless of thread count.
+//! Each scenario is an independent deterministic simulation: the
+//! noise/scheduler instances are rebuilt from their specs with seeds derived
+//! from the scenario seed, and the outcome is a plain value. The
+//! seed-*independent* prefix — graph construction and the reference Robbins
+//! cycle — comes from a shared
+//! [`TopologyCache`], computed once per family and reused by every seed (see
+//! `cache.rs` for the soundness argument). That independence is what makes
+//! the rayon sweep in [`run_campaign`] trivially safe — and, because results
+//! are collected in scenario order and contain no wall-clock data,
+//! byte-identical across runs regardless of thread count.
 
 use rayon::prelude::*;
 
-use fdn_core::{cycle_simulators, full_simulators};
-use fdn_graph::robbins;
+use fdn_core::{cycle_simulators_prevalidated, full_simulators};
 use fdn_netsim::{DirectRunner, Simulation, StatsSnapshot};
 use fdn_protocols::{BoxedProtocol, WorkloadSpec};
 
+use crate::cache::TopologyCache;
 use crate::error::LabError;
 use crate::report::{aggregate, CampaignReport};
 use crate::spec::{Campaign, EngineMode, Scenario};
@@ -81,21 +84,31 @@ impl ScenarioOutcome {
     }
 }
 
-/// Runs one scenario to completion. Never panics on expected failure modes;
-/// engine errors and step-limit exhaustion are reported in the outcome.
+/// Runs one scenario to completion with a private, throwaway
+/// [`TopologyCache`]. Prefer [`run_scenario_with`] when sweeping many seeds
+/// of the same family — this convenience exists for one-off runs and tests.
 pub fn run_scenario(scenario: Scenario) -> ScenarioOutcome {
+    run_scenario_with(&TopologyCache::new(), scenario)
+}
+
+/// Runs one scenario to completion, drawing the seed-independent topology
+/// (graph + reference Robbins cycle) from `cache`. Never panics on expected
+/// failure modes; engine errors and step-limit exhaustion are reported in
+/// the outcome.
+pub fn run_scenario_with(cache: &TopologyCache, scenario: Scenario) -> ScenarioOutcome {
     let cell = scenario.cell;
-    let graph = match cell.family.build() {
-        Ok(g) => g,
-        Err(e) => return ScenarioOutcome::failed(scenario, 0, 0, e.to_string()),
+    let topo = match cache.get(cell.family) {
+        Ok(t) => t,
+        Err(e) => return ScenarioOutcome::failed(scenario, 0, 0, e),
     };
+    let graph = &topo.graph;
     let (nodes_n, edges_n) = (graph.node_count(), graph.edge_count());
 
     // Noiseless direct baseline (for the per-message overhead column).
     let baseline_messages = if cell.workload.supports_direct() {
         let nodes: Vec<DirectRunner<BoxedProtocol>> = graph
             .nodes()
-            .map(|v| DirectRunner::new(cell.workload.build(&graph, v)))
+            .map(|v| DirectRunner::new(cell.workload.build(graph, v)))
             .collect();
         match Simulation::new(graph.clone(), nodes) {
             Ok(mut sim) => {
@@ -119,54 +132,53 @@ pub fn run_scenario(scenario: Scenario) -> ScenarioOutcome {
     let encoding = cell.encoding.build();
     match cell.mode {
         EngineMode::Full => {
-            let sims = match full_simulators(&graph, WorkloadSpec::ROOT, encoding, |v| {
-                cell.workload.build(&graph, v)
+            // The distributed construction runs inside the simulation and is
+            // seed-dependent; only the graph itself comes from the cache.
+            let sims = match full_simulators(graph, WorkloadSpec::ROOT, encoding, |v| {
+                cell.workload.build(graph, v)
             }) {
                 Ok(s) => s,
                 Err(e) => {
                     return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
                 }
             };
-            drive(scenario, &graph, baseline_messages, sims, |sim| {
-                Inspection {
-                    node_error: graph
-                        .nodes()
-                        .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
-                    cc_init: graph
-                        .nodes()
-                        .map(|v| sim.node(v).construction_pulses())
-                        .sum(),
-                    cycle_len: sim
-                        .node(WorkloadSpec::ROOT)
-                        .cycle()
-                        .map(fdn_graph::RobbinsCycle::len)
-                        .unwrap_or(0),
-                }
+            drive(scenario, graph, baseline_messages, sims, |sim| Inspection {
+                node_error: graph
+                    .nodes()
+                    .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
+                cc_init: graph
+                    .nodes()
+                    .map(|v| sim.node(v).construction_pulses())
+                    .sum(),
+                cycle_len: sim
+                    .node(WorkloadSpec::ROOT)
+                    .cycle()
+                    .map(fdn_graph::RobbinsCycle::len)
+                    .unwrap_or(0),
             })
         }
         EngineMode::CycleOnly => {
-            let cycle = match robbins::reference_robbins_cycle(&graph, WorkloadSpec::ROOT) {
+            // The reference cycle is seed-independent: computed once per
+            // family by the cache, validated there, and re-handed to fresh
+            // simulator nodes for every seed.
+            let cycle = match &topo.cycle {
                 Ok(c) => c,
-                Err(e) => {
-                    return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
-                }
+                Err(e) => return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.clone()),
             };
-            let sims = match cycle_simulators(&graph, &cycle, encoding, |v| {
-                cell.workload.build(&graph, v)
+            let sims = match cycle_simulators_prevalidated(graph, cycle, encoding, |v| {
+                cell.workload.build(graph, v)
             }) {
                 Ok(s) => s,
                 Err(e) => {
                     return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
                 }
             };
-            drive(scenario, &graph, baseline_messages, sims, |sim| {
-                Inspection {
-                    node_error: graph
-                        .nodes()
-                        .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
-                    cc_init: 0,
-                    cycle_len: cycle.len(),
-                }
+            drive(scenario, graph, baseline_messages, sims, |sim| Inspection {
+                node_error: graph
+                    .nodes()
+                    .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
+                cc_init: 0,
+                cycle_len: cycle.len(),
             })
         }
     }
@@ -257,8 +269,26 @@ pub fn run_expanded(
     if scenarios.is_empty() {
         return Err(LabError::EmptyCampaign);
     }
-    let outcomes: Vec<ScenarioOutcome> = scenarios.into_par_iter().map(run_scenario).collect();
-    Ok(aggregate(campaign, &outcomes, &skipped))
+    Ok(run_shard(campaign, scenarios, skipped))
+}
+
+/// Like [`run_expanded`], but for shard slices, where an empty scenario list
+/// is legitimate rather than a usage error: a campaign sharded `K/M` with
+/// fewer cells than `M` leaves the high-index shards empty, and a fleet
+/// driver looping over all `M` shards still needs every shard to produce a
+/// report for [`crate::report::merge_reports`] (an empty one merges
+/// neutrally: no cells, the same skip list).
+pub fn run_shard(
+    campaign: &Campaign,
+    scenarios: Vec<Scenario>,
+    skipped: Vec<crate::spec::SkippedCell>,
+) -> CampaignReport {
+    let cache = TopologyCache::new();
+    let outcomes: Vec<ScenarioOutcome> = scenarios
+        .into_par_iter()
+        .map(|s| run_scenario_with(&cache, s))
+        .collect();
+    aggregate(campaign, &outcomes, &skipped, &cache)
 }
 
 #[cfg(test)]

@@ -178,6 +178,76 @@ impl Scenario {
     }
 }
 
+/// A deterministic slice `index/count` of a campaign's cell list, as set by
+/// `fdn-lab run --shard K/M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, in `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI form `K/M` (e.g. `0/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem for malformed or out-of-range
+    /// values.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let (k, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard `{s}`: expected K/M (e.g. 0/2)"))?;
+        let index: usize = k
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard `{s}`: K must be an unsigned integer"))?;
+        let count: usize = m
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard `{s}`: M must be an unsigned integer"))?;
+        if count == 0 {
+            return Err(format!("shard `{s}`: M must be positive"));
+        }
+        if index >= count {
+            return Err(format!("shard `{s}`: K must be in 0..M"));
+        }
+        Ok(Shard { index, count })
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Keeps the scenarios of every cell whose ordinal (position of the cell in
+/// expansion order) falls in `shard`, preserving scenario order and the
+/// original expansion indices.
+///
+/// Sharding is **cell-atomic**: a cell's whole seed range lands in one shard,
+/// so each shard's report carries final per-cell aggregates and
+/// [`crate::report::merge_reports`] can recombine shards into a report
+/// byte-identical to an unsharded run. (Expansion emits each cell as one
+/// contiguous seed block, so ordinals are well defined.)
+pub fn shard_slice(scenarios: &[Scenario], shard: Shard) -> Vec<Scenario> {
+    let mut kept = Vec::new();
+    let mut ordinal = usize::MAX; // bumped to 0 by the first scenario
+    let mut current: Option<Cell> = None;
+    for s in scenarios {
+        if current != Some(s.cell) {
+            current = Some(s.cell);
+            ordinal = ordinal.wrapping_add(1);
+        }
+        if ordinal % shard.count == shard.index {
+            kept.push(*s);
+        }
+    }
+    kept
+}
+
 /// A matrix combination excluded at expansion time, with the reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SkippedCell {
@@ -185,6 +255,25 @@ pub struct SkippedCell {
     pub cell: String,
     /// Why it cannot run.
     pub reason: String,
+}
+
+impl SkippedCell {
+    /// Whether this entry passes the `list-scenarios` substring filters.
+    ///
+    /// The cell id is the `/`-joined [`Cell::id`] format
+    /// (`family/mode/encoding/workload/noise/scheduler`) — or just the
+    /// family label when the family itself failed to build — so the family
+    /// is the first segment and the noise the fifth. Filtering positionally
+    /// keeps `--family` from ever matching a scheduler or workload label.
+    /// An entry without a noise segment matches only when no noise filter
+    /// is set.
+    pub fn matches(&self, family_filter: Option<&str>, noise_filter: Option<&str>) -> bool {
+        let mut parts = self.cell.split('/');
+        let family = parts.next().unwrap_or("");
+        let noise = parts.nth(3);
+        family_filter.is_none_or(|f| family.contains(f))
+            && noise_filter.is_none_or(|n| noise.is_some_and(|label| label.contains(n)))
+    }
 }
 
 /// The declarative experiment matrix.
@@ -436,6 +525,76 @@ mod tests {
     fn seed_range_iterates_in_order() {
         let r = SeedRange { start: 5, count: 3 };
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn skipped_cell_filters_match_fields_not_the_whole_id() {
+        let skip = |cell: &str| SkippedCell {
+            cell: cell.to_string(),
+            reason: "r".to_string(),
+        };
+        let full = skip("figure3/full/binary/leader/omission(200)/random");
+        assert!(full.matches(None, None));
+        assert!(full.matches(Some("figure3"), None));
+        assert!(full.matches(None, Some("omission")));
+        assert!(full.matches(Some("figure3"), Some("omission(200)")));
+        // `random` is the *scheduler* here; a family filter must not see it.
+        assert!(!full.matches(Some("random"), None));
+        // Nor can a noise filter match the workload or family labels.
+        assert!(!full.matches(None, Some("leader")));
+        assert!(!full.matches(None, Some("figure3")));
+        // A build-failure entry is just the family label: it has no noise,
+        // so it matches family filters and never matches noise filters.
+        let bare = skip("cycle(2)");
+        assert!(bare.matches(Some("cycle"), None));
+        assert!(!bare.matches(Some("cycle"), Some("noiseless")));
+        assert!(!bare.matches(Some("theta"), None));
+    }
+
+    #[test]
+    fn shard_parse_accepts_k_of_m_and_rejects_nonsense() {
+        assert_eq!(Shard::parse("0/2").unwrap(), Shard { index: 0, count: 2 });
+        assert_eq!(Shard::parse(" 3/4 ").unwrap(), Shard { index: 3, count: 4 });
+        assert_eq!(Shard::parse("3/4").unwrap().to_string(), "3/4");
+        for bad in ["", "1", "2/2", "5/4", "x/2", "1/x", "1/0", "-1/2"] {
+            assert!(Shard::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn shard_slice_is_a_cell_atomic_partition() {
+        let c = matrix();
+        let scenarios = c.expand();
+        let m = 3;
+        let shards: Vec<Vec<Scenario>> = (0..m)
+            .map(|index| shard_slice(&scenarios, Shard { index, count: m }))
+            .collect();
+        // Every scenario lands in exactly one shard, in expansion order.
+        let mut recombined: Vec<Scenario> = shards.iter().flatten().copied().collect();
+        recombined.sort_by_key(|s| s.index);
+        assert_eq!(recombined, scenarios);
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, scenarios.len());
+        for shard in &shards {
+            // Cell-atomic: every seed of a cell lives in the same shard.
+            for s in shard {
+                let full_block: Vec<&Scenario> =
+                    scenarios.iter().filter(|x| x.cell == s.cell).collect();
+                assert!(full_block
+                    .iter()
+                    .all(|x| shard.iter().any(|y| y.index == x.index)));
+            }
+            // Original expansion indices are preserved (not renumbered).
+            for s in shard {
+                assert_eq!(scenarios[s.index].cell, s.cell);
+                assert_eq!(scenarios[s.index].seed, s.seed);
+            }
+        }
+        // A single shard of one is the identity.
+        assert_eq!(
+            shard_slice(&scenarios, Shard { index: 0, count: 1 }),
+            scenarios
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Integration tests of the campaign engine: determinism under parallelism,
 //! correctness of aggregation, JSON round-tripping, the deletion-noise
-//! frontier, and the report diff gate.
+//! frontier, the report diff gate, the construction cache, and sharded
+//! campaign recombination.
 
 use fdn_graph::GraphFamily;
 use fdn_lab::{
-    diff_reports, run_campaign, Campaign, CampaignReport, DiffTolerance, EngineMode, SeedRange,
+    diff_reports, merge_reports, run_campaign, run_expanded, run_scenario, run_scenario_with,
+    shard_slice, Campaign, CampaignReport, DiffTolerance, EngineMode, SeedRange, Shard,
+    TopologyCache,
 };
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
@@ -155,6 +158,156 @@ fn diff_gate_passes_on_rerun_and_fails_on_degradation() {
         .deltas
         .iter()
         .all(|d| d.regressions.iter().all(|r| r.contains("success rate"))));
+}
+
+#[test]
+fn cached_topologies_do_not_change_outcomes() {
+    // The construction-cache soundness claim, checked end to end: a scenario
+    // run against a shared, pre-warmed cache is *identical* to one run with
+    // a private throwaway cache, for both engine modes and across seeds —
+    // the cached graph/cycle reuse must not leak state between seeds.
+    let campaign = test_campaign();
+    let (scenarios, _) = campaign.expand_with_skips();
+    let shared = TopologyCache::new();
+    for scenario in scenarios.iter().take(24).copied() {
+        let cached = run_scenario_with(&shared, scenario);
+        let fresh = run_scenario(scenario);
+        assert_eq!(cached, fresh, "{}", scenario.id());
+    }
+    // One topology per distinct family made it into the shared cache.
+    assert_eq!(shared.len(), 1, "first 24 scenarios share one family");
+}
+
+#[test]
+fn sharded_runs_merge_into_the_unsharded_report_byte_for_byte() {
+    let campaign = test_campaign();
+    let unsharded = run_campaign(&campaign).unwrap();
+    for shards in [2usize, 3, 5] {
+        let (scenarios, skipped) = campaign.expand_with_skips();
+        let reports: Vec<CampaignReport> = (0..shards)
+            .map(|index| {
+                let slice = shard_slice(
+                    &scenarios,
+                    Shard {
+                        index,
+                        count: shards,
+                    },
+                );
+                run_expanded(&campaign, slice, skipped.clone()).unwrap()
+            })
+            .collect();
+        // Shards partition the matrix: cell counts add up, no overlap.
+        let total_cells: usize = reports.iter().map(|r| r.cells.len()).sum();
+        assert_eq!(total_cells, unsharded.cells.len());
+        // Merging in any order reproduces the unsharded report exactly —
+        // same value, same bytes, for every renderer.
+        let merged = merge_reports(&reports).unwrap();
+        assert_eq!(merged, unsharded, "{shards} shards");
+        assert_eq!(merged.to_json_string(), unsharded.to_json_string());
+        assert_eq!(merged.to_csv(), unsharded.to_csv());
+        assert_eq!(merged.to_markdown(), unsharded.to_markdown());
+        let reversed: Vec<CampaignReport> = reports.iter().rev().cloned().collect();
+        assert_eq!(merge_reports(&reversed).unwrap(), unsharded);
+        // And the merged report survives the CLI's JSON round trip.
+        let rt = CampaignReport::from_json_str(&merged.to_json_string()).unwrap();
+        assert_eq!(rt, unsharded);
+    }
+}
+
+#[test]
+fn more_shards_than_cells_yields_empty_reports_that_merge_neutrally() {
+    // A fleet driver loops `for k in 0..M` without knowing the cell count;
+    // shards beyond the last cell must produce valid *empty* reports, and
+    // merging all M of them must still reproduce the unsharded bytes.
+    let mut campaign = Campaign::new("tiny");
+    campaign.seeds = SeedRange { start: 1, count: 2 }; // a single cell
+    let unsharded = run_campaign(&campaign).unwrap();
+    let (scenarios, skipped) = campaign.expand_with_skips();
+    let m = 3;
+    let reports: Vec<CampaignReport> = (0..m)
+        .map(|index| {
+            let slice = shard_slice(&scenarios, Shard { index, count: m });
+            fdn_lab::run_shard(&campaign, slice, skipped.clone())
+        })
+        .collect();
+    assert_eq!(reports[0].cells.len(), 1);
+    assert!(reports[1].cells.is_empty() && reports[2].cells.is_empty());
+    assert_eq!(reports[1].scenario_count, 0);
+    let merged = merge_reports(&reports).unwrap();
+    assert_eq!(merged, unsharded);
+    assert_eq!(merged.to_json_string(), unsharded.to_json_string());
+}
+
+#[test]
+fn merge_rejects_mismatched_or_overlapping_shards() {
+    let campaign = test_campaign();
+    let (scenarios, skipped) = campaign.expand_with_skips();
+    let half = shard_slice(&scenarios, Shard { index: 0, count: 2 });
+    let report = run_expanded(&campaign, half, skipped).unwrap();
+
+    assert!(merge_reports(&[]).is_err(), "empty merge is an error");
+    // The same shard twice: overlapping cells.
+    let err = merge_reports(&[report.clone(), report.clone()]).unwrap_err();
+    assert!(err.contains("more than one report"), "{err}");
+    // A report from a different campaign: name mismatch.
+    let mut other = report.clone();
+    other.name = "something-else".to_string();
+    let err = merge_reports(&[report.clone(), other]).unwrap_err();
+    assert!(err.contains("same campaign"), "{err}");
+    // Disagreeing seed counts.
+    let mut odd = report.clone();
+    odd.name.clone_from(&report.name);
+    odd.seeds_per_cell += 1;
+    assert!(merge_reports(&[report, odd]).is_err());
+}
+
+#[test]
+fn merge_detects_a_missing_shard() {
+    // Passing only shards 0 and 2 of 3 must not silently produce a partial
+    // report claiming to be the whole campaign: the cells no longer tile the
+    // expansion's scenario indices, which merge detects.
+    let campaign = test_campaign();
+    let (scenarios, skipped) = campaign.expand_with_skips();
+    let reports: Vec<CampaignReport> = [0usize, 2]
+        .into_iter()
+        .map(|index| {
+            let slice = shard_slice(&scenarios, Shard { index, count: 3 });
+            fdn_lab::run_shard(&campaign, slice, skipped.clone())
+        })
+        .collect();
+    let err = merge_reports(&reports).unwrap_err();
+    assert!(err.contains("incomplete"), "{err}");
+}
+
+#[test]
+fn queue_depth_metric_is_populated_and_legacy_reports_still_parse() {
+    let report = run_campaign(&test_campaign()).unwrap();
+    // The chatter of a Theorem 2 run keeps more than one message in flight.
+    assert!(report.cells.iter().all(|c| c.max_inflight.p50 >= 1.0));
+    // Reports saved before the link-indexed core lack `max_inflight` and
+    // `first_scenario_index`; stripping them must parse with defaults, not
+    // fail (the PR 2 compatibility contract, extended).
+    let mut doc = fdn_lab::Json::parse(&report.to_json_string()).unwrap();
+    let fdn_lab::Json::Obj(fields) = &mut doc else {
+        panic!("report renders as an object");
+    };
+    for (key, value) in fields.iter_mut() {
+        if key != "cells" {
+            continue;
+        }
+        let fdn_lab::Json::Arr(cells) = value else {
+            panic!("cells render as an array");
+        };
+        for cell in cells {
+            let fdn_lab::Json::Obj(cell_fields) = cell else {
+                panic!("each cell renders as an object");
+            };
+            cell_fields.retain(|(k, _)| k != "max_inflight" && k != "first_scenario_index");
+        }
+    }
+    let parsed = CampaignReport::from_json_str(&doc.render()).unwrap();
+    assert!(parsed.cells.iter().all(|c| c.max_inflight.p50 == 0.0));
+    assert!(parsed.cells.iter().all(|c| c.first_scenario_index == 0));
 }
 
 #[test]

@@ -6,8 +6,14 @@
 //!
 //! * every link is bidirectional and delivers each sent message after an
 //!   **arbitrary finite delay** (modelled by a pluggable [`Scheduler`] that
-//!   picks which in-flight message is delivered next);
-//! * channels are **not FIFO**;
+//!   picks which non-empty link delivers its oldest message next);
+//! * the paper's channels are **not FIFO**; this engine implements the legal
+//!   refinement in which each *directed link* is a FIFO wire while the
+//!   scheduler reorders freely **across** links. In-flight messages live in a
+//!   link-indexed event core ([`LinkTable`]): one queue per directed edge and
+//!   an incrementally-maintained non-empty set, so scheduling is `O(active
+//!   links)` — `O(1)` for the default [`RandomScheduler`] — instead of the
+//!   `O(messages)` flat scan of the first-generation engine;
 //! * the channel noise is **alteration noise**: a [`NoiseModel`] may rewrite
 //!   the content of every message arbitrarily, but can neither delete nor
 //!   inject messages — a *fully-defective* network corrupts everything.
@@ -58,6 +64,7 @@
 
 pub mod envelope;
 pub mod error;
+pub mod links;
 pub mod noise;
 pub mod protocol;
 pub mod reactor;
@@ -69,6 +76,7 @@ pub mod transcript;
 
 pub use envelope::Envelope;
 pub use error::SimError;
+pub use links::{LinkId, LinkTable, LinkView};
 pub use noise::{
     BitFlip, Burst, ConstantOne, CrashLink, FullCorruption, NoiseModel, Noiseless, Omission,
     TargetedEdges,

@@ -1,0 +1,335 @@
+//! Link-indexed in-flight storage: the event core of the simulator.
+//!
+//! The first-generation simulator kept every in-flight message in one flat
+//! `Vec<Envelope>` that schedulers scanned linearly, so a single scheduling
+//! decision cost `O(messages)` — the dominant cost of large Theorem 2 runs,
+//! whose pulse traffic keeps hundreds of messages in flight. This module
+//! replaces the flat vector with a **link-indexed** structure:
+//!
+//! * every *directed* adjacency `(u, v)` of the graph is a [`LinkId`],
+//!   assigned once at simulation start in node/neighbour order;
+//! * each link owns a FIFO queue of envelopes — messages on the same link are
+//!   delivered (or deleted) in send order, like a physical wire;
+//! * the set of **non-empty** links is maintained incrementally, so a
+//!   scheduler picks among `O(active links)` candidates instead of
+//!   `O(messages)`, and enqueue/dequeue are `O(1)`.
+//!
+//! The paper's asynchrony model only promises arbitrary finite delay per
+//! message; per-link FIFO is a legal (and realistic) refinement of that
+//! model. Cross-link reordering — the part adversarial schedulers actually
+//! exploit — is fully preserved: the [`crate::Scheduler`] freely chooses
+//! *which* link delivers next.
+//!
+//! Determinism: link ids, queue contents and the active-set order are pure
+//! functions of the event sequence, so seeded runs remain byte-reproducible.
+
+use std::collections::VecDeque;
+
+use fdn_graph::{Graph, NodeId};
+
+use crate::envelope::Envelope;
+
+/// Identifier of a directed link (an ordered pair of adjacent nodes).
+///
+/// Ids are dense: `0..link_count()`, assigned in node order, neighbours in
+/// graph adjacency order — a pure function of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Sentinel for "not in the active list".
+const INACTIVE: usize = usize::MAX;
+
+/// Per-directed-edge FIFO queues plus an incrementally-maintained set of
+/// non-empty links. See the [module docs](self) for the design rationale.
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    /// `(from, to)` endpoints per link id.
+    ends: Vec<(NodeId, NodeId)>,
+    /// Per source node: `(to, link)` pairs sorted by `to`, for id lookup.
+    from_index: Vec<Vec<(NodeId, LinkId)>>,
+    /// FIFO queue per link.
+    queues: Vec<VecDeque<Envelope>>,
+    /// The non-empty links. Order is deterministic (activation order, with
+    /// swap-remove compaction) but otherwise unspecified; schedulers must not
+    /// read meaning into positions.
+    active: Vec<LinkId>,
+    /// Position of each link in `active`, or [`INACTIVE`].
+    active_pos: Vec<usize>,
+    /// Total messages in flight across all links.
+    total: usize,
+}
+
+impl LinkTable {
+    /// Builds the (empty) link table of `graph`: one link per directed
+    /// adjacency.
+    pub fn new(graph: &Graph) -> Self {
+        let mut ends = Vec::new();
+        let mut from_index = Vec::with_capacity(graph.node_count());
+        for u in graph.nodes() {
+            let mut row: Vec<(NodeId, LinkId)> = graph
+                .neighbors(u)
+                .iter()
+                .map(|&v| {
+                    let id = LinkId(ends.len() as u32);
+                    ends.push((u, v));
+                    (v, id)
+                })
+                .collect();
+            row.sort_unstable_by_key(|&(to, _)| to);
+            from_index.push(row);
+        }
+        let links = ends.len();
+        LinkTable {
+            ends,
+            from_index,
+            queues: vec![VecDeque::new(); links],
+            active: Vec::new(),
+            active_pos: vec![INACTIVE; links],
+            total: 0,
+        }
+    }
+
+    /// Number of directed links (twice the undirected edge count).
+    pub fn link_count(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The `(from, to)` endpoints of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn ends(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.ends[link.index()]
+    }
+
+    /// The link carrying messages from `from` to `to`, if the graph has that
+    /// adjacency.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        let row = self.from_index.get(from.index())?;
+        row.binary_search_by_key(&to, |&(t, _)| t)
+            .ok()
+            .map(|i| row[i].1)
+    }
+
+    /// Enqueues an envelope on its link's FIFO queue. Returns the link and
+    /// the queue depth *after* the push (for high-water accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the envelope's `(from, to)` is not an adjacency of the
+    /// graph; [`crate::Simulation`] validates sends before queueing.
+    pub fn push(&mut self, env: Envelope) -> (LinkId, usize) {
+        let link = self
+            .link_between(env.from, env.to)
+            .expect("envelope on a non-existent link");
+        let q = &mut self.queues[link.index()];
+        q.push_back(env);
+        if q.len() == 1 {
+            self.active_pos[link.index()] = self.active.len();
+            self.active.push(link);
+        }
+        self.total += 1;
+        (link, self.queues[link.index()].len())
+    }
+
+    /// The oldest in-flight envelope on `link`, if any.
+    pub fn head(&self, link: LinkId) -> Option<&Envelope> {
+        self.queues.get(link.index()).and_then(VecDeque::front)
+    }
+
+    /// Dequeues the oldest envelope of `link` (FIFO), maintaining the active
+    /// set. Returns `None` if the link is empty or out of range.
+    pub fn pop(&mut self, link: LinkId) -> Option<Envelope> {
+        let q = self.queues.get_mut(link.index())?;
+        let env = q.pop_front()?;
+        if q.is_empty() {
+            let pos = self.active_pos[link.index()];
+            debug_assert_ne!(pos, INACTIVE, "active set out of sync");
+            self.active.swap_remove(pos);
+            self.active_pos[link.index()] = INACTIVE;
+            if let Some(&moved) = self.active.get(pos) {
+                self.active_pos[moved.index()] = pos;
+            }
+        }
+        self.total -= 1;
+        Some(env)
+    }
+
+    /// Messages currently queued on `link`.
+    pub fn queue_len(&self, link: LinkId) -> usize {
+        self.queues.get(link.index()).map_or(0, VecDeque::len)
+    }
+
+    /// The non-empty links, in deterministic (but unspecified) order.
+    pub fn active(&self) -> &[LinkId] {
+        &self.active
+    }
+
+    /// Total messages in flight across all links.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no message is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// A read-only view for schedulers.
+    pub fn view(&self) -> LinkView<'_> {
+        LinkView { table: self }
+    }
+}
+
+/// What a [`crate::Scheduler`] sees when asked to pick the next delivery: the
+/// non-empty links, their head envelopes and queue depths. Borrowed from the
+/// simulation's [`LinkTable`] for the duration of one decision.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkView<'a> {
+    table: &'a LinkTable,
+}
+
+impl<'a> LinkView<'a> {
+    /// The non-empty links. Guaranteed non-empty when handed to
+    /// [`crate::Scheduler::next_link`].
+    pub fn active(&self) -> &'a [LinkId] {
+        self.table.active()
+    }
+
+    /// The oldest (next-to-deliver) envelope on an active link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is empty — schedulers only see active links.
+    pub fn head(&self, link: LinkId) -> &'a Envelope {
+        self.table.head(link).expect("head of an empty link")
+    }
+
+    /// Messages queued on `link`.
+    pub fn queue_len(&self, link: LinkId) -> usize {
+        self.table.queue_len(link)
+    }
+
+    /// The `(from, to)` endpoints of `link`.
+    pub fn ends(&self, link: LinkId) -> (NodeId, NodeId) {
+        self.table.ends(link)
+    }
+
+    /// Total messages in flight.
+    pub fn total(&self) -> usize {
+        self.table.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdn_graph::generators;
+
+    fn env(from: u32, to: u32, seq: u64) -> Envelope {
+        Envelope {
+            from: NodeId(from),
+            to: NodeId(to),
+            payload: vec![seq as u8],
+            seq,
+        }
+    }
+
+    #[test]
+    fn link_ids_cover_every_directed_adjacency() {
+        let g = generators::cycle(4).unwrap();
+        let t = LinkTable::new(&g);
+        assert_eq!(t.link_count(), 2 * g.edge_count());
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let l = t.link_between(u, v).unwrap();
+                assert_eq!(t.ends(l), (u, v));
+            }
+        }
+        // Opposite directions are distinct links.
+        let a = t.link_between(NodeId(0), NodeId(1)).unwrap();
+        let b = t.link_between(NodeId(1), NodeId(0)).unwrap();
+        assert_ne!(a, b);
+        // Non-adjacent pairs have no link.
+        assert_eq!(t.link_between(NodeId(0), NodeId(2)), None);
+        assert_eq!(t.link_between(NodeId(9), NodeId(0)), None);
+    }
+
+    #[test]
+    fn push_pop_preserves_fifo_per_link() {
+        let g = generators::cycle(4).unwrap();
+        let mut t = LinkTable::new(&g);
+        let (l01, d1) = t.push(env(0, 1, 1));
+        let (same, d2) = t.push(env(0, 1, 2));
+        assert_eq!(l01, same);
+        assert_eq!((d1, d2), (1, 2));
+        t.push(env(1, 2, 3));
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.active().len(), 2);
+        assert_eq!(t.head(l01).unwrap().seq, 1);
+        assert_eq!(t.pop(l01).unwrap().seq, 1);
+        assert_eq!(t.pop(l01).unwrap().seq, 2);
+        assert_eq!(t.pop(l01), None);
+        assert_eq!(t.total(), 1);
+        assert_eq!(t.active().len(), 1);
+    }
+
+    #[test]
+    fn active_set_tracks_empty_and_non_empty_links() {
+        let g = generators::cycle(5).unwrap();
+        let mut t = LinkTable::new(&g);
+        assert!(t.is_empty());
+        assert!(t.active().is_empty());
+        let (a, _) = t.push(env(0, 1, 0));
+        let (b, _) = t.push(env(1, 2, 1));
+        let (c, _) = t.push(env(2, 3, 2));
+        assert_eq!(t.active(), &[a, b, c]);
+        // Draining the *first* active link swap-removes: c takes its slot.
+        t.pop(a).unwrap();
+        assert_eq!(t.active(), &[c, b]);
+        // Re-activation appends at the end again.
+        t.push(env(0, 1, 3));
+        assert_eq!(t.active(), &[c, b, a]);
+        t.pop(c).unwrap();
+        t.pop(b).unwrap();
+        t.pop(a).unwrap();
+        assert!(t.is_empty());
+        assert!(t.active().is_empty());
+    }
+
+    #[test]
+    fn view_exposes_heads_depths_and_ends() {
+        let g = generators::cycle(4).unwrap();
+        let mut t = LinkTable::new(&g);
+        let (l, _) = t.push(env(2, 1, 7));
+        t.push(env(2, 1, 8));
+        let view = t.view();
+        assert_eq!(view.active(), &[l]);
+        assert_eq!(view.head(l).seq, 7);
+        assert_eq!(view.queue_len(l), 2);
+        assert_eq!(view.ends(l), (NodeId(2), NodeId(1)));
+        assert_eq!(view.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent link")]
+    fn push_on_missing_adjacency_panics() {
+        let g = generators::cycle(4).unwrap();
+        let mut t = LinkTable::new(&g);
+        t.push(env(0, 2, 0));
+    }
+}

@@ -4,6 +4,7 @@ use fdn_graph::{Graph, NodeId};
 
 use crate::envelope::Envelope;
 use crate::error::SimError;
+use crate::links::{LinkTable, LinkView};
 use crate::noise::{NoiseModel, Noiseless};
 use crate::reactor::{Context, Reactor};
 use crate::scheduler::{RandomScheduler, Scheduler};
@@ -30,7 +31,7 @@ pub struct RunReport {
 pub struct Simulation<R> {
     graph: Graph,
     nodes: Vec<R>,
-    inflight: Vec<Envelope>,
+    links: LinkTable,
     noise: Box<dyn NoiseModel>,
     scheduler: Box<dyn Scheduler>,
     stats: Stats,
@@ -57,10 +58,11 @@ impl<R: Reactor> Simulation<R> {
             });
         }
         let n = graph.node_count();
+        let links = LinkTable::new(&graph);
         Ok(Simulation {
             graph,
             nodes,
-            inflight: Vec::new(),
+            links,
             noise: Box::new(Noiseless),
             scheduler: Box::new(RandomScheduler::new(0)),
             stats: Stats::new(n),
@@ -142,12 +144,18 @@ impl<R: Reactor> Simulation<R> {
 
     /// Number of messages currently in flight.
     pub fn inflight_count(&self) -> usize {
-        self.inflight.len()
+        self.links.total()
+    }
+
+    /// Read-only view of the link-indexed event core: the non-empty links,
+    /// their queue depths and head envelopes.
+    pub fn link_view(&self) -> LinkView<'_> {
+        self.links.view()
     }
 
     /// Whether no message is in flight (and the run has started).
     pub fn is_quiescent(&self) -> bool {
-        self.started && self.inflight.is_empty()
+        self.started && self.links.is_empty()
     }
 
     /// The outputs of all nodes, indexed by node id.
@@ -177,28 +185,32 @@ impl<R: Reactor> Simulation<R> {
         Ok(())
     }
 
-    /// Processes a single scheduled delivery: the scheduler picks an in-flight
-    /// message, the noise model either rewrites it (alteration) or deletes it
-    /// (deletion-side adversaries only), and — if it survives — the receiving
-    /// reactor runs and its sends are queued. Returns `false` if nothing was
-    /// in flight.
+    /// Processes a single scheduled delivery: the scheduler picks a non-empty
+    /// link, the link's oldest message (per-link FIFO) is taken, the noise
+    /// model either rewrites it (alteration) or deletes it (deletion-side
+    /// adversaries only), and — if it survives — the receiving reactor runs
+    /// and its sends are queued. Returns `false` if nothing was in flight.
     ///
     /// # Errors
     ///
     /// Returns an error if the receiving reactor emits an invalid message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler returns a link that is not in the active set
+    /// (a contract violation by a custom [`Scheduler`] implementation).
     pub fn step(&mut self) -> Result<bool, SimError> {
         if !self.started {
             self.start()?;
         }
-        if self.inflight.is_empty() {
+        if self.links.is_empty() {
             return Ok(false);
         }
-        let idx = self.scheduler.next(&self.inflight);
-        debug_assert!(
-            idx < self.inflight.len(),
-            "scheduler returned an out-of-range index"
-        );
-        let env = self.inflight.swap_remove(idx);
+        let link = self.scheduler.next_link(&self.links.view());
+        let env = self
+            .links
+            .pop(link)
+            .expect("scheduler chose an empty or unknown link");
         self.steps += 1;
         let Some(delivered_payload) = self.noise.deliver(&env) else {
             // Deleted in transit: the receiver never observes anything, so no
@@ -247,7 +259,7 @@ impl<R: Reactor> Simulation<R> {
             self.start()?;
         }
         let start_steps = self.steps;
-        while !self.inflight.is_empty() {
+        while !self.links.is_empty() {
             if self.steps - start_steps >= self.max_steps {
                 return Err(SimError::StepLimitExceeded {
                     limit: self.max_steps,
@@ -318,7 +330,14 @@ impl<R: Reactor> Simulation<R> {
                     payload: env.payload.clone(),
                 });
             }
-            self.inflight.push(env);
+            let (env_from, env_to) = (env.from, env.to);
+            let (_, depth) = self.links.push(env);
+            self.stats.record_queue_depth(
+                env_from,
+                env_to,
+                depth as u64,
+                self.links.total() as u64,
+            );
         }
         Ok(())
     }

@@ -342,23 +342,30 @@ mod tests {
 
     #[test]
     fn scheduler_spec_builds_and_roundtrips() {
-        let inflight = vec![
-            Envelope {
-                from: NodeId(0),
-                to: NodeId(1),
-                payload: vec![1],
-                seq: 5,
-            },
-            Envelope {
-                from: NodeId(1),
-                to: NodeId(2),
-                payload: vec![1],
-                seq: 6,
-            },
-        ];
-        assert_eq!(SchedulerSpec::Fifo.build(0).next(&inflight), 0);
-        assert_eq!(SchedulerSpec::Lifo.build(0).next(&inflight), 1);
-        assert!(SchedulerSpec::Random.build(0).next(&inflight) < 2);
+        let g = fdn_graph::generators::cycle(3).unwrap();
+        let mut links = crate::links::LinkTable::new(&g);
+        let (oldest, _) = links.push(Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: vec![1],
+            seq: 5,
+        });
+        let (newest, _) = links.push(Envelope {
+            from: NodeId(1),
+            to: NodeId(2),
+            payload: vec![1],
+            seq: 6,
+        });
+        assert_eq!(
+            SchedulerSpec::Fifo.build(0).next_link(&links.view()),
+            oldest
+        );
+        assert_eq!(
+            SchedulerSpec::Lifo.build(0).next_link(&links.view()),
+            newest
+        );
+        let picked = SchedulerSpec::Random.build(0).next_link(&links.view());
+        assert!(links.view().active().contains(&picked));
         for spec in SchedulerSpec::ALL {
             assert_eq!(SchedulerSpec::parse(&spec.label()).unwrap(), spec);
             assert_eq!(spec.label(), spec.build(0).name());

@@ -25,6 +25,14 @@ pub struct Stats {
     /// Total payload bits sent (the paper's `CC` counts bits of sent
     /// messages).
     pub bits_sent: u64,
+    /// High-water mark of the total number of messages in flight at any
+    /// instant of the run (queue-depth observability of the link-indexed
+    /// event core). Cumulative over the whole run: unlike the send/delivery
+    /// counters it is *not* differenced by [`Stats::since`].
+    pub max_inflight: u64,
+    /// Per-directed-link high-water mark of the link's FIFO queue depth.
+    /// Cumulative over the whole run, like [`Stats::max_inflight`].
+    pub per_link_high_water: HashMap<(NodeId, NodeId), u64>,
     /// Messages sent per undirected edge.
     pub per_edge_sent: HashMap<Edge, u64>,
     /// Messages sent per node (indexed by node id).
@@ -63,6 +71,21 @@ impl Stats {
         self.dropped_total += 1;
     }
 
+    /// Records the queue depth observed right after an enqueue: `link_depth`
+    /// messages on the directed link `from -> to`, `total_inflight` across
+    /// the whole network. Maintains the high-water marks.
+    pub fn record_queue_depth(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        link_depth: u64,
+        total_inflight: u64,
+    ) {
+        self.max_inflight = self.max_inflight.max(total_inflight);
+        let hw = self.per_link_high_water.entry((from, to)).or_insert(0);
+        *hw = (*hw).max(link_depth);
+    }
+
     /// Messages sent by a specific node.
     pub fn sent_by(&self, node: NodeId) -> u64 {
         self.per_node_sent.get(node.index()).copied().unwrap_or(0)
@@ -85,19 +108,29 @@ impl Stats {
         let mut per_edge_sent: Vec<(Edge, u64)> =
             self.per_edge_sent.iter().map(|(e, c)| (*e, *c)).collect();
         per_edge_sent.sort_unstable();
+        let mut per_link_high_water: Vec<((NodeId, NodeId), u64)> = self
+            .per_link_high_water
+            .iter()
+            .map(|(l, c)| (*l, *c))
+            .collect();
+        per_link_high_water.sort_unstable();
         StatsSnapshot {
             sent_total: self.sent_total,
             delivered_total: self.delivered_total,
             dropped_total: self.dropped_total,
             bits_sent: self.bits_sent,
+            max_inflight: self.max_inflight,
             per_node_sent: self.per_node_sent.clone(),
             per_edge_sent,
+            per_link_high_water,
         }
     }
 
     /// Difference of the counters in `self` relative to an earlier snapshot
     /// (used to measure the cost of a single phase, e.g. `CCoverhead` of one
-    /// message).
+    /// message). High-water marks (`max_inflight`, `per_link_high_water`)
+    /// are run-cumulative, not phase-differencible, so the later values are
+    /// carried through unchanged.
     pub fn since(&self, earlier: &Stats) -> Stats {
         let mut per_edge = HashMap::new();
         for (e, v) in &self.per_edge_sent {
@@ -111,6 +144,8 @@ impl Stats {
             delivered_total: self.delivered_total - earlier.delivered_total,
             dropped_total: self.dropped_total - earlier.dropped_total,
             bits_sent: self.bits_sent - earlier.bits_sent,
+            max_inflight: self.max_inflight,
+            per_link_high_water: self.per_link_high_water.clone(),
             per_edge_sent: per_edge,
             per_node_sent: self
                 .per_node_sent
@@ -139,16 +174,30 @@ pub struct StatsSnapshot {
     pub dropped_total: u64,
     /// Total payload bits sent.
     pub bits_sent: u64,
+    /// High-water mark of messages simultaneously in flight (run-cumulative).
+    pub max_inflight: u64,
     /// Messages sent per node (indexed by node id).
     pub per_node_sent: Vec<u64>,
     /// Messages sent per undirected edge, sorted by edge.
     pub per_edge_sent: Vec<(Edge, u64)>,
+    /// Per-directed-link FIFO queue-depth high-water marks, sorted by link
+    /// (run-cumulative).
+    pub per_link_high_water: Vec<((NodeId, NodeId), u64)>,
 }
 
 impl StatsSnapshot {
     /// The maximum number of messages sent by any single node.
     pub fn max_sent_by_node(&self) -> u64 {
         self.per_node_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The deepest per-link FIFO queue observed at any instant of the run.
+    pub fn max_link_high_water(&self) -> u64 {
+        self.per_link_high_water
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The heaviest per-edge load (messages on the busiest edge).
@@ -161,7 +210,8 @@ impl StatsSnapshot {
     }
 
     /// Per-counter difference relative to an `earlier` snapshot of the same
-    /// run (edges that did not change are omitted).
+    /// run (edges that did not change are omitted). High-water marks are
+    /// run-cumulative and carried through unchanged, as in [`Stats::since`].
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut per_edge_sent = Vec::new();
         let mut before = earlier.per_edge_sent.iter().copied().peekable();
@@ -186,6 +236,7 @@ impl StatsSnapshot {
             delivered_total: self.delivered_total - earlier.delivered_total,
             dropped_total: self.dropped_total - earlier.dropped_total,
             bits_sent: self.bits_sent - earlier.bits_sent,
+            max_inflight: self.max_inflight,
             per_node_sent: self
                 .per_node_sent
                 .iter()
@@ -193,6 +244,7 @@ impl StatsSnapshot {
                 .map(|(now, before)| now - before)
                 .collect(),
             per_edge_sent,
+            per_link_high_water: self.per_link_high_water.clone(),
         }
     }
 }
@@ -283,6 +335,30 @@ mod tests {
         assert_eq!(snap.max_sent_on_edge(), 2);
         // Two snapshots of equal stats are equal values.
         assert_eq!(snap, s.clone().snapshot());
+    }
+
+    #[test]
+    fn queue_depth_high_water_marks() {
+        let mut s = Stats::new(3);
+        assert_eq!(s.max_inflight, 0);
+        s.record_queue_depth(NodeId(0), NodeId(1), 1, 1);
+        s.record_queue_depth(NodeId(0), NodeId(1), 2, 2);
+        s.record_queue_depth(NodeId(1), NodeId(0), 1, 3);
+        // Depths later shrink; the marks do not.
+        s.record_queue_depth(NodeId(0), NodeId(1), 1, 1);
+        assert_eq!(s.max_inflight, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.max_inflight, 3);
+        assert_eq!(
+            snap.per_link_high_water,
+            vec![((NodeId(0), NodeId(1)), 2), ((NodeId(1), NodeId(0)), 1),]
+        );
+        assert_eq!(snap.max_link_high_water(), 2);
+        // High-water marks are cumulative: `since` carries them through.
+        let earlier = Stats::new(3);
+        assert_eq!(s.since(&earlier).max_inflight, 3);
+        assert_eq!(snap.since(&earlier.snapshot()).max_inflight, 3);
+        assert_eq!(snap.since(&earlier.snapshot()).max_link_high_water(), 2);
     }
 
     #[test]
