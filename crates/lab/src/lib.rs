@@ -24,6 +24,11 @@
 //!    cell-by-cell against a [`DiffTolerance`] (the `fdn-lab diff`
 //!    subcommand exits non-zero on regression), turning `lab-out/` into a
 //!    CI regression gate.
+//! 6. **Chart** the deletion frontier: [`run_frontier`] bisects the omission
+//!    drop-rate axis per (family, mode, workload) cell to the smallest rate
+//!    that breaks it, emitting a byte-deterministic [`FrontierReport`] that
+//!    is regression-gateable through the same `diff` subcommand
+//!    ([`diff_frontier_reports`]).
 //!
 //! Reports contain no wall-clock data and every stage is order-preserving,
 //! so two runs of the same campaign produce **byte-identical** reports
@@ -50,6 +55,7 @@
 pub mod cache;
 pub mod diff;
 pub mod error;
+pub mod frontier;
 pub mod json;
 pub mod presets;
 pub mod report;
@@ -59,6 +65,10 @@ pub mod spec;
 pub use cache::{CachedTopology, TopologyCache};
 pub use diff::{diff_reports, CellChange, CellDelta, DiffTolerance, ReportDiff};
 pub use error::LabError;
+pub use frontier::{
+    diff_frontier_reports, run_frontier, FrontierCell, FrontierCellDelta, FrontierDiff,
+    FrontierProbe, FrontierReport, FrontierSpec, FrontierStatus, FrontierTolerance, FRONTIER_AXIS,
+};
 pub use json::Json;
 pub use presets::PRESET_NAMES;
 pub use report::{

@@ -3,11 +3,14 @@
 //!
 //! ```text
 //! fdn-lab run [matrix flags] [--threads N] [--out DIR] [--shard K/M]
+//! fdn-lab frontier [frontier flags] [--threads N] [--out DIR]
+//!              # bisect the omission drop-rate axis per cell
 //! fdn-lab list-scenarios [matrix flags] [--family SUBSTR] [--noise SUBSTR]
 //! fdn-lab report --input FILE [--format md|csv|json]
 //! fdn-lab merge SHARD.json... [--out FILE]   # recombine per-shard reports
 //! fdn-lab diff BASE.json CANDIDATE.json [--tol-rate X] [--tol-pulses Y]
-//!              [--format md|json]        # exit 0 clean, 2 on regression
+//!              [--tol-mille N] [--format md|json]
+//!              # campaign or frontier reports; exit 0 clean, 2 on regression
 //!
 //! Matrix flags (each overrides one axis of the chosen --preset):
 //!   --preset quick|standard|paper|scale  base campaign  [default: standard]
@@ -29,8 +32,9 @@ use std::time::Instant;
 
 use fdn_graph::GraphFamily;
 use fdn_lab::{
-    diff_reports, merge_reports, run_expanded, run_shard, shard_slice, Campaign, CampaignReport,
-    DiffTolerance, LabError, Shard,
+    diff_frontier_reports, diff_reports, merge_reports, run_expanded, run_frontier, run_shard,
+    shard_slice, Campaign, CampaignReport, DiffTolerance, FrontierReport, FrontierSpec,
+    FrontierTolerance, LabError, Shard,
 };
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
@@ -51,6 +55,7 @@ fn main() {
 fn dispatch(args: &[String]) -> Result<(), LabError> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("frontier") => cmd_frontier(&args[1..]),
         Some("list-scenarios") => cmd_list(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
@@ -69,13 +74,16 @@ fn usage() -> String {
      Commands:\n\
     \x20 run             expand the matrix, run every scenario in parallel,\n\
     \x20                 write JSON + CSV + markdown reports\n\
+    \x20 frontier        bisect the omission drop-rate axis (per mille) per\n\
+    \x20                 (family, mode, workload) cell to the smallest rate\n\
+    \x20                 that breaks it; write NAME.frontier.{json,csv,md}\n\
     \x20 list-scenarios  print the expanded matrix without running it\n\
     \x20                 (--family SUBSTR / --noise SUBSTR filter the listing)\n\
     \x20 report          re-render a saved JSON report (--input FILE)\n\
     \x20 merge           recombine per-shard reports (run --shard K/M) into\n\
     \x20                 the whole campaign's report (--out FILE, else stdout)\n\
-    \x20 diff            compare two saved JSON reports cell-by-cell;\n\
-    \x20                 exit 0 when clean, 2 on regression\n\
+    \x20 diff            compare two saved JSON reports (campaign or frontier)\n\
+    \x20                 cell-by-cell; exit 0 when clean, 2 on regression\n\
      \n\
      Matrix flags (override one axis of the chosen --preset):\n\
     \x20 --preset quick|standard|paper|scale  base campaign [default: standard]\n\
@@ -97,11 +105,24 @@ fn usage() -> String {
     \x20                                 cell slices (recombine with `merge`)\n\
     \x20 --format md|csv|json            (report command) output format\n\
      \n\
+     Frontier flags (`fdn-lab frontier`, sharing --preset/--name/--families/\n\
+     --modes/--workloads/--seeds/--seed-start/--max-steps with `run`):\n\
+    \x20 --scheduler NAME                probe scheduler [default: the\n\
+    \x20                                 preset's first scheduler]\n\
+    \x20 --max-rate R                    top of the probe axis, per mille\n\
+    \x20                                 [default: 1000]\n\
+    \x20 --resolution W                  target bracket width, per mille\n\
+    \x20                                 [default: 8]\n\
+    \x20 --verify-probes K               probes above the bracket that hunt\n\
+    \x20                                 for non-monotone cells [default: 3]\n\
+     \n\
      Diff flags (`fdn-lab diff BASE.json CANDIDATE.json`):\n\
-    \x20 --tol-rate X                    tolerated success/quiescence drop,\n\
-    \x20                                 absolute in [0,1] [default: 0]\n\
-    \x20 --tol-pulses Y                  tolerated relative p50/p95 pulse\n\
-    \x20                                 increase (0.1 = +10%) [default: 0]\n\
+    \x20 --tol-rate X                    campaign: tolerated success/quiescence\n\
+    \x20                                 drop, absolute in [0,1] [default: 0]\n\
+    \x20 --tol-pulses Y                  campaign: tolerated relative p50/p95\n\
+    \x20                                 pulse increase (0.1 = +10%) [default: 0]\n\
+    \x20 --tol-mille N                   frontier: tolerated bracket-bound\n\
+    \x20                                 decrease, per mille [default: 0]\n\
     \x20 --format md|json                delta report format [default: md]\n"
         .to_string()
 }
@@ -140,8 +161,9 @@ struct RunOptions {
     shard: Option<Shard>,
 }
 
-fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
-    // Two passes: --preset decides the base, every other flag overrides.
+/// The first pass over a command's flags: only `--preset` matters, every
+/// other flag is skipped (it overrides the preset in the second pass).
+fn parse_preset_name(args: &[String]) -> Result<String, LabError> {
     let mut preset = "standard".to_string();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
@@ -151,37 +173,93 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
             let _ = flags.value(flag)?;
         }
     }
-    let mut campaign = Campaign::preset(&preset)?;
+    Ok(preset)
+}
+
+/// Mutable targets of the flags `run` and `frontier` share — the matrix
+/// axes both commands sweep plus the execution flags. Keeping one handler
+/// for both commands means a parsing fix or a new shared flag cannot land
+/// in one and silently miss the other.
+struct SharedFlags<'a> {
+    name: &'a mut String,
+    families: &'a mut Vec<GraphFamily>,
+    modes: &'a mut Vec<fdn_lab::EngineMode>,
+    workloads: &'a mut Vec<WorkloadSpec>,
+    seeds: &'a mut fdn_lab::SeedRange,
+    max_steps: &'a mut u64,
+    threads: &'a mut Option<usize>,
+    out_dir: &'a mut PathBuf,
+}
+
+/// Applies one shared flag, returning `false` (without consuming a value)
+/// when the flag belongs to the calling command instead.
+fn apply_shared_flag(flag: &str, flags: &mut Flags, t: &mut SharedFlags) -> Result<bool, LabError> {
+    match flag {
+        "--preset" => {
+            // Consumed by the first pass ([`parse_preset_name`]).
+            let _ = flags.value(flag)?;
+        }
+        "--name" => *t.name = flags.value(flag)?.to_string(),
+        "--families" => {
+            *t.families = split_csv(flags.value(flag)?)
+                .map(|s| GraphFamily::parse(s).map_err(|e| parse_err(flag, e.to_string())))
+                .collect::<Result<_, _>>()?;
+        }
+        "--modes" => {
+            *t.modes = split_csv(flags.value(flag)?)
+                .map(|s| fdn_lab::EngineMode::parse(s).map_err(|e| parse_err(flag, e)))
+                .collect::<Result<_, _>>()?;
+        }
+        "--workloads" => {
+            *t.workloads = split_csv(flags.value(flag)?)
+                .map(|s| WorkloadSpec::parse(s).map_err(|e| parse_err(flag, e)))
+                .collect::<Result<_, _>>()?;
+        }
+        "--seeds" => {
+            t.seeds.count =
+                parse_num_bounded(flag, flags.value(flag)?, u64::from(u32::MAX))? as u32;
+        }
+        "--seed-start" => {
+            t.seeds.start = parse_num(flag, flags.value(flag)?)?;
+        }
+        "--max-steps" => {
+            *t.max_steps = parse_num(flag, flags.value(flag)?)?;
+        }
+        "--threads" => {
+            *t.threads = Some(parse_num(flag, flags.value(flag)?)? as usize);
+        }
+        "--out" => *t.out_dir = PathBuf::from(flags.value(flag)?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
+    // Two passes: --preset decides the base, every other flag overrides.
+    let mut campaign = Campaign::preset(&parse_preset_name(args)?)?;
     let mut threads = None;
     let mut out_dir = PathBuf::from("lab-out");
     let mut shard = None;
-    let parse_err = |flag: &str, e: String| LabError::Usage(format!("{flag}: {e}"));
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
+        let mut shared = SharedFlags {
+            name: &mut campaign.name,
+            families: &mut campaign.families,
+            modes: &mut campaign.modes,
+            workloads: &mut campaign.workloads,
+            seeds: &mut campaign.seeds,
+            max_steps: &mut campaign.max_steps,
+            threads: &mut threads,
+            out_dir: &mut out_dir,
+        };
+        if apply_shared_flag(flag, &mut flags, &mut shared)? {
+            continue;
+        }
         match flag {
-            "--preset" => {
-                let _ = flags.value(flag)?;
-            }
-            "--name" => campaign.name = flags.value(flag)?.to_string(),
-            "--families" => {
-                campaign.families = split_csv(flags.value(flag)?)
-                    .map(|s| GraphFamily::parse(s).map_err(|e| parse_err(flag, e.to_string())))
-                    .collect::<Result<_, _>>()?;
-            }
-            "--modes" => {
-                campaign.modes = split_csv(flags.value(flag)?)
-                    .map(|s| fdn_lab::EngineMode::parse(s).map_err(|e| parse_err(flag, e)))
-                    .collect::<Result<_, _>>()?;
-            }
             "--encodings" => {
                 campaign.encodings = split_csv(flags.value(flag)?)
                     .map(|s| fdn_lab::EncodingSpec::parse(s).map_err(|e| parse_err(flag, e)))
-                    .collect::<Result<_, _>>()?;
-            }
-            "--workloads" => {
-                campaign.workloads = split_csv(flags.value(flag)?)
-                    .map(|s| WorkloadSpec::parse(s).map_err(|e| parse_err(flag, e)))
                     .collect::<Result<_, _>>()?;
             }
             "--noises" => {
@@ -194,19 +272,6 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
                     .map(|s| SchedulerSpec::parse(s).map_err(|e| parse_err(flag, e)))
                     .collect::<Result<_, _>>()?;
             }
-            "--seeds" => {
-                campaign.seeds.count = parse_num(flag, flags.value(flag)?)? as u32;
-            }
-            "--seed-start" => {
-                campaign.seeds.start = parse_num(flag, flags.value(flag)?)?;
-            }
-            "--max-steps" => {
-                campaign.max_steps = parse_num(flag, flags.value(flag)?)?;
-            }
-            "--threads" => {
-                threads = Some(parse_num(flag, flags.value(flag)?)? as usize);
-            }
-            "--out" => out_dir = PathBuf::from(flags.value(flag)?),
             "--shard" => {
                 shard = Some(Shard::parse(flags.value(flag)?).map_err(|e| parse_err(flag, e))?);
             }
@@ -245,12 +310,28 @@ fn split_csv(s: &str) -> impl Iterator<Item = &str> {
     items.into_iter().map(str::trim).filter(|p| !p.is_empty())
 }
 
+fn parse_err(flag: &str, e: String) -> LabError {
+    LabError::Usage(format!("{flag}: {e}"))
+}
+
 fn parse_num(flag: &str, v: &str) -> Result<u64, LabError> {
     v.parse::<u64>().map_err(|_| {
         LabError::Usage(format!(
             "flag `{flag}` needs an unsigned integer, got `{v}`"
         ))
     })
+}
+
+/// Like [`parse_num`], but rejects values above `max` — callers narrowing to
+/// a smaller integer type must never silently truncate.
+fn parse_num_bounded(flag: &str, v: &str, max: u64) -> Result<u64, LabError> {
+    let n = parse_num(flag, v)?;
+    if n > max {
+        return Err(LabError::Usage(format!(
+            "flag `{flag}` must be at most {max}, got `{v}`"
+        )));
+    }
+    Ok(n)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), LabError> {
@@ -343,6 +424,119 @@ fn write_report(dir: &Path, stem: &str, ext: &str, contents: &str) -> Result<(),
     let path = dir.join(format!("{stem}.{ext}"));
     std::fs::write(&path, contents)?;
     println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
+    // Two passes, mirroring `run`: --preset decides the base spec, the
+    // shared matrix/execution flags and the frontier-specific axis flags
+    // override its fields.
+    let mut spec = FrontierSpec::preset(&parse_preset_name(args)?)?;
+    let mut threads = None;
+    let mut out_dir = PathBuf::from("lab-out");
+
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        let mut shared = SharedFlags {
+            name: &mut spec.name,
+            families: &mut spec.families,
+            modes: &mut spec.modes,
+            workloads: &mut spec.workloads,
+            seeds: &mut spec.seeds,
+            max_steps: &mut spec.max_steps,
+            threads: &mut threads,
+            out_dir: &mut out_dir,
+        };
+        if apply_shared_flag(flag, &mut flags, &mut shared)? {
+            continue;
+        }
+        match flag {
+            "--scheduler" => {
+                spec.scheduler =
+                    SchedulerSpec::parse(flags.value(flag)?).map_err(|e| parse_err(flag, e))?;
+            }
+            "--max-rate" => {
+                spec.max_rate = parse_num_bounded(flag, flags.value(flag)?, 1000)? as u16;
+            }
+            "--resolution" => {
+                spec.resolution = parse_num_bounded(flag, flags.value(flag)?, 1000)? as u16;
+            }
+            "--verify-probes" => {
+                spec.verify_probes = parse_num_bounded(flag, flags.value(flag)?, 1000)? as u16;
+            }
+            other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+    if let Some(n) = threads {
+        // First configuration wins; a second command in-process keeps the pool.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global();
+    }
+    eprintln!(
+        "frontier `{}`: {} families x {} modes x {} workloads, axis 0..={}‰ at \
+         resolution {}‰, {} seeds per probe",
+        spec.name,
+        spec.families.len(),
+        spec.modes.len(),
+        spec.workloads.len(),
+        spec.max_rate,
+        spec.resolution,
+        spec.seeds.count,
+    );
+    let started = Instant::now();
+    let report = run_frontier(&spec)?;
+    let elapsed = started.elapsed();
+    eprintln!(
+        "{} cells bisected with {} probes in {elapsed:.2?}",
+        report.cells.len(),
+        report.probe_count(),
+    );
+    std::fs::create_dir_all(&out_dir)?;
+    // `.frontier` in the stem keeps the artifacts apart from the same
+    // preset's campaign reports in a shared --out directory.
+    let stem = format!("{}.frontier", report.name);
+    write_report(&out_dir, &stem, "json", &report.to_json_string())?;
+    write_report(&out_dir, &stem, "csv", &report.to_csv())?;
+    write_report(
+        &out_dir,
+        &stem,
+        "md",
+        &report.to_markdown_with_wall_clock(Some(elapsed.as_secs_f64())),
+    )?;
+    println!(
+        "frontier `{}`: {} cells ({} bracketed, {} break at zero, {} never break, \
+         {} non-monotone), {} skipped combination(s)",
+        report.name,
+        report.cells.len(),
+        report
+            .cells
+            .iter()
+            .filter(|c| c.status == fdn_lab::FrontierStatus::Bracketed)
+            .count(),
+        report
+            .cells
+            .iter()
+            .filter(|c| c.status == fdn_lab::FrontierStatus::BreaksAtZero)
+            .count(),
+        report
+            .cells
+            .iter()
+            .filter(|c| c.status == fdn_lab::FrontierStatus::NeverBreaks)
+            .count(),
+        report.cells.iter().filter(|c| !c.monotone).count(),
+        report.skipped.len(),
+    );
+    for cell in &report.cells {
+        println!(
+            "  {}: {} (width {}‰, {} probes{})",
+            cell.cell_id(),
+            cell.bracket_label(),
+            cell.bracket_width(),
+            cell.probes.len(),
+            if cell.monotone { "" } else { ", non-monotone" },
+        );
+    }
     Ok(())
 }
 
@@ -511,15 +705,45 @@ fn parse_tol(flag: &str, v: &str) -> Result<f64, LabError> {
     Ok(x)
 }
 
+/// A saved report of either kind, distinguished by its leading JSON field
+/// (`campaign` vs `frontier`).
+enum AnyReport {
+    Campaign(CampaignReport),
+    Frontier(FrontierReport),
+}
+
+fn load_any_report(path: &Path) -> Result<AnyReport, LabError> {
+    let text = std::fs::read_to_string(path)?;
+    let parse_err = |e: String| LabError::Parse(format!("{}: {e}", path.display()));
+    let doc = fdn_lab::Json::parse(&text).map_err(parse_err)?;
+    if doc.get("frontier").is_some() {
+        Ok(AnyReport::Frontier(
+            FrontierReport::from_json(&doc).map_err(parse_err)?,
+        ))
+    } else {
+        // The original report kind stays the default, so pre-frontier error
+        // messages (`field \`campaign\` missing`) are unchanged. The sniffed
+        // document is reused — the text is parsed exactly once.
+        Ok(AnyReport::Campaign(
+            CampaignReport::from_json(&doc).map_err(parse_err)?,
+        ))
+    }
+}
+
 fn cmd_diff(args: &[String]) -> Result<(), LabError> {
     let mut inputs: Vec<PathBuf> = Vec::new();
-    let mut tolerance = DiffTolerance::default();
+    let mut tol_rate: Option<f64> = None;
+    let mut tol_pulses: Option<f64> = None;
+    let mut tol_mille: Option<u16> = None;
     let mut format = "md".to_string();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
-            "--tol-rate" => tolerance.rate = parse_tol(flag, flags.value(flag)?)?,
-            "--tol-pulses" => tolerance.pulses = parse_tol(flag, flags.value(flag)?)?,
+            "--tol-rate" => tol_rate = Some(parse_tol(flag, flags.value(flag)?)?),
+            "--tol-pulses" => tol_pulses = Some(parse_tol(flag, flags.value(flag)?)?),
+            "--tol-mille" => {
+                tol_mille = Some(parse_num_bounded(flag, flags.value(flag)?, 1000)? as u16);
+            }
             "--format" => format = flags.value(flag)?.to_string(),
             other if other.starts_with("--") => {
                 return Err(LabError::Usage(format!("unknown flag `{other}`")))
@@ -527,29 +751,62 @@ fn cmd_diff(args: &[String]) -> Result<(), LabError> {
             positional => inputs.push(PathBuf::from(positional)),
         }
     }
+    if !matches!(format.as_str(), "md" | "json") {
+        return Err(LabError::Usage(format!("unknown format `{format}`")));
+    }
     let [base_path, candidate_path] = inputs.as_slice() else {
         return Err(LabError::Usage(
             "diff requires exactly two report files: BASE.json CANDIDATE.json".into(),
         ));
     };
-    let load = |path: &Path| -> Result<CampaignReport, LabError> {
-        let text = std::fs::read_to_string(path)?;
-        CampaignReport::from_json_str(&text)
-            .map_err(|e| LabError::Parse(format!("{}: {e}", path.display())))
+    let (rendered, regressions) = match (
+        load_any_report(base_path)?,
+        load_any_report(candidate_path)?,
+    ) {
+        (AnyReport::Campaign(base), AnyReport::Campaign(candidate)) => {
+            if tol_mille.is_some() {
+                return Err(LabError::Usage(
+                    "--tol-mille applies to frontier reports, not campaign reports".into(),
+                ));
+            }
+            let tolerance = DiffTolerance {
+                rate: tol_rate.unwrap_or(0.0),
+                pulses: tol_pulses.unwrap_or(0.0),
+            };
+            let delta = diff_reports(&base, &candidate, tolerance);
+            let rendered = match format.as_str() {
+                "md" => delta.to_markdown(),
+                _ => delta.to_json_string(),
+            };
+            (rendered, delta.regression_count())
+        }
+        (AnyReport::Frontier(base), AnyReport::Frontier(candidate)) => {
+            if tol_rate.is_some() || tol_pulses.is_some() {
+                return Err(LabError::Usage(
+                    "--tol-rate/--tol-pulses apply to campaign reports; use --tol-mille \
+                     for frontier reports"
+                        .into(),
+                ));
+            }
+            let tolerance = FrontierTolerance {
+                mille: tol_mille.unwrap_or(0),
+            };
+            let delta = diff_frontier_reports(&base, &candidate, tolerance);
+            let rendered = match format.as_str() {
+                "md" => delta.to_markdown(),
+                _ => delta.to_json_string(),
+            };
+            (rendered, delta.regression_count())
+        }
+        _ => {
+            return Err(LabError::Usage(
+                "cannot diff a campaign report against a frontier report".into(),
+            ))
+        }
     };
-    let base = load(base_path)?;
-    let candidate = load(candidate_path)?;
-    let delta = diff_reports(&base, &candidate, tolerance);
-    match format.as_str() {
-        "md" => print!("{}", delta.to_markdown()),
-        "json" => print!("{}", delta.to_json_string()),
-        other => return Err(LabError::Usage(format!("unknown format `{other}`"))),
-    }
-    if delta.has_regressions() {
-        eprintln!(
-            "fdn-lab diff: {} regression finding(s) — failing the gate",
-            delta.regression_count()
-        );
+    print!("{rendered}");
+    if regressions > 0 {
+        eprintln!("fdn-lab diff: {regressions} regression finding(s) — failing the gate");
         std::process::exit(EXIT_REGRESSION);
     }
     Ok(())

@@ -1,7 +1,8 @@
 //! Aggregation of scenario outcomes into a campaign report, with JSON, CSV
 //! and markdown renderers.
 //!
-//! Outcomes are grouped by [`Cell`] (every axis but the seed) in expansion
+//! Outcomes are grouped by [`Cell`](crate::spec::Cell) (every axis but the
+//! seed) in expansion
 //! order and summarized per metric as min / mean / p50 / p95 / max across
 //! seeds, plus success and quiescence rates. Reports contain no wall-clock
 //! data and all grouping is order-preserving, so a report — and each of its
@@ -17,7 +18,7 @@ use crate::spec::{Campaign, SkippedCell};
 /// Quotes a CSV field when it contains a separator, quote, or line break
 /// (RFC 4180 requires quoting CR as well as LF): label fields like
 /// `theta(1,2,3)` must not split columns or rows.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -467,6 +468,17 @@ impl CampaignReport {
     /// Returns a description of the first structural problem.
     pub fn from_json_str(text: &str) -> Result<CampaignReport, String> {
         let j = Json::parse(text)?;
+        CampaignReport::from_json(&j)
+    }
+
+    /// Parses an already-parsed JSON document (see
+    /// [`CampaignReport::from_json_str`]), so callers that sniffed the
+    /// document's kind need not re-parse the text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn from_json(j: &Json) -> Result<CampaignReport, String> {
         let name = j
             .get("campaign")
             .and_then(Json::as_str)

@@ -79,7 +79,7 @@ pub use error::SimError;
 pub use links::{LinkId, LinkTable, LinkView};
 pub use noise::{
     BitFlip, Burst, ConstantOne, CrashLink, FullCorruption, NoiseModel, Noiseless, Omission,
-    TargetedEdges,
+    TargetedEdges, OMISSION_DENOM,
 };
 pub use protocol::{Dest, DirectRunner, InnerProtocol, ProtocolIo, ProtocolMsg};
 pub use reactor::{Context, Reactor};

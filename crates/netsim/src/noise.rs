@@ -194,17 +194,33 @@ impl<N: NoiseModel> NoiseModel for TargetedEdges<N> {
     }
 }
 
+/// Denominator of the [`Omission`] drop axis: rates are fixed-point parts
+/// per million, so the axis can be parameterized a thousand times finer than
+/// the per-mille labels campaigns sweep.
+pub const OMISSION_DENOM: u32 = 1_000_000;
+
 /// Independent message deletion: each scheduled delivery is dropped with
-/// probability `drop_per_mille / 1000`, and delivered unaltered otherwise.
+/// probability `drop_ppm / 1_000_000`, and delivered unaltered otherwise.
 ///
 /// This is the classical omission-fault channel, which the paper's model
 /// explicitly forbids. Content is left untouched so that sweeps isolate the
 /// effect of deletion from the effect of alteration (the Theorem 2 engine is
 /// content-oblivious, so corrupting dropped-channel content as well would not
 /// change what breaks).
+///
+/// The drop axis is built for *re-probing*: every delivery draws one uniform
+/// value from `0..`[`OMISSION_DENOM`] and drops iff it falls below the
+/// threshold, so the RNG stream consumed is **independent of the rate**. Two
+/// models with the same seed but different rates therefore see the *same*
+/// uniform sequence, which couples their decisions monotonically: every
+/// delivery dropped at the lower rate is also dropped at the higher one (for
+/// as long as the simulated trajectories coincide). A bisection driver
+/// walking the axis — `fdn-lab frontier` — gets nested drop sets per seed
+/// instead of independently re-randomized ones, so probe verdicts move
+/// smoothly with the rate.
 #[derive(Debug, Clone)]
 pub struct Omission {
-    drop_per_mille: u16,
+    drop_ppm: u32,
     rng: StdRng,
 }
 
@@ -220,10 +236,29 @@ impl Omission {
             drop_per_mille <= 1000,
             "drop rate is per mille and must be <= 1000"
         );
+        Omission::per_million(u32::from(drop_per_mille) * 1000, seed)
+    }
+
+    /// Creates the model at fixed-point resolution: `drop_ppm` out of every
+    /// [`OMISSION_DENOM`] deliveries are dropped in expectation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_ppm` exceeds [`OMISSION_DENOM`].
+    pub fn per_million(drop_ppm: u32, seed: u64) -> Self {
+        assert!(
+            drop_ppm <= OMISSION_DENOM,
+            "drop rate is per million and must be <= {OMISSION_DENOM}"
+        );
         Omission {
-            drop_per_mille,
+            drop_ppm,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// The configured drop rate in parts per million.
+    pub fn drop_ppm(&self) -> u32 {
+        self.drop_ppm
     }
 }
 
@@ -233,7 +268,9 @@ impl NoiseModel for Omission {
     }
 
     fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
-        if self.rng.gen_range(0..1000u32) < u32::from(self.drop_per_mille) {
+        // One rate-independent uniform draw per delivery (see the type docs:
+        // this is what couples equal-seed models across rates).
+        if self.rng.gen_range(0..OMISSION_DENOM) < self.drop_ppm {
             None
         } else {
             Some(env.payload.clone())
@@ -449,6 +486,58 @@ mod tests {
     #[should_panic]
     fn omission_rejects_bad_rate() {
         let _ = Omission::new(1001, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn omission_rejects_bad_ppm_rate() {
+        let _ = Omission::per_million(OMISSION_DENOM + 1, 0);
+    }
+
+    #[test]
+    fn omission_ppm_resolves_below_one_per_mille() {
+        // 500 ppm = 0.5 per mille: far below the per-mille axis's smallest
+        // nonzero rate, yet still a real (and deterministic) drop rate.
+        let e = env(vec![2]);
+        let drops = |ppm: u32, seed: u64| {
+            let mut n = Omission::per_million(ppm, seed);
+            (0..100_000).filter(|_| n.deliver(&e).is_none()).count()
+        };
+        let d = drops(500, 11);
+        assert!((10..150).contains(&d), "got {d} drops at 500 ppm");
+        assert_eq!(d, drops(500, 11), "deterministic per seed");
+        assert_eq!(drops(0, 11), 0);
+        assert_eq!(drops(OMISSION_DENOM, 11), 100_000);
+        // The per-mille constructor is the coarse face of the same axis.
+        assert_eq!(Omission::new(200, 3).drop_ppm(), 200_000);
+        assert_eq!(Omission::per_million(200_000, 3).drop_ppm(), 200_000);
+    }
+
+    #[test]
+    fn omission_equal_seeds_couple_monotonically_across_rates() {
+        // The re-probing contract: with one seed, the drop set at a lower
+        // rate is a subset of the drop set at any higher rate, because every
+        // delivery consumes the same uniform draw regardless of the rate.
+        let e = env(vec![4]);
+        let drop_set = |ppm: u32| -> Vec<bool> {
+            let mut n = Omission::per_million(ppm, 77);
+            (0..2_000).map(|_| n.deliver(&e).is_none()).collect()
+        };
+        let rates = [50_000u32, 200_000, 450_000, 900_000];
+        let sets: Vec<Vec<bool>> = rates.iter().map(|&r| drop_set(r)).collect();
+        for w in sets.windows(2) {
+            let nested = w[0].iter().zip(&w[1]).all(|(&low, &high)| !low || high);
+            assert!(
+                nested,
+                "a delivery dropped at the lower rate survived the higher one"
+            );
+        }
+        // And the coupling is strict somewhere: higher rates drop strictly more.
+        let counts: Vec<usize> = sets
+            .iter()
+            .map(|s| s.iter().filter(|&&d| d).count())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! * `vec.into_par_iter().map(f).collect::<Vec<_>>()` — an order-preserving
 //!   parallel map;
 //! * [`current_num_threads`];
-//! * [`ThreadPoolBuilder::new().num_threads(n).build_global()`] to cap the
-//!   worker count (also honours `RAYON_NUM_THREADS`).
+//! * [`ThreadPoolBuilder`] (`new().num_threads(n).build_global()`) to cap
+//!   the worker count (also honours `RAYON_NUM_THREADS`).
 //!
 //! Work distribution is dynamic: workers race on an atomic cursor over the
 //! item list, so a slow scenario does not serialize the rest of its chunk.
