@@ -1,0 +1,315 @@
+//! The construct-once checkpoint: freezing the Theorem 2 pipeline at the
+//! construction/online boundary.
+//!
+//! The paper splits the cost of Theorem 2 into a one-time content-oblivious
+//! construction (`CCinit`) and a per-message online overhead, and treats the
+//! constructed Robbins cycle as a **reusable asset**: once built, any number
+//! of subsequent computations ride on it for free. A [`FullSimulator`] run,
+//! however, fuses both phases into one simulation, so a sweep that wants the
+//! online overhead at many seeds re-pays the (steep, Lemma 19-sized)
+//! construction every time.
+//!
+//! [`ConstructionCheckpoint`] captures exactly what survives the boundary:
+//! the learned [`RobbinsCycle`] and, per node, the idle [`RobbinsEngine`]
+//! over it — rotated views, token position and pulse counters frozen at the
+//! instant the construction terminated — plus each node's share of `CCinit`.
+//! [`replay_simulators`] then warm-starts a fresh set of
+//! [`FullSimulator`]s directly in the online phase from (clones of) that
+//! state, so the online phase can be replayed under arbitrarily many
+//! noise/scheduler seeds without ever re-running the construction.
+//!
+//! Soundness: the captured engines must be **idle** (token phase entry
+//! point, empty queue, no unconsumed pulse — the quiescence condition of
+//! Theorems 6/12) and exactly one node may hold the token. [`capture`]
+//! verifies both, plus that every node learned the *same* cycle, so a
+//! checkpoint is only ever taken at a genuine quiescent boundary — never in
+//! the middle of an epoch.
+//!
+//! [`capture`]: ConstructionCheckpoint::capture
+
+use fdn_graph::{Graph, NodeId, RobbinsCycle};
+use fdn_netsim::InnerProtocol;
+
+use crate::construction::ConstructionNode;
+use crate::engine::RobbinsEngine;
+use crate::error::CoreError;
+use crate::full::FullSimulator;
+
+/// The frozen construction/online boundary of one node: its idle engine over
+/// the final cycle and its share of `CCinit`.
+#[derive(Debug, Clone)]
+pub struct NodeCheckpoint {
+    engine: RobbinsEngine,
+    construction_pulses: u64,
+}
+
+impl NodeCheckpoint {
+    /// The node this checkpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.engine.node()
+    }
+
+    /// Pulses this node sent during the construction (its share of
+    /// `CCinit`).
+    pub fn construction_pulses(&self) -> u64 {
+        self.construction_pulses
+    }
+
+    /// A fresh copy of the boundary engine, ready to be driven through an
+    /// online phase.
+    pub fn engine(&self) -> RobbinsEngine {
+        self.engine.clone()
+    }
+}
+
+/// The whole network's state at the construction/online boundary, captured
+/// once and replayed across arbitrarily many online runs.
+#[derive(Debug, Clone)]
+pub struct ConstructionCheckpoint {
+    cycle: RobbinsCycle,
+    /// One checkpoint per node, indexed by node id.
+    nodes: Vec<NodeCheckpoint>,
+    cc_init: u64,
+}
+
+impl ConstructionCheckpoint {
+    /// Captures the boundary from finished construction drivers (one per
+    /// node, any order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any driver has not terminated or latched an
+    /// error, the drivers disagree on the constructed cycle, an engine is
+    /// not idle, or the token is held by anything but exactly one node.
+    pub fn capture(drivers: Vec<ConstructionNode>) -> Result<ConstructionCheckpoint, CoreError> {
+        if drivers.is_empty() {
+            return Err(CoreError::ProtocolViolation(
+                "checkpoint capture needs at least one construction driver".into(),
+            ));
+        }
+        let mut nodes: Vec<Option<NodeCheckpoint>> = (0..drivers.len()).map(|_| None).collect();
+        let mut cycle: Option<RobbinsCycle> = None;
+        let mut cc_init = 0u64;
+        let mut holders = 0usize;
+        for driver in drivers {
+            let node = driver.node();
+            let construction_pulses = driver.pulses_sent();
+            let (node_cycle, engine) = driver.into_result()?;
+            match &cycle {
+                None => cycle = Some(node_cycle),
+                Some(c) if *c == node_cycle => {}
+                Some(_) => {
+                    return Err(CoreError::ProtocolViolation(format!(
+                        "node {node} learned a different cycle than its peers"
+                    )))
+                }
+            }
+            if !engine.is_idle() {
+                return Err(CoreError::ProtocolViolation(format!(
+                    "node {node} is not idle at the construction/online boundary"
+                )));
+            }
+            if engine.is_token_holder() {
+                holders += 1;
+            }
+            let slot = nodes
+                .get_mut(node.index())
+                .ok_or(CoreError::NodeOutOfRange { node })?;
+            if slot.is_some() {
+                return Err(CoreError::ProtocolViolation(format!(
+                    "two construction drivers claim node {node}"
+                )));
+            }
+            cc_init += construction_pulses;
+            *slot = Some(NodeCheckpoint {
+                engine,
+                construction_pulses,
+            });
+        }
+        if holders != 1 {
+            return Err(CoreError::ProtocolViolation(format!(
+                "{holders} token holders at the boundary (exactly one expected)"
+            )));
+        }
+        let nodes = nodes
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| {
+                CoreError::ProtocolViolation("construction drivers do not cover 0..n".into())
+            })?;
+        Ok(ConstructionCheckpoint {
+            cycle: cycle.expect("drivers were non-empty"),
+            nodes,
+            cc_init,
+        })
+    }
+
+    /// The Robbins cycle the construction settled on.
+    pub fn cycle(&self) -> &RobbinsCycle {
+        &self.cycle
+    }
+
+    /// Total pulses spent on the construction across all nodes — the paper's
+    /// `CCinit`, paid exactly once per checkpoint.
+    pub fn cc_init(&self) -> u64 {
+        self.cc_init
+    }
+
+    /// Number of nodes captured.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The per-node boundary states, indexed by node id.
+    pub fn nodes(&self) -> &[NodeCheckpoint] {
+        &self.nodes
+    }
+}
+
+/// Builds one online-phase [`FullSimulator`] per node of `graph`,
+/// warm-started from `checkpoint` — the replay counterpart of
+/// [`crate::full::full_simulators`]. The construction is **not** re-run:
+/// each node starts with a clone of its boundary engine (learned cycle,
+/// rotated views, token position), its `construction_pulses` pre-credited
+/// from the checkpoint, and the inner protocol fresh; every pulse the
+/// returned reactors send is online-phase traffic.
+///
+/// # Errors
+///
+/// Returns an error if the checkpoint does not cover exactly the nodes of
+/// `graph`.
+pub fn replay_simulators<P, F>(
+    graph: &Graph,
+    checkpoint: &ConstructionCheckpoint,
+    mut factory: F,
+) -> Result<Vec<FullSimulator<P>>, CoreError>
+where
+    P: InnerProtocol,
+    F: FnMut(NodeId) -> P,
+{
+    if checkpoint.node_count() != graph.node_count() {
+        return Err(CoreError::ProtocolViolation(format!(
+            "checkpoint covers {} nodes but the graph has {}",
+            checkpoint.node_count(),
+            graph.node_count()
+        )));
+    }
+    graph
+        .nodes()
+        .map(|v| {
+            let ckpt = &checkpoint.nodes[v.index()];
+            Ok(FullSimulator::from_checkpoint(
+                v,
+                graph.neighbors(v).to_vec(),
+                ckpt.engine(),
+                checkpoint.cycle.clone(),
+                ckpt.construction_pulses(),
+                factory(v),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::ConstructionNode;
+    use crate::encoding::Encoding;
+    use fdn_graph::generators;
+
+    /// Drives the distributed construction by hand (no netsim) to completion
+    /// and returns the finished drivers.
+    fn run_construction(graph: &Graph) -> Vec<ConstructionNode> {
+        let mut drivers: Vec<ConstructionNode> = graph
+            .nodes()
+            .map(|v| {
+                ConstructionNode::new(
+                    v,
+                    graph.neighbors(v).to_vec(),
+                    v == NodeId(0),
+                    Encoding::binary(),
+                )
+                .unwrap()
+            })
+            .collect();
+        drivers[0].on_start();
+        let mut inflight: Vec<(NodeId, NodeId)> = drivers[0]
+            .take_outgoing()
+            .into_iter()
+            .map(|to| (NodeId(0), to))
+            .collect();
+        let mut steps = 0usize;
+        while let Some((from, to)) = inflight.pop() {
+            steps += 1;
+            assert!(steps < 1_000_000, "construction did not terminate");
+            let d = &mut drivers[to.index()];
+            d.on_pulse(from);
+            assert!(d.error().is_none(), "node {to}: {:?}", d.error());
+            for next in d.take_outgoing() {
+                inflight.push((to, next));
+            }
+        }
+        drivers
+    }
+
+    #[test]
+    fn capture_freezes_a_quiescent_boundary() {
+        let g = generators::figure3();
+        let drivers = run_construction(&g);
+        let cc: u64 = drivers.iter().map(ConstructionNode::pulses_sent).sum();
+        let ckpt = ConstructionCheckpoint::capture(drivers).unwrap();
+        assert_eq!(ckpt.node_count(), g.node_count());
+        assert_eq!(ckpt.cc_init(), cc);
+        assert!(ckpt.cc_init() > 0);
+        assert!(ckpt.cycle().covers_all_edges(&g));
+        assert!(ckpt.cycle().validate(&g).is_ok());
+        // Exactly one node holds the token; every engine is idle.
+        let holders = ckpt
+            .nodes()
+            .iter()
+            .filter(|n| n.engine().is_token_holder())
+            .count();
+        assert_eq!(holders, 1);
+        for (i, n) in ckpt.nodes().iter().enumerate() {
+            assert_eq!(n.node(), NodeId(i as u32));
+            assert!(n.engine().is_idle());
+        }
+        assert_eq!(
+            ckpt.nodes()
+                .iter()
+                .map(NodeCheckpoint::construction_pulses)
+                .sum::<u64>(),
+            cc
+        );
+    }
+
+    #[test]
+    fn capture_rejects_unfinished_drivers() {
+        let g = generators::figure3();
+        let drivers: Vec<ConstructionNode> = g
+            .nodes()
+            .map(|v| {
+                ConstructionNode::new(
+                    v,
+                    g.neighbors(v).to_vec(),
+                    v == NodeId(0),
+                    Encoding::binary(),
+                )
+                .unwrap()
+            })
+            .collect();
+        assert!(ConstructionCheckpoint::capture(drivers).is_err());
+        assert!(ConstructionCheckpoint::capture(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn replay_simulators_require_a_matching_graph() {
+        let g = generators::figure3();
+        let ckpt = ConstructionCheckpoint::capture(run_construction(&g)).unwrap();
+        let other = generators::cycle(4).unwrap();
+        let res = replay_simulators(&other, &ckpt, |v| {
+            fdn_protocols::FloodBroadcast::new(v, NodeId(0), vec![1])
+        });
+        assert!(res.is_err());
+    }
+}

@@ -910,6 +910,13 @@ impl ConstructionSimulator {
         &self.inner
     }
 
+    /// Consumes the reactor and returns the construction driver — the
+    /// extraction step of the construct-once checkpoint
+    /// ([`crate::checkpoint::ConstructionCheckpoint::capture`]).
+    pub fn into_construction(self) -> ConstructionNode {
+        self.inner
+    }
+
     /// The constructed cycle, if finished.
     pub fn cycle(&self) -> Option<&RobbinsCycle> {
         self.inner.cycle()

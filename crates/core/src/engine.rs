@@ -36,7 +36,7 @@ use crate::wire::WireMessage;
 pub type PulseTo = NodeId;
 
 /// The wait points of Algorithm 3, plus the data-phase sub-machines.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum State {
     /// Line 1: waiting for the queue to become non-empty or for a clockwise
     /// REQUEST pulse.
@@ -57,7 +57,7 @@ enum State {
 
 /// The sequence of full-cycle circulations a sender must perform for the
 /// current message.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum PulsePlan {
     /// Unary: `d` clockwise DATA circulations followed by one
     /// counterclockwise END circulation.
@@ -112,14 +112,14 @@ struct Circulation {
     awaiting: NodeId,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SenderState {
     message: WireMessage,
     plan: PulsePlan,
     current: Option<Circulation>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct UnaryReceiver {
     /// Occurrence at which the next clockwise DATA pulse is expected.
     cw_occ: usize,
@@ -131,7 +131,7 @@ struct UnaryReceiver {
     end_occ: Option<usize>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BinaryReceiver {
     cw_occ: usize,
     ccw_occ: usize,
@@ -140,7 +140,7 @@ struct BinaryReceiver {
     terminal: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ReceiverState {
     Unary(UnaryReceiver),
     Binary(BinaryReceiver),
@@ -152,7 +152,12 @@ enum ReceiverState {
 /// messages with [`enqueue`](Self::enqueue); drain the pulses it wants to
 /// send with [`take_outgoing`](Self::take_outgoing) and the messages it has
 /// decoded with [`take_delivered`](Self::take_delivered).
-#[derive(Debug)]
+///
+/// The engine is `Clone`: its state is plain data, which is what allows the
+/// construct-once checkpoint ([`crate::checkpoint`]) to freeze an idle engine
+/// at the construction/online boundary and re-hand copies of it to many
+/// replay runs.
+#[derive(Debug, Clone)]
 pub struct RobbinsEngine {
     node: NodeId,
     view: LocalCycleView,

@@ -81,6 +81,36 @@ impl<P: InnerProtocol> FullSimulator<P> {
         })
     }
 
+    /// Warm-starts a simulator directly in the **online** phase from a
+    /// construct-once checkpoint (see [`crate::checkpoint`]): `engine` is the
+    /// node's idle boundary engine over `cycle`, and `construction_pulses`
+    /// is the node's already-paid share of `CCinit`. The construction is not
+    /// re-run; every pulse this reactor sends is online-phase traffic
+    /// (its [`online_pulses`](Self::online_pulses) counter starts at 0).
+    pub(crate) fn from_checkpoint(
+        node: NodeId,
+        graph_neighbors: Vec<NodeId>,
+        engine: RobbinsEngine,
+        cycle: RobbinsCycle,
+        construction_pulses: u64,
+        inner: P,
+    ) -> Self {
+        let engine_baseline = engine.pulses_sent();
+        FullSimulator {
+            node,
+            graph_neighbors,
+            inner,
+            phase: FullPhase::Online,
+            construction: None,
+            engine: Some(engine),
+            cycle: Some(cycle),
+            buffered: Vec::new(),
+            construction_pulses,
+            engine_baseline,
+            error: None,
+        }
+    }
+
     /// Read access to the wrapped inner protocol.
     pub fn inner(&self) -> &P {
         &self.inner
@@ -212,13 +242,31 @@ impl<P: InnerProtocol> Reactor for FullSimulator<P> {
         // phase) to be delivered.
         let mut io = ProtocolIo::new(self.node, self.graph_neighbors.clone());
         self.inner.on_init(&mut io);
-        for m in io.take_sends() {
-            self.buffered.push(WireMessage::from_protocol(self.node, m));
+        match self.phase {
+            FullPhase::Construction => {
+                for m in io.take_sends() {
+                    self.buffered.push(WireMessage::from_protocol(self.node, m));
+                }
+                if let Some(c) = &mut self.construction {
+                    c.on_start();
+                }
+                self.flush_construction(ctx);
+            }
+            FullPhase::Online => {
+                // A checkpoint-restored node is online from the first event:
+                // the inner protocol's initial sends go straight into the
+                // boundary engine instead of the construction buffer.
+                for m in io.take_sends() {
+                    let wire = WireMessage::from_protocol(self.node, m);
+                    if let Some(e) = &mut self.engine {
+                        if let Err(err) = e.enqueue(wire) {
+                            self.latch(err);
+                        }
+                    }
+                }
+                self.pump_online(ctx);
+            }
         }
-        if let Some(c) = &mut self.construction {
-            c.on_start();
-        }
-        self.flush_construction(ctx);
     }
 
     fn on_message(&mut self, from: NodeId, _payload: &[u8], ctx: &mut Context) {

@@ -21,8 +21,12 @@
 //!   Robbins cycle by ear decomposition (Algorithms 4–6, Theorem 15);
 //! * [`full`] — the end-to-end compiler of Theorem 2: construct the Robbins
 //!   cycle, then simulate `π` over it;
+//! * [`checkpoint`] — the construct-once boundary: freeze the constructed
+//!   per-node state after the pre-processing phase and replay only the
+//!   online phase, arbitrarily often;
 //! * [`impossibility`] — the §6 two-party impossibility harness (Theorem 20).
 
+pub mod checkpoint;
 pub mod construction;
 pub mod control;
 pub mod encoding;
@@ -33,6 +37,7 @@ pub mod impossibility;
 pub mod reactors;
 pub mod wire;
 
+pub use checkpoint::{replay_simulators, ConstructionCheckpoint, NodeCheckpoint};
 pub use construction::{construction_simulators, ConstructionNode, ConstructionSimulator};
 pub use encoding::Encoding;
 pub use engine::RobbinsEngine;

@@ -124,10 +124,30 @@ fn compare_cells(base: &CellReport, now: &CellReport, tol: &DiffTolerance) -> Ce
     rate("success rate", base.success_rate, now.success_rate);
     rate("quiescence rate", base.quiescence_rate, now.quiescence_rate);
 
-    if now.errors > base.errors {
-        regressions.push(format!("errors rose {} -> {}", base.errors, now.errors));
-    } else if now.errors < base.errors {
-        notes.push(format!("errors fell {} -> {}", base.errors, now.errors));
+    let mut count = |label: &str, b: usize, n: usize| {
+        if n > b {
+            regressions.push(format!("{label} rose {b} -> {n}"));
+        } else if n < b {
+            notes.push(format!("{label} fell {b} -> {n}"));
+        }
+    };
+    count("errors", base.errors, now.errors);
+    count("baseline errors", base.baseline_errors, now.baseline_errors);
+    count(
+        "construction skews",
+        base.construction_skews,
+        now.construction_skews,
+    );
+
+    if base.construction_seed != now.construction_seed {
+        // Not a regression by itself, but the cells no longer replay the
+        // same construction — every other change in the cell follows.
+        let fmt = |s: Option<u64>| s.map_or("none".to_string(), |v| v.to_string());
+        notes.push(format!(
+            "construction seed changed {} -> {}",
+            fmt(base.construction_seed),
+            fmt(now.construction_seed)
+        ));
     }
 
     let mut pulse = |label: &str, b: f64, n: f64| {
@@ -357,6 +377,9 @@ mod tests {
             reference_cycle_len: 8,
             runs: 4,
             errors: 0,
+            baseline_errors: 0,
+            construction_skews: 0,
+            construction_seed: None,
             success_rate: success,
             quiescence_rate: 1.0,
             pulses: MetricSummary {
@@ -521,5 +544,58 @@ mod tests {
             .notes
             .iter()
             .any(|n| n.contains("changed 0 -> 10")));
+    }
+
+    #[test]
+    fn baseline_error_and_skew_increases_are_regressions() {
+        let base = report("base", vec![cell("noiseless", 1.0, 100.0)]);
+        let mut flagged = cell("noiseless", 1.0, 100.0);
+        flagged.baseline_errors = 1;
+        flagged.construction_skews = 2;
+        let bad = report("new", vec![flagged.clone()]);
+        let d = diff_reports(&base, &bad, DiffTolerance::default());
+        assert!(d.has_regressions());
+        assert_eq!(d.regression_count(), 2);
+        assert!(d.deltas[0]
+            .regressions
+            .iter()
+            .any(|r| r.contains("baseline errors rose 0 -> 1")));
+        assert!(d.deltas[0]
+            .regressions
+            .iter()
+            .any(|r| r.contains("construction skews rose 0 -> 2")));
+        // The reverse direction is an improvement, not a regression.
+        let d = diff_reports(&bad, &base, DiffTolerance::default());
+        assert!(!d.has_regressions());
+        assert_eq!(d.deltas[0].notes.len(), 2);
+    }
+
+    #[test]
+    fn construction_seed_change_is_a_note_not_a_regression() {
+        let mut a = cell("noiseless", 1.0, 100.0);
+        a.construction_seed = Some(1);
+        let mut b = cell("noiseless", 1.0, 100.0);
+        b.construction_seed = Some(5);
+        let d = diff_reports(
+            &report("base", vec![a.clone()]),
+            &report("new", vec![b]),
+            DiffTolerance::default(),
+        );
+        assert!(!d.has_regressions());
+        assert!(d.deltas[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("construction seed changed 1 -> 5")));
+        // Dropping the seed entirely (replay -> other mode) is also noted.
+        let plain = cell("noiseless", 1.0, 100.0);
+        let d = diff_reports(
+            &report("base", vec![a]),
+            &report("new", vec![plain]),
+            DiffTolerance::default(),
+        );
+        assert!(d.deltas[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("construction seed changed 1 -> none")));
     }
 }

@@ -10,8 +10,14 @@
 //!
 //! The probe at each rate level is a seed-replicated parallel sweep through
 //! the ordinary scenario runner ([`crate::run_scenario_with`]), drawing the
-//! seed-independent topology from one shared [`TopologyCache`] — a probe
-//! costs exactly one campaign cell, nothing more. A probe **holds** when
+//! seed-independent topology from one shared
+//! [`TopologyCache`](crate::cache::TopologyCache) — a probe costs exactly
+//! one campaign cell, nothing more. Replay-mode cells (`--mode replay`)
+//! additionally share one construct-once checkpoint per cell across **all**
+//! probes and seeds ([`crate::cache::ReplayCache`]), so full-topology
+//! frontier probes stop re-paying the distributed construction on every
+//! bisection step — the probe then measures where the *online* phase breaks
+//! under deletion. A probe **holds** when
 //! every seed succeeds; the bisection maintains a `(holds, breaks]` bracket
 //! and narrows it to the spec's resolution. Because equal-seed
 //! [`fdn_netsim::Omission`] models are coupled across rates (one
@@ -40,7 +46,7 @@ use fdn_graph::{connectivity, GraphFamily};
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
 
-use crate::cache::TopologyCache;
+use crate::cache::Caches;
 use crate::error::LabError;
 use crate::json::Json;
 use crate::runner::run_scenario_with;
@@ -276,7 +282,7 @@ pub struct FrontierReport {
 /// One memoized probe runner per cell: rates probed once, results keyed and
 /// rendered in ascending order.
 struct CellProber<'a> {
-    cache: &'a TopologyCache,
+    caches: &'a Caches,
     spec: &'a FrontierSpec,
     cell_axes: (GraphFamily, EngineMode, WorkloadSpec),
     memo: BTreeMap<u16, FrontierProbe>,
@@ -310,13 +316,14 @@ impl CellProber<'_> {
                 index,
                 cell,
                 seed,
+                construction_seed: self.spec.seeds.start,
                 max_steps: self.spec.max_steps,
             })
             .collect();
         let runs = scenarios.len() as u32;
         let successes = scenarios
             .into_par_iter()
-            .map(|s| run_scenario_with(self.cache, s))
+            .map(|s| run_scenario_with(self.caches, s))
             .collect::<Vec<_>>()
             .iter()
             .filter(|o| o.success)
@@ -338,7 +345,7 @@ impl CellProber<'_> {
 /// Bisects one cell to its breaking-rate bracket, then runs the
 /// non-monotonicity verification sweep.
 fn bisect_cell(
-    cache: &TopologyCache,
+    caches: &Caches,
     spec: &FrontierSpec,
     family: GraphFamily,
     mode: EngineMode,
@@ -347,7 +354,7 @@ fn bisect_cell(
     edges: usize,
 ) -> FrontierCell {
     let mut prober = CellProber {
-        cache,
+        caches,
         spec,
         cell_axes: (family, mode, workload),
         memo: BTreeMap::new(),
@@ -424,7 +431,7 @@ fn bisect_cell(
 /// [`LabError::EmptyCampaign`] if no cell is eligible.
 pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
     spec.validate()?;
-    let cache = TopologyCache::new();
+    let caches = Caches::new();
     let mut cells = Vec::new();
     let mut skipped: Vec<SkippedCell> = Vec::new();
     let skip = |cell: String, reason: String, skipped: &mut Vec<SkippedCell>| {
@@ -433,7 +440,7 @@ pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
         }
     };
     for &family in &spec.families {
-        let topo = match cache.get(family) {
+        let topo = match caches.topology.get(family) {
             Ok(t) => t,
             Err(e) => {
                 skip(
@@ -466,7 +473,7 @@ pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
                     continue;
                 }
                 cells.push(bisect_cell(
-                    &cache,
+                    &caches,
                     spec,
                     family,
                     mode,

@@ -62,7 +62,10 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use cache::{CachedTopology, TopologyCache};
+pub use cache::{
+    BaselineCache, BaselineKey, CachedConstruction, CachedTopology, Caches, ReplayCache, ReplayKey,
+    TopologyCache, CONSTRUCTION_MAX_STEPS,
+};
 pub use diff::{diff_reports, CellChange, CellDelta, DiffTolerance, ReportDiff};
 pub use error::LabError;
 pub use frontier::{

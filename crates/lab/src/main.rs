@@ -16,7 +16,7 @@
 //!   --preset quick|standard|paper|scale  base campaign  [default: standard]
 //!   --name NAME                       report name     [default: preset name]
 //!   --families CSV    e.g. cycle(8),petersen,random2ec(10,5,s2)
-//!   --modes CSV       full,cycle
+//!   --modes CSV       full,cycle,replay (--mode is an alias)
 //!   --encodings CSV   binary,unary
 //!   --workloads CSV   flood(4),leader,echo,gossip,token-ring
 //!   --noises CSV      noiseless,full-corruption,constant-one,bitflip(0.1),
@@ -89,7 +89,7 @@ fn usage() -> String {
     \x20 --preset quick|standard|paper|scale  base campaign [default: standard]\n\
     \x20 --name NAME                     report name\n\
     \x20 --families CSV                  cycle(8),petersen,random2ec(10,5,s2),...\n\
-    \x20 --modes CSV                     full,cycle\n\
+    \x20 --modes CSV                     full,cycle,replay (--mode works too)\n\
     \x20 --encodings CSV                 binary,unary\n\
     \x20 --workloads CSV                 flood(4),leader,echo,gossip,token-ring\n\
     \x20 --noises CSV                    noiseless,full-corruption,constant-one,bitflip(0.1),\n\
@@ -205,7 +205,9 @@ fn apply_shared_flag(flag: &str, flags: &mut Flags, t: &mut SharedFlags) -> Resu
                 .map(|s| GraphFamily::parse(s).map_err(|e| parse_err(flag, e.to_string())))
                 .collect::<Result<_, _>>()?;
         }
-        "--modes" => {
+        // `--mode replay` reads naturally for a single mode; both spellings
+        // parse the same CSV.
+        "--modes" | "--mode" => {
             *t.modes = split_csv(flags.value(flag)?)
                 .map(|s| fdn_lab::EngineMode::parse(s).map_err(|e| parse_err(flag, e)))
                 .collect::<Result<_, _>>()?;

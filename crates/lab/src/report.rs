@@ -177,6 +177,18 @@ pub struct CellReport {
     pub runs: usize,
     /// Runs that ended in an error (step limit, engine error).
     pub errors: usize,
+    /// Runs whose noiseless direct baseline failed (distinct from "the
+    /// workload has no baseline": these cells *should* have an overhead
+    /// column and don't, and the markdown rendering marks them explicitly).
+    pub baseline_errors: usize,
+    /// Runs that aborted mid-construction with skewed accounting
+    /// (`cc_init > sent_total`): their `online_pulses` of 0 is a
+    /// placeholder, not a measurement.
+    pub construction_skews: usize,
+    /// The construct-once seed of replay cells (`None` for the other
+    /// modes). Recorded so replay reports stay diffable: two reports measure
+    /// the same thing only if their cells replay the same construction.
+    pub construction_seed: Option<u64>,
     /// Fraction of runs whose workload predicate held.
     pub success_rate: f64,
     /// Fraction of runs that reached quiescence.
@@ -290,6 +302,10 @@ fn summarize_cell(group: &[&ScenarioOutcome], cache: &TopologyCache) -> CellRepo
         reference_cycle_len,
         runs,
         errors: group.iter().filter(|o| o.error.is_some()).count(),
+        baseline_errors: group.iter().filter(|o| o.baseline_error.is_some()).count(),
+        construction_skews: group.iter().filter(|o| o.construction_skew).count(),
+        construction_seed: (cell.mode == crate::spec::EngineMode::Replay)
+            .then(|| group[0].scenario.construction_seed),
         success_rate: group.iter().filter(|o| o.success).count() as f64 / runs as f64,
         quiescence_rate: group.iter().filter(|o| o.quiescent).count() as f64 / runs as f64,
         pulses: metric(&|o| o.stats.sent_total as f64),
@@ -297,7 +313,25 @@ fn summarize_cell(group: &[&ScenarioOutcome], cache: &TopologyCache) -> CellRepo
         steps: metric(&|o| o.steps as f64),
         dropped: metric(&|o| o.stats.dropped_total as f64),
         cc_init: metric(&|o| o.cc_init as f64),
-        online_pulses: metric(&|o| o.online_pulses as f64),
+        // Skew-flagged runs carry a *placeholder* online_pulses of 0, not a
+        // measurement (their construction aborted with cc_init > sent_total);
+        // feeding the placeholders into the summary would drag the online
+        // metric toward a value nothing measured. NaN is how from_values is
+        // told to skip an observation; an all-skew cell summarizes to ZERO,
+        // with construction_skews == runs saying why.
+        online_pulses: MetricSummary::from_values(
+            &group
+                .iter()
+                .map(|o| {
+                    if o.construction_skew {
+                        f64::NAN
+                    } else {
+                        o.online_pulses as f64
+                    }
+                })
+                .collect::<Vec<f64>>(),
+        )
+        .unwrap_or(MetricSummary::ZERO),
         max_node_pulses: metric(&|o| o.stats.max_sent_by_node() as f64),
         max_edge_pulses: metric(&|o| o.stats.max_sent_on_edge() as f64),
         max_inflight: metric(&|o| o.stats.max_inflight as f64),
@@ -338,6 +372,16 @@ impl CellReport {
             ),
             ("runs", Json::Num(self.runs as f64)),
             ("errors", Json::Num(self.errors as f64)),
+            ("baseline_errors", Json::Num(self.baseline_errors as f64)),
+            (
+                "construction_skews",
+                Json::Num(self.construction_skews as f64),
+            ),
+            (
+                "construction_seed",
+                self.construction_seed
+                    .map_or(Json::Null, |s| Json::Num(s as f64)),
+            ),
             ("success_rate", Json::Num(self.success_rate)),
             ("quiescence_rate", Json::Num(self.quiescence_rate)),
             ("pulses", self.pulses.to_json()),
@@ -400,6 +444,14 @@ impl CellReport {
             reference_cycle_len: n("reference_cycle_len")?,
             runs: n("runs")?,
             errors: n("errors")?,
+            // The three fields below postdate the construct-once replay PR;
+            // older saved reports parse with "nothing was ever flagged".
+            baseline_errors: j.get("baseline_errors").and_then(Json::as_u64).unwrap_or(0) as usize,
+            construction_skews: j
+                .get("construction_skews")
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize,
+            construction_seed: j.get("construction_seed").and_then(Json::as_u64),
             success_rate: f("success_rate")?,
             quiescence_rate: f("quiescence_rate")?,
             pulses: m("pulses")?,
@@ -527,7 +579,8 @@ impl CampaignReport {
         let mut out = String::new();
         out.push_str(
             "family,mode,encoding,workload,noise,scheduler,first_scenario_index,nodes,edges,\
-             reference_cycle_len,runs,errors,success_rate,quiescence_rate",
+             reference_cycle_len,runs,errors,baseline_errors,construction_skews,\
+             construction_seed,success_rate,quiescence_rate",
         );
         for metric in [
             "pulses",
@@ -551,7 +604,7 @@ impl CampaignReport {
         for c in &self.cells {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(&c.family),
                 csv_field(&c.mode),
                 csv_field(&c.encoding),
@@ -564,6 +617,9 @@ impl CampaignReport {
                 c.reference_cycle_len,
                 c.runs,
                 c.errors,
+                c.baseline_errors,
+                c.construction_skews,
+                c.construction_seed.map_or(String::new(), |s| s.to_string()),
                 c.success_rate,
                 c.quiescence_rate
             );
@@ -630,9 +686,25 @@ impl CampaignReport {
         );
         out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n");
         for c in &self.cells {
+            // A failed baseline is an explicit marker, never a blank cell:
+            // "—" is reserved for workloads that genuinely have no baseline,
+            // and a partial failure annotates the surviving seeds' ratio.
+            let overhead = match (c.overhead, c.baseline_errors) {
+                (Some(o), 0) => format!("{:.1}", o.p50),
+                (Some(o), k) => format!("{:.1} (baseline-error×{k})", o.p50),
+                (None, 0) => "—".to_string(),
+                (None, k) => format!("baseline-error×{k}"),
+            };
+            // An aborted-mid-construction seed makes the online/CCinit split
+            // a placeholder; the skew count rides on the CCinit column.
+            let cc_init = if c.construction_skews > 0 {
+                format!("{:.0} (skew×{})", c.cc_init.p50, c.construction_skews)
+            } else {
+                format!("{:.0}", c.cc_init.p50)
+            };
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {} | {} |",
                 md_cell(&c.family),
                 md_cell(&c.mode),
                 md_cell(&c.encoding),
@@ -648,8 +720,30 @@ impl CampaignReport {
                 c.pulses.p95,
                 c.dropped.p50,
                 c.max_inflight.p50,
-                c.cc_init.p50,
-                c.overhead.map_or("—".to_string(), |o| format!("{:.1}", o.p50)),
+                cc_init,
+                overhead,
+            );
+        }
+        let replay_cells: Vec<&CellReport> = self
+            .cells
+            .iter()
+            .filter(|c| c.construction_seed.is_some())
+            .collect();
+        if !replay_cells.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "Replay cells construct once and sweep only the online phase; \
+                 construction seeds: {}.",
+                replay_cells
+                    .iter()
+                    .map(|c| format!(
+                        "`{}` s{}",
+                        md_cell(&c.cell_id()),
+                        c.construction_seed.expect("filtered above")
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
         if !self.skipped.is_empty() {
@@ -882,6 +976,9 @@ mod tests {
             reference_cycle_len: 8,
             runs: 2,
             errors: 1,
+            baseline_errors: 0,
+            construction_skews: 0,
+            construction_seed: None,
             success_rate: 0.995,
             quiescence_rate: 0.5,
             pulses: MetricSummary::ZERO,
@@ -933,6 +1030,9 @@ mod tests {
             reference_cycle_len: 8,
             runs: 1,
             errors: 0,
+            baseline_errors: 0,
+            construction_skews: 0,
+            construction_seed: None,
             success_rate: 1.0,
             quiescence_rate: 1.0,
             pulses: MetricSummary::ZERO,
@@ -955,5 +1055,139 @@ mod tests {
         let parsed = CellReport::from_json(&legacy).unwrap();
         assert_eq!(parsed.dropped, MetricSummary::ZERO);
         assert_eq!(parsed.family, "figure3");
+    }
+
+    #[test]
+    fn markdown_marks_baseline_errors_and_construction_skews() {
+        let mut cell = CellReport {
+            family: "figure3".to_string(),
+            mode: "full".to_string(),
+            encoding: "binary".to_string(),
+            workload: "flood(4)".to_string(),
+            noise: "noiseless".to_string(),
+            scheduler: "random".to_string(),
+            first_scenario_index: 0,
+            nodes: 5,
+            edges: 8,
+            reference_cycle_len: 8,
+            runs: 2,
+            errors: 0,
+            baseline_errors: 0,
+            construction_skews: 0,
+            construction_seed: None,
+            success_rate: 1.0,
+            quiescence_rate: 1.0,
+            pulses: MetricSummary::ZERO,
+            bits: MetricSummary::ZERO,
+            steps: MetricSummary::ZERO,
+            dropped: MetricSummary::ZERO,
+            cc_init: MetricSummary::from_values(&[100.0]).unwrap(),
+            online_pulses: MetricSummary::ZERO,
+            max_node_pulses: MetricSummary::ZERO,
+            max_edge_pulses: MetricSummary::ZERO,
+            max_inflight: MetricSummary::ZERO,
+            cycle_len: MetricSummary::ZERO,
+            baseline_messages: MetricSummary::ZERO,
+            overhead: None,
+        };
+        let render = |cell: &CellReport| {
+            CampaignReport {
+                name: "markers".to_string(),
+                scenario_count: 2,
+                seeds_per_cell: 2,
+                skipped: vec![],
+                cells: vec![cell.clone()],
+            }
+            .to_markdown()
+        };
+        // No baseline at all: the overhead column stays the em dash.
+        assert!(render(&cell).contains("| — |"));
+        // A *failed* baseline is an explicit marker, never a blank cell.
+        cell.baseline_errors = 2;
+        let md = render(&cell);
+        assert!(md.contains("baseline-error×2"), "{md}");
+        assert!(!md.contains("| — |"));
+        // A *partial* failure still surfaces: the survivors' ratio is
+        // annotated, not rendered as if every baseline had succeeded.
+        cell.overhead = MetricSummary::from_values(&[2.5]);
+        cell.baseline_errors = 1;
+        let md = render(&cell);
+        assert!(md.contains("2.5 (baseline-error×1)"), "{md}");
+        cell.overhead = None;
+        cell.baseline_errors = 2;
+        // Aborted-mid-construction seeds annotate the CCinit column.
+        cell.construction_skews = 1;
+        assert!(render(&cell).contains("100 (skew×1)"));
+        // Replay cells list their construction seed below the table.
+        cell.mode = "replay".to_string();
+        cell.construction_seed = Some(9);
+        let md = render(&cell);
+        assert!(md.contains("construction seeds:"), "{md}");
+        assert!(md.contains("s9"), "{md}");
+    }
+
+    #[test]
+    fn aggregation_excludes_skew_placeholders_from_online_metrics() {
+        use crate::runner::ScenarioOutcome;
+        use crate::spec::{Campaign, Scenario};
+        use fdn_netsim::StatsSnapshot;
+
+        let campaign = Campaign::new("skew");
+        let cell = crate::spec::Cell {
+            family: fdn_graph::GraphFamily::Figure3,
+            mode: crate::spec::EngineMode::Full,
+            encoding: crate::spec::EncodingSpec::Binary,
+            workload: fdn_protocols::WorkloadSpec::Flood { payload_bytes: 4 },
+            noise: fdn_netsim::NoiseSpec::Omission {
+                drop_per_mille: 500,
+            },
+            scheduler: fdn_netsim::SchedulerSpec::Random,
+        };
+        let outcome = |index: usize, online: u64, skew: bool| ScenarioOutcome {
+            scenario: Scenario {
+                index,
+                cell,
+                seed: index as u64,
+                construction_seed: 0,
+                max_steps: 1000,
+            },
+            error: None,
+            quiescent: true,
+            success: !skew,
+            nodes: 5,
+            edges: 8,
+            cycle_len: 8,
+            steps: 10,
+            stats: StatsSnapshot::default(),
+            cc_init: 50,
+            online_pulses: online,
+            construction_skew: skew,
+            baseline_messages: 10,
+            baseline_error: None,
+        };
+        // Two measured runs (online 200/400), one skewed placeholder (0).
+        let outcomes = vec![
+            outcome(0, 200, false),
+            outcome(1, 400, false),
+            outcome(2, 0, true),
+        ];
+        let report = aggregate(&campaign, &outcomes, &[], &TopologyCache::new());
+        let cell = &report.cells[0];
+        assert_eq!(cell.construction_skews, 1);
+        // The placeholder 0 is excluded: min is the smallest *measured* run.
+        assert_eq!(cell.online_pulses.min, 200.0);
+        assert_eq!(cell.online_pulses.max, 400.0);
+        assert_eq!(cell.online_pulses.mean, 300.0);
+        // Same for the overhead ratios (skewed run has none).
+        let overhead = cell.overhead.expect("two measured baselines");
+        assert_eq!(overhead.min, 20.0);
+        assert_eq!(overhead.max, 40.0);
+        // An all-skew group summarizes to the zero placeholder, with the
+        // count saying why.
+        let all_skew = vec![outcome(0, 0, true), outcome(1, 0, true)];
+        let report = aggregate(&campaign, &all_skew, &[], &TopologyCache::new());
+        assert_eq!(report.cells[0].online_pulses, MetricSummary::ZERO);
+        assert_eq!(report.cells[0].construction_skews, 2);
+        assert!(report.cells[0].overhead.is_none());
     }
 }

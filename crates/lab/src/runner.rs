@@ -2,30 +2,30 @@
 //!
 //! Each scenario is an independent deterministic simulation: the
 //! noise/scheduler instances are rebuilt from their specs with seeds derived
-//! from the scenario seed, and the outcome is a plain value. The
-//! seed-*independent* prefix — graph construction and the reference Robbins
-//! cycle — comes from a shared
-//! [`TopologyCache`], computed once per family and reused by every seed (see
-//! `cache.rs` for the soundness argument). That independence is what makes
+//! from the scenario seed, and the outcome is a plain value. Work that is
+//! identical across slices of the matrix — the seed-independent topology,
+//! the construct-once replay checkpoints, the noiseless direct baselines —
+//! comes from the shared [`Caches`] (see `cache.rs` for the soundness
+//! arguments). That sharing is read-only-after-build, which is what makes
 //! the rayon sweep in [`run_campaign`] trivially safe — and, because results
 //! are collected in scenario order and contain no wall-clock data,
 //! byte-identical across runs regardless of thread count.
 
 use rayon::prelude::*;
 
-use fdn_core::{cycle_simulators_prevalidated, full_simulators};
-use fdn_netsim::{DirectRunner, Simulation, StatsSnapshot};
+use fdn_core::{cycle_simulators_prevalidated, full_simulators, replay_simulators};
+use fdn_netsim::{DirectRunner, LinkTable, Simulation, StatsSnapshot};
 use fdn_protocols::{BoxedProtocol, WorkloadSpec};
 
-use crate::cache::TopologyCache;
+use crate::cache::{BaselineKey, Caches, ReplayKey};
 use crate::error::LabError;
 use crate::report::{aggregate, CampaignReport};
 use crate::spec::{Campaign, EngineMode, Scenario};
 
 /// Seed salt for the noise stream (so noise and scheduler streams differ).
-const NOISE_SALT: u64 = 0x4E01_5E00;
+pub(crate) const NOISE_SALT: u64 = 0x4E01_5E00;
 /// Seed salt for the scheduler stream.
-const SCHED_SALT: u64 = 0x5C4E_D000;
+pub(crate) const SCHED_SALT: u64 = 0x5C4E_D000;
 
 /// The measured result of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,20 +49,35 @@ pub struct ScenarioOutcome {
     pub steps: u64,
     /// Frozen communication counters of the simulated run.
     pub stats: StatsSnapshot,
-    /// Pulses spent in the construction phase (`CCinit`; 0 in cycle mode).
+    /// Pulses spent in the construction phase (`CCinit`; 0 in cycle mode; in
+    /// replay mode the checkpoint's one-time cost, identical across seeds).
     pub cc_init: u64,
     /// Pulses spent in the online phase.
     pub online_pulses: u64,
+    /// True when a full-mode run aborted mid-construction with per-node
+    /// construction pulses exceeding the network's send accounting
+    /// (`cc_init > sent_total`): `online_pulses` saturated to 0 and is a
+    /// placeholder, not a measurement.
+    pub construction_skew: bool,
     /// Messages of the noiseless direct baseline (0 when the workload cannot
-    /// run directly).
+    /// run directly **or** the baseline run failed — see
+    /// [`baseline_error`](Self::baseline_error) for the difference).
     pub baseline_messages: u64,
+    /// The baseline run's failure rendered as text, if it failed. Kept
+    /// distinct from "the workload has no baseline" so reports can render an
+    /// explicit marker instead of silently dropping the overhead column.
+    pub baseline_error: Option<String>,
 }
 
 impl ScenarioOutcome {
     /// Online pulses per baseline message (the paper's per-message overhead),
-    /// if a baseline exists.
+    /// if a baseline exists. Skew-flagged runs return `None`: their
+    /// `online_pulses` of 0 is a placeholder (see
+    /// [`construction_skew`](Self::construction_skew)), and a placeholder
+    /// divided by a baseline is still a placeholder — never a ratio to
+    /// aggregate.
     pub fn overhead_ratio(&self) -> Option<f64> {
-        (self.baseline_messages > 0)
+        (self.baseline_messages > 0 && !self.construction_skew)
             .then(|| self.online_pulses as f64 / self.baseline_messages as f64)
     }
 
@@ -79,25 +94,76 @@ impl ScenarioOutcome {
             stats: StatsSnapshot::default(),
             cc_init: 0,
             online_pulses: 0,
+            construction_skew: false,
             baseline_messages: 0,
+            baseline_error: None,
         }
     }
 }
 
-/// Runs one scenario to completion with a private, throwaway
-/// [`TopologyCache`]. Prefer [`run_scenario_with`] when sweeping many seeds
-/// of the same family — this convenience exists for one-off runs and tests.
+/// Runs one scenario to completion with private, throwaway [`Caches`].
+/// Prefer [`run_scenario_with`] when sweeping many seeds of the same family
+/// — this convenience exists for one-off runs and tests.
 pub fn run_scenario(scenario: Scenario) -> ScenarioOutcome {
-    run_scenario_with(&TopologyCache::new(), scenario)
+    run_scenario_with(&Caches::new(), scenario)
 }
 
-/// Runs one scenario to completion, drawing the seed-independent topology
-/// (graph + reference Robbins cycle) from `cache`. Never panics on expected
-/// failure modes; engine errors and step-limit exhaustion are reported in
-/// the outcome.
-pub fn run_scenario_with(cache: &TopologyCache, scenario: Scenario) -> ScenarioOutcome {
+/// The noiseless direct baseline of one scenario, memoized or freshly run.
+struct Baseline {
+    messages: u64,
+    error: Option<String>,
+}
+
+/// Runs (or recalls) the noiseless direct baseline. Memoized across the
+/// noise × encoding axes: the baseline simulation sees neither, so for a
+/// fixed (family, workload, scheduler, seed) every such cell shares one
+/// bit-identical run. The step budget rides along with the campaign (it is
+/// uniform within one run, so it is deliberately not part of the key).
+fn baseline_for(caches: &Caches, scenario: Scenario, graph: &fdn_graph::Graph) -> Baseline {
     let cell = scenario.cell;
-    let topo = match cache.get(cell.family) {
+    if !cell.workload.supports_direct() {
+        return Baseline {
+            messages: 0,
+            error: None,
+        };
+    }
+    let key = BaselineKey {
+        family: cell.family,
+        workload: cell.workload,
+        scheduler: cell.scheduler,
+        seed: scenario.seed,
+    };
+    let result = caches.baseline.get(key, || {
+        let nodes: Vec<DirectRunner<BoxedProtocol>> = graph
+            .nodes()
+            .map(|v| DirectRunner::new(cell.workload.build(graph, v)))
+            .collect();
+        let mut sim = Simulation::new(graph.clone(), nodes)
+            .map_err(|e| e.to_string())?
+            .with_scheduler_boxed(cell.scheduler.build(scenario.seed ^ SCHED_SALT))
+            .with_max_steps(scenario.max_steps);
+        sim.run().map_err(|e| e.to_string())?;
+        Ok(sim.stats().sent_total)
+    });
+    match result {
+        Ok(messages) => Baseline {
+            messages,
+            error: None,
+        },
+        Err(e) => Baseline {
+            messages: 0,
+            error: Some(e),
+        },
+    }
+}
+
+/// Runs one scenario to completion, drawing shared work (topology, replay
+/// checkpoints, baselines) from `caches`. Never panics on expected failure
+/// modes; engine errors and step-limit exhaustion are reported in the
+/// outcome.
+pub fn run_scenario_with(caches: &Caches, scenario: Scenario) -> ScenarioOutcome {
+    let cell = scenario.cell;
+    let topo = match caches.topology.get(cell.family) {
         Ok(t) => t,
         Err(e) => return ScenarioOutcome::failed(scenario, 0, 0, e),
     };
@@ -105,28 +171,9 @@ pub fn run_scenario_with(cache: &TopologyCache, scenario: Scenario) -> ScenarioO
     let (nodes_n, edges_n) = (graph.node_count(), graph.edge_count());
 
     // Noiseless direct baseline (for the per-message overhead column).
-    let baseline_messages = if cell.workload.supports_direct() {
-        let nodes: Vec<DirectRunner<BoxedProtocol>> = graph
-            .nodes()
-            .map(|v| DirectRunner::new(cell.workload.build(graph, v)))
-            .collect();
-        match Simulation::new(graph.clone(), nodes) {
-            Ok(mut sim) => {
-                sim = sim
-                    .with_scheduler_boxed(cell.scheduler.build(scenario.seed ^ SCHED_SALT))
-                    .with_max_steps(scenario.max_steps);
-                match sim.run() {
-                    Ok(_) => sim.stats().sent_total,
-                    Err(_) => 0,
-                }
-            }
-            Err(_) => 0,
-        }
-    } else {
-        0
-    };
+    let baseline = baseline_for(caches, scenario, graph);
 
-    // The content-oblivious run. Both engine modes share the drive logic and
+    // The content-oblivious run. The engine modes share the drive logic and
     // differ only in how the reactors are built and where the cost split
     // (`cc_init`) and cycle length come from.
     let encoding = cell.encoding.build();
@@ -142,7 +189,7 @@ pub fn run_scenario_with(cache: &TopologyCache, scenario: Scenario) -> ScenarioO
                     return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
                 }
             };
-            drive(scenario, graph, baseline_messages, sims, |sim| Inspection {
+            drive(scenario, graph, baseline, None, sims, |sim| Inspection {
                 node_error: graph
                     .nodes()
                     .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
@@ -150,6 +197,7 @@ pub fn run_scenario_with(cache: &TopologyCache, scenario: Scenario) -> ScenarioO
                     .nodes()
                     .map(|v| sim.node(v).construction_pulses())
                     .sum(),
+                cc_init_in_stats: true,
                 cycle_len: sim
                     .node(WorkloadSpec::ROOT)
                     .cycle()
@@ -173,12 +221,54 @@ pub fn run_scenario_with(cache: &TopologyCache, scenario: Scenario) -> ScenarioO
                     return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
                 }
             };
-            drive(scenario, graph, baseline_messages, sims, |sim| Inspection {
+            drive(scenario, graph, baseline, None, sims, |sim| Inspection {
                 node_error: graph
                     .nodes()
                     .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
                 cc_init: 0,
+                cc_init_in_stats: true,
                 cycle_len: cycle.len(),
+            })
+        }
+        EngineMode::Replay => {
+            // Construct once, replay the online phase: the distributed
+            // construction (under full corruption, seeded by the recorded
+            // construction seed) is shared by the whole seed range; this
+            // scenario's own seed feeds only the online-phase noise and
+            // scheduler. `cc_init` is the checkpoint's one-time cost and the
+            // simulation's own traffic is purely online.
+            let key = ReplayKey {
+                family: cell.family,
+                encoding: cell.encoding,
+                scheduler: cell.scheduler,
+                construction_seed: scenario.construction_seed,
+            };
+            let construction = match caches.construction.get(&caches.topology, key) {
+                Ok(c) => c,
+                Err(e) => return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e),
+            };
+            let sims = match replay_simulators(graph, &construction.checkpoint, |v| {
+                cell.workload.build(graph, v)
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
+                }
+            };
+            let cc_init = construction.checkpoint.cc_init();
+            let cycle_len = construction.checkpoint.cycle().len();
+            // Warm start: reuse the construction's registered link table
+            // instead of re-registering links for every seed.
+            let links = construction.links.clone();
+            drive(scenario, graph, baseline, Some(links), sims, |sim| {
+                Inspection {
+                    node_error: graph
+                        .nodes()
+                        .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
+                    cc_init,
+                    cc_init_in_stats: false,
+                    cycle_len,
+                }
             })
         }
     }
@@ -190,22 +280,34 @@ struct Inspection {
     node_error: Option<String>,
     /// Construction-phase pulses (0 when there is no construction phase).
     cc_init: u64,
+    /// Whether `cc_init` was spent *inside* this simulation (full mode) and
+    /// must be subtracted from its send totals to isolate the online phase —
+    /// replay mode pays it outside, so its simulation traffic is already
+    /// purely online.
+    cc_init_in_stats: bool,
     /// Length of the cycle the run used.
     cycle_len: usize,
 }
 
 /// Runs an already-built reactor set under the scenario's noise/scheduler and
-/// assembles the outcome; `inspect` supplies the mode-specific facts.
+/// assembles the outcome; `inspect` supplies the mode-specific facts. A
+/// pre-registered `links` table (replay warm start) skips per-seed link
+/// registration.
 fn drive<R: fdn_netsim::Reactor>(
     scenario: Scenario,
     graph: &fdn_graph::Graph,
-    baseline_messages: u64,
+    baseline: Baseline,
+    links: Option<LinkTable>,
     sims: Vec<R>,
     inspect: impl FnOnce(&Simulation<R>) -> Inspection,
 ) -> ScenarioOutcome {
     let cell = scenario.cell;
     let (nodes_n, edges_n) = (graph.node_count(), graph.edge_count());
-    let mut sim = match Simulation::new(graph.clone(), sims) {
+    let built = match links {
+        Some(links) => Simulation::from_parts(graph.clone(), links, sims),
+        None => Simulation::new(graph.clone(), sims),
+    };
+    let mut sim = match built {
         Ok(s) => s,
         Err(e) => return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
     };
@@ -222,6 +324,11 @@ fn drive<R: fdn_netsim::Reactor>(
     };
     let outputs = sim.outputs();
     let quiescent = sim.is_quiescent();
+    let (online_pulses, construction_skew) = online_split(
+        stats.sent_total,
+        inspection.cc_init,
+        inspection.cc_init_in_stats,
+    );
     ScenarioOutcome {
         scenario,
         success: error.is_none() && quiescent && cell.workload.is_success(graph, &outputs),
@@ -232,12 +339,29 @@ fn drive<R: fdn_netsim::Reactor>(
         cycle_len: inspection.cycle_len,
         steps: stats.delivered_total,
         cc_init: inspection.cc_init,
-        // Saturating: a run aborted mid-construction (step limit under a
-        // deletion adversary) can report per-node construction pulses that
-        // were counted but never left the outbox accounting.
-        online_pulses: stats.sent_total.saturating_sub(inspection.cc_init),
+        online_pulses,
+        construction_skew,
         stats,
-        baseline_messages,
+        baseline_messages: baseline.messages,
+        baseline_error: baseline.error,
+    }
+}
+
+/// Splits a run's send total into `(online_pulses, construction_skew)`.
+///
+/// In full mode (`cc_init_in_stats`), the construction pulses live inside
+/// the simulation's send accounting and are subtracted out. A run aborted
+/// mid-construction can report per-node construction pulses that were
+/// counted but never entered the outbox accounting (`cc_init > sent_total`):
+/// the subtraction saturates to 0 **and the skew is flagged**, so the 0 is
+/// recognizable as a placeholder rather than a measured online cost. In
+/// replay mode the construction was paid outside this simulation, so every
+/// send the run made is online traffic and no skew is possible.
+fn online_split(sent_total: u64, cc_init: u64, cc_init_in_stats: bool) -> (u64, bool) {
+    if cc_init_in_stats {
+        (sent_total.saturating_sub(cc_init), cc_init > sent_total)
+    } else {
+        (sent_total, false)
     }
 }
 
@@ -283,12 +407,12 @@ pub fn run_shard(
     scenarios: Vec<Scenario>,
     skipped: Vec<crate::spec::SkippedCell>,
 ) -> CampaignReport {
-    let cache = TopologyCache::new();
+    let caches = Caches::new();
     let outcomes: Vec<ScenarioOutcome> = scenarios
         .into_par_iter()
-        .map(|s| run_scenario_with(&cache, s))
+        .map(|s| run_scenario_with(&caches, s))
         .collect();
-    aggregate(campaign, &outcomes, &skipped, &cache)
+    aggregate(campaign, &outcomes, &skipped, &caches.topology)
 }
 
 #[cfg(test)]
@@ -299,10 +423,15 @@ mod tests {
     use fdn_netsim::{NoiseSpec, SchedulerSpec};
 
     fn scenario(cell: Cell, seed: u64) -> Scenario {
+        scenario_with_construction(cell, seed, seed)
+    }
+
+    fn scenario_with_construction(cell: Cell, seed: u64, construction_seed: u64) -> Scenario {
         Scenario {
             index: 0,
             cell,
             seed,
+            construction_seed,
             max_steps: 2_000_000,
         }
     }
@@ -327,6 +456,8 @@ mod tests {
         assert!(out.cc_init > 0, "construction spends pulses");
         assert!(out.online_pulses > 0);
         assert!(out.baseline_messages > 0);
+        assert_eq!(out.baseline_error, None);
+        assert!(!out.construction_skew);
         assert_eq!(out.nodes, 5);
         assert_eq!(out.cycle_len, 8);
         assert_eq!(out.stats.sent_total, out.cc_init + out.online_pulses);
@@ -346,6 +477,47 @@ mod tests {
     }
 
     #[test]
+    fn replay_mode_reports_the_checkpoint_cost_once() {
+        let caches = Caches::new();
+        let mut cell = base_cell();
+        cell.mode = EngineMode::Replay;
+        let mut cc_inits = Vec::new();
+        for seed in [7, 8, 9] {
+            let out = run_scenario_with(&caches, scenario_with_construction(cell, seed, 7));
+            assert_eq!(out.error, None, "seed {seed}");
+            assert!(out.quiescent && out.success, "seed {seed}");
+            assert!(out.cc_init > 0);
+            assert!(!out.construction_skew);
+            // The simulation's own traffic is purely online: no subtraction.
+            assert_eq!(out.online_pulses, out.stats.sent_total);
+            assert!(out.online_pulses > 0);
+            cc_inits.push(out.cc_init);
+        }
+        // One construction, one cc_init, shared by the whole seed range.
+        assert!(cc_inits.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(caches.construction.len(), 1);
+    }
+
+    #[test]
+    fn replay_agrees_with_full_mode_on_the_construction() {
+        // A full-mode run of seed s and a replay checkpoint built with
+        // construction seed s pass through the *same* boundary: identical
+        // `CCinit`, identical learned cycle. (The construction is
+        // content-oblivious, so the noise stream cannot steer it; with equal
+        // scheduler streams the trajectories coincide event for event.)
+        let caches = Caches::new();
+        for seed in [3, 7, 11] {
+            let full = run_scenario_with(&caches, scenario(base_cell(), seed));
+            let mut cell = base_cell();
+            cell.mode = EngineMode::Replay;
+            let replay = run_scenario_with(&caches, scenario_with_construction(cell, seed, seed));
+            assert_eq!(replay.cc_init, full.cc_init, "seed {seed}");
+            assert_eq!(replay.cycle_len, full.cycle_len, "seed {seed}");
+            assert!(full.success && replay.success);
+        }
+    }
+
+    #[test]
     fn same_seed_reproduces_the_exact_outcome() {
         let a = run_scenario(scenario(base_cell(), 41));
         let b = run_scenario(scenario(base_cell(), 41));
@@ -354,6 +526,29 @@ mod tests {
         // scheduled) run; pulse totals may legitimately coincide.
         let c = run_scenario(scenario(base_cell(), 42));
         assert!(c.success);
+    }
+
+    #[test]
+    fn baseline_is_memoized_across_the_noise_axis() {
+        // The baseline depends on (family, workload, scheduler, seed) only:
+        // sweeping the noise axis hits one cached baseline per seed, and the
+        // memoized value matches a fresh computation exactly.
+        let caches = Caches::new();
+        let mut baselines = Vec::new();
+        for noise in [
+            NoiseSpec::Noiseless,
+            NoiseSpec::FullCorruption,
+            NoiseSpec::ConstantOne,
+        ] {
+            let mut cell = base_cell();
+            cell.noise = noise;
+            let out = run_scenario_with(&caches, scenario(cell, 5));
+            baselines.push(out.baseline_messages);
+        }
+        assert!(baselines.iter().all(|&b| b == baselines[0] && b > 0));
+        assert_eq!(caches.baseline.len(), 1, "one baseline for three noises");
+        let fresh = run_scenario(scenario(base_cell(), 5));
+        assert_eq!(fresh.baseline_messages, baselines[0]);
     }
 
     #[test]
@@ -368,11 +563,21 @@ mod tests {
             for seed in [1, 2] {
                 let out = run_scenario(scenario(cell, seed));
                 assert_eq!(out.nodes, 5, "{noise}");
-                // Whatever happened, the accounting is coherent: every sent
-                // message was delivered, dropped, or still in flight.
-                assert!(
-                    out.stats.delivered_total + out.stats.dropped_total <= out.stats.sent_total
-                );
+                // Whatever happened, the accounting is coherent — and at
+                // quiescence it is *exact*: every sent message was delivered
+                // or dropped, none leaked in flight.
+                if out.quiescent {
+                    assert_eq!(
+                        out.stats.delivered_total + out.stats.dropped_total,
+                        out.stats.sent_total,
+                        "{noise}"
+                    );
+                } else {
+                    assert!(
+                        out.stats.delivered_total + out.stats.dropped_total < out.stats.sent_total,
+                        "{noise}: a non-quiescent run must have messages in flight"
+                    );
+                }
                 if out.error.is_none() {
                     assert!(out.quiescent);
                 }
@@ -391,6 +596,48 @@ mod tests {
     }
 
     #[test]
+    fn online_split_flags_skew_instead_of_fake_zero() {
+        // Coherent full-mode accounting: plain subtraction, no flag.
+        assert_eq!(online_split(100, 30, true), (70, false));
+        assert_eq!(online_split(30, 30, true), (0, false));
+        // Aborted mid-construction: the saturated 0 is flagged as skew, not
+        // passed off as a measured online cost.
+        assert_eq!(online_split(20, 30, true), (0, true));
+        // Replay pays cc_init outside the simulation: sends are all online,
+        // skew impossible by construction.
+        assert_eq!(online_split(100, 30, false), (100, false));
+        assert_eq!(online_split(20, 30, false), (20, false));
+    }
+
+    #[test]
+    fn deletion_outcomes_never_mistake_skew_for_a_measurement() {
+        // Sweep deletion seeds: every outcome must keep the flag and the
+        // subtraction coherent — a flagged run saturated to 0 with
+        // cc_init > sent_total, an unflagged run subtracts exactly.
+        let mut cell = base_cell();
+        cell.noise = fdn_netsim::NoiseSpec::Omission {
+            drop_per_mille: 500,
+        };
+        for seed in 1..24 {
+            let out = run_scenario(scenario(cell, seed));
+            if out.construction_skew {
+                assert_eq!(out.online_pulses, 0, "skewed runs saturate to 0");
+                assert!(out.cc_init > out.stats.sent_total);
+                assert!(!out.success);
+                // The placeholder never masquerades as a per-message ratio.
+                assert_eq!(out.overhead_ratio(), None);
+            } else {
+                assert!(out.cc_init <= out.stats.sent_total, "seed {seed}");
+                assert_eq!(
+                    out.online_pulses,
+                    out.stats.sent_total - out.cc_init,
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn delete_everything_adversary_is_absorbed_by_the_drop_path() {
         let mut cell = base_cell();
         cell.noise = fdn_netsim::NoiseSpec::Omission {
@@ -400,8 +647,10 @@ mod tests {
         assert!(!out.success);
         assert_eq!(out.stats.delivered_total, 0);
         assert!(out.stats.dropped_total > 0);
-        // Dropping every message drains the network: quiescent, not hung.
+        // Dropping every message drains the network: quiescent, not hung —
+        // and the drop accounting is exact.
         assert!(out.quiescent);
+        assert_eq!(out.stats.dropped_total, out.stats.sent_total);
         assert_eq!(out.error, None);
     }
 
@@ -409,6 +658,11 @@ mod tests {
     fn non_two_edge_connected_family_fails_cleanly() {
         let mut cell = base_cell();
         cell.family = GraphFamily::Path { n: 4 };
+        let out = run_scenario(scenario(cell, 1));
+        assert!(out.error.is_some());
+        assert!(!out.success);
+        // Replay mode fails just as cleanly (the checkpoint cannot build).
+        cell.mode = EngineMode::Replay;
         let out = run_scenario(scenario(cell, 1));
         assert!(out.error.is_some());
         assert!(!out.success);

@@ -19,16 +19,25 @@ use fdn_protocols::WorkloadSpec;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineMode {
     /// The full Theorem 2 pipeline: content-oblivious Robbins-cycle
-    /// construction followed by the online phase.
+    /// construction followed by the online phase, both paid in every run.
     Full,
     /// The Theorem 10 engine over the centralized reference Robbins cycle
     /// (no construction phase; isolates online overhead).
     CycleOnly,
+    /// Construct-once online replay: the *distributed* construction runs
+    /// once per (family, encoding, scheduler, construction seed) under full
+    /// corruption, its boundary state is checkpointed
+    /// ([`fdn_core::ConstructionCheckpoint`]), and every scenario replays
+    /// only the online phase from that checkpoint with fresh noise/scheduler
+    /// instances — `cc_init` is reported once (a constant across the seed
+    /// sweep) and `online_pulses` measures the pure per-message overhead the
+    /// paper amortizes against it.
+    Replay,
 }
 
 impl EngineMode {
-    /// Both engine modes.
-    pub const ALL: [EngineMode; 2] = [EngineMode::Full, EngineMode::CycleOnly];
+    /// Every engine mode.
+    pub const ALL: [EngineMode; 3] = [EngineMode::Full, EngineMode::CycleOnly, EngineMode::Replay];
 
     /// The stable textual form; [`EngineMode::parse`] is the inverse.
     pub fn label(&self) -> String {
@@ -44,8 +53,9 @@ impl EngineMode {
         match s.trim() {
             "full" => Ok(EngineMode::Full),
             "cycle" => Ok(EngineMode::CycleOnly),
+            "replay" => Ok(EngineMode::Replay),
             other => Err(format!(
-                "unknown engine mode `{other}` (expected full|cycle)"
+                "unknown engine mode `{other}` (expected full|cycle|replay)"
             )),
         }
     }
@@ -56,6 +66,7 @@ impl fmt::Display for EngineMode {
         match self {
             EngineMode::Full => f.write_str("full"),
             EngineMode::CycleOnly => f.write_str("cycle"),
+            EngineMode::Replay => f.write_str("replay"),
         }
     }
 }
@@ -167,6 +178,12 @@ pub struct Scenario {
     pub cell: Cell,
     /// Base seed; noise and scheduler streams are derived from it.
     pub seed: u64,
+    /// Seed of the construct-once distributed construction used by
+    /// [`EngineMode::Replay`] cells (ignored by the other modes). Expansion
+    /// pins it to the campaign's first seed, so every scenario of a sweep
+    /// shares one checkpoint and the report stays byte-deterministic; it is
+    /// recorded per cell so replay reports remain diffable across runs.
+    pub construction_seed: u64,
     /// Delivery limit before the run is abandoned as non-quiescent.
     pub max_steps: u64,
 }
@@ -405,6 +422,7 @@ impl Campaign {
                                         index: scenarios.len(),
                                         cell,
                                         seed,
+                                        construction_seed: self.seeds.start,
                                         max_steps: self.max_steps,
                                     });
                                 }

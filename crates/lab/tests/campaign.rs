@@ -6,8 +6,7 @@
 use fdn_graph::GraphFamily;
 use fdn_lab::{
     diff_reports, merge_reports, run_campaign, run_expanded, run_scenario, run_scenario_with,
-    shard_slice, Campaign, CampaignReport, DiffTolerance, EngineMode, SeedRange, Shard,
-    TopologyCache,
+    shard_slice, Caches, Campaign, CampaignReport, DiffTolerance, EngineMode, SeedRange, Shard,
 };
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
@@ -168,14 +167,18 @@ fn cached_topologies_do_not_change_outcomes() {
     // the cached graph/cycle reuse must not leak state between seeds.
     let campaign = test_campaign();
     let (scenarios, _) = campaign.expand_with_skips();
-    let shared = TopologyCache::new();
+    let shared = Caches::new();
     for scenario in scenarios.iter().take(24).copied() {
         let cached = run_scenario_with(&shared, scenario);
         let fresh = run_scenario(scenario);
         assert_eq!(cached, fresh, "{}", scenario.id());
     }
     // One topology per distinct family made it into the shared cache.
-    assert_eq!(shared.len(), 1, "first 24 scenarios share one family");
+    assert_eq!(
+        shared.topology.len(),
+        1,
+        "first 24 scenarios share one family"
+    );
 }
 
 #[test]

@@ -1,0 +1,259 @@
+//! Integration tests of the construct-once replay engine mode: agreement
+//! with full mode at the construction/online boundary, byte-determinism
+//! across worker-thread counts (through the CLI, the CI gate's exact
+//! interface), report round-tripping of the replay provenance fields, and
+//! the `fdn-lab diff` exit-code contract on replay cells.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use fdn_graph::GraphFamily;
+use fdn_lab::{
+    run_campaign, run_scenario_with, Caches, Campaign, CampaignReport, Cell, EncodingSpec,
+    EngineMode, Scenario, SeedRange,
+};
+use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_protocols::WorkloadSpec;
+
+/// A scratch directory under the target tree, unique per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs the fdn-lab binary with the given arguments and environment
+/// overrides, returning the full output.
+fn fdn_lab(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdn-lab"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn fdn-lab")
+}
+
+fn figure3_cell(mode: EngineMode) -> Cell {
+    Cell {
+        family: GraphFamily::Figure3,
+        mode,
+        encoding: EncodingSpec::Binary,
+        workload: WorkloadSpec::Flood { payload_bytes: 3 },
+        noise: NoiseSpec::FullCorruption,
+        scheduler: SchedulerSpec::Random,
+    }
+}
+
+fn scenario(cell: Cell, seed: u64, construction_seed: u64) -> Scenario {
+    Scenario {
+        index: 0,
+        cell,
+        seed,
+        construction_seed,
+        max_steps: 2_000_000,
+    }
+}
+
+#[test]
+fn replay_and_full_agree_on_online_pulses_for_equal_construction_seed() {
+    // The boundary-agreement contract on figure 3: a full-mode run of seed s
+    // and a replay run whose checkpoint was built with construction seed s
+    // cross the *same* construction/online boundary (identical `CCinit`,
+    // identical learned cycle — the construction is content-oblivious and
+    // equal scheduler streams drive equal trajectories), and the online
+    // phase they then measure costs the same number of pulses.
+    let caches = Caches::new();
+    for seed in 1..=4u64 {
+        let full = run_scenario_with(
+            &caches,
+            scenario(figure3_cell(EngineMode::Full), seed, seed),
+        );
+        let replay = run_scenario_with(
+            &caches,
+            scenario(figure3_cell(EngineMode::Replay), seed, seed),
+        );
+        assert!(full.success && replay.success, "seed {seed}");
+        assert_eq!(replay.cc_init, full.cc_init, "seed {seed}: CCinit");
+        assert_eq!(replay.cycle_len, full.cycle_len, "seed {seed}: cycle");
+        assert_eq!(
+            replay.online_pulses, full.online_pulses,
+            "seed {seed}: online overhead"
+        );
+        // Full mode pays construction inside the run; replay outside it.
+        assert_eq!(full.stats.sent_total, full.cc_init + full.online_pulses);
+        assert_eq!(replay.stats.sent_total, replay.online_pulses);
+        assert_eq!(replay.overhead_ratio(), full.overhead_ratio());
+    }
+}
+
+#[test]
+fn replay_campaign_reports_record_the_construction_seed() {
+    let mut campaign = Campaign::new("replay-it");
+    campaign.families = vec![GraphFamily::Figure3, GraphFamily::Cycle { n: 5 }];
+    campaign.modes = vec![EngineMode::Full, EngineMode::Replay];
+    campaign.seeds = SeedRange { start: 3, count: 3 };
+    let report = run_campaign(&campaign).unwrap();
+    assert_eq!(report.cells.len(), 4);
+    for cell in &report.cells {
+        assert_eq!(cell.success_rate, 1.0, "{}", cell.cell_id());
+        match cell.mode.as_str() {
+            "replay" => {
+                // The construct-once provenance: seed recorded, CCinit a
+                // constant across the seed range (min == max), online
+                // overhead present.
+                assert_eq!(cell.construction_seed, Some(3), "{}", cell.cell_id());
+                assert!(cell.cc_init.min > 0.0);
+                assert_eq!(cell.cc_init.min, cell.cc_init.max);
+                assert!(cell.online_pulses.min > 0.0);
+                assert!(cell.overhead.is_some());
+            }
+            _ => assert_eq!(cell.construction_seed, None, "{}", cell.cell_id()),
+        }
+    }
+    // The provenance survives the JSON round trip bit-for-bit.
+    let parsed = CampaignReport::from_json_str(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_json_string(), report.to_json_string());
+    // CSV carries the seed column; markdown names the replay cells.
+    assert!(report.to_csv().contains("construction_seed"));
+    assert!(report.to_markdown().contains("construction seeds:"));
+}
+
+#[test]
+fn legacy_reports_without_replay_fields_still_parse() {
+    // Reports saved before the replay mode lack `baseline_errors`,
+    // `construction_skews` and `construction_seed`; stripping them must
+    // parse with "nothing was ever flagged" defaults, not fail (the PR 2
+    // compatibility contract, extended).
+    let mut campaign = Campaign::new("legacy");
+    campaign.seeds = SeedRange { start: 1, count: 2 };
+    let report = run_campaign(&campaign).unwrap();
+    let mut doc = fdn_lab::Json::parse(&report.to_json_string()).unwrap();
+    let fdn_lab::Json::Obj(fields) = &mut doc else {
+        panic!("report renders as an object");
+    };
+    for (key, value) in fields.iter_mut() {
+        if key != "cells" {
+            continue;
+        }
+        let fdn_lab::Json::Arr(cells) = value else {
+            panic!("cells render as an array");
+        };
+        for cell in cells {
+            let fdn_lab::Json::Obj(cell_fields) = cell else {
+                panic!("each cell renders as an object");
+            };
+            cell_fields.retain(|(k, _)| {
+                k != "baseline_errors" && k != "construction_skews" && k != "construction_seed"
+            });
+        }
+    }
+    let parsed = CampaignReport::from_json_str(&doc.render()).unwrap();
+    assert!(parsed.cells.iter().all(|c| c.baseline_errors == 0));
+    assert!(parsed.cells.iter().all(|c| c.construction_skews == 0));
+    assert!(parsed.cells.iter().all(|c| c.construction_seed.is_none()));
+}
+
+#[test]
+fn replay_cli_is_byte_deterministic_across_worker_thread_counts() {
+    // The replay-mode report must be a pure function of the campaign: one
+    // worker and four workers produce identical bytes for every artifact —
+    // the construct-once checkpoint is built single-flight and shared, never
+    // raced. Thread count is pinned via RAYON_NUM_THREADS in child
+    // processes so the runs cannot share a global pool.
+    let dir = scratch("replay-threads");
+    let mut artifacts: Vec<Vec<(String, Vec<u8>)>> = Vec::new();
+    for threads in ["1", "4"] {
+        let out_dir = dir.join(format!("t{threads}"));
+        let out = fdn_lab(
+            &[
+                "run",
+                "--preset",
+                "quick",
+                "--mode",
+                "replay",
+                "--name",
+                "quick-replay",
+                "--out",
+                out_dir.to_str().unwrap(),
+            ],
+            &[("RAYON_NUM_THREADS", threads)],
+        );
+        assert!(
+            out.status.success(),
+            "replay run failed with {threads} thread(s): {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let mut files: Vec<(String, Vec<u8>)> = ["json", "csv", "md"]
+            .iter()
+            .map(|ext| {
+                let path = out_dir.join(format!("quick-replay.{ext}"));
+                (
+                    ext.to_string(),
+                    std::fs::read(&path).expect("read artifact"),
+                )
+            })
+            .collect();
+        // The markdown header records the wall clock; strip its line before
+        // comparing (JSON/CSV must match without any allowance).
+        for (ext, bytes) in &mut files {
+            if ext == "md" {
+                let text = String::from_utf8(bytes.clone()).unwrap();
+                *bytes = text
+                    .lines()
+                    .filter(|l| !l.starts_with("Wall clock:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+                    .into_bytes();
+            }
+        }
+        artifacts.push(files);
+    }
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "artifacts differ between 1 and 4 worker threads"
+    );
+    // The artifacts actually contain replay cells, not an empty matrix.
+    let json = String::from_utf8(artifacts[0][0].1.clone()).unwrap();
+    assert!(json.contains("\"mode\": \"replay\""));
+    assert!(json.contains("construction_seed"));
+}
+
+#[test]
+fn diff_exit_code_contract_on_replay_reports() {
+    // The replay smoke gate's interface: identical replay reports diff
+    // clean (exit 0); a degraded replay cell fails the gate (exit 2).
+    let dir = scratch("replay-exit-codes");
+    let mut campaign = Campaign::new("replay-gate");
+    campaign.families = vec![GraphFamily::Figure3];
+    campaign.modes = vec![EngineMode::Replay];
+    campaign.seeds = SeedRange { start: 1, count: 2 };
+    let base = run_campaign(&campaign).unwrap();
+    let base_path = dir.join("base.json");
+    std::fs::write(&base_path, base.to_json_string()).unwrap();
+    let out = fdn_lab(
+        &[
+            "diff",
+            base_path.to_str().unwrap(),
+            base_path.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0), "clean replay diff must exit 0");
+
+    let mut worse = base.clone();
+    worse.cells[0].success_rate = 0.5;
+    let worse_path = dir.join("worse.json");
+    std::fs::write(&worse_path, worse.to_json_string()).unwrap();
+    let out = fdn_lab(
+        &[
+            "diff",
+            base_path.to_str().unwrap(),
+            worse_path.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2), "replay regression must exit 2");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSION"));
+}

@@ -10,6 +10,13 @@ pub enum SimError {
     /// The number of reactors handed to the simulation does not match the
     /// number of graph nodes.
     NodeCountMismatch { nodes: usize, reactors: usize },
+    /// A warm-start link table was registered for a different topology than
+    /// the graph it is being reused with: the directed-link counts differ.
+    LinkCountMismatch { links: usize, expected: usize },
+    /// A warm-start link table has the right link count but lacks a link for
+    /// one of the graph's adjacencies — it was registered for a different
+    /// graph that merely has the same size.
+    LinkTopologyMismatch { from: NodeId, to: NodeId },
     /// A reactor attempted to send to a node that is not its neighbour in the
     /// communication graph.
     NotNeighbor { from: NodeId, to: NodeId },
@@ -30,6 +37,18 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "graph has {nodes} nodes but {reactors} reactors were provided"
+                )
+            }
+            SimError::LinkCountMismatch { links, expected } => {
+                write!(
+                    f,
+                    "link table holds {links} links but the graph needs {expected}"
+                )
+            }
+            SimError::LinkTopologyMismatch { from, to } => {
+                write!(
+                    f,
+                    "link table has no link for the graph adjacency {from} -> {to}"
                 )
             }
             SimError::NotNeighbor { from, to } => {
@@ -74,6 +93,14 @@ mod tests {
             SimError::NodeCountMismatch {
                 nodes: 3,
                 reactors: 2,
+            },
+            SimError::LinkCountMismatch {
+                links: 8,
+                expected: 10,
+            },
+            SimError::LinkTopologyMismatch {
+                from: NodeId(3),
+                to: NodeId(4),
             },
             SimError::NotNeighbor {
                 from: NodeId(0),

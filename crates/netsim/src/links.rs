@@ -189,6 +189,22 @@ impl LinkTable {
         self.total == 0
     }
 
+    /// Empties every queue and the active set, keeping the link registry
+    /// (ids, endpoints, lookup index) intact. This is what lets a simulation
+    /// be warm-started over the same topology without re-registering links:
+    /// registration sorts every node's adjacency row, while clearing only
+    /// drops queue contents.
+    pub fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for pos in &mut self.active_pos {
+            *pos = INACTIVE;
+        }
+        self.active.clear();
+        self.total = 0;
+    }
+
     /// A read-only view for schedulers.
     pub fn view(&self) -> LinkView<'_> {
         LinkView { table: self }

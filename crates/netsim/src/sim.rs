@@ -74,6 +74,71 @@ impl<R: Reactor> Simulation<R> {
         })
     }
 
+    /// Dismantles the simulation into its reusable topology — the graph and
+    /// the link table (registry intact, queues as left by the run) — plus
+    /// the reactors, which keep whatever state the run drove them into.
+    /// The counterpart of [`Simulation::from_parts`].
+    pub fn into_parts(self) -> (Graph, LinkTable, Vec<R>) {
+        (self.graph, self.links, self.nodes)
+    }
+
+    /// Warm-starts a simulation from an already-registered link table — the
+    /// counterpart of [`Simulation::into_parts`], and the fast path for
+    /// replaying many runs over one topology: link registration (which sorts
+    /// every node's adjacency row) is skipped, the table is merely cleared.
+    /// Everything else matches [`Simulation::new`]: fresh counters, default
+    /// noise/scheduler/step limit, not yet started.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NodeCountMismatch`] if `nodes` does not cover the
+    /// graph, or [`SimError::LinkCountMismatch`] /
+    /// [`SimError::LinkTopologyMismatch`] if `links` was registered for a
+    /// different topology (wrong link count, or an equal-sized table missing
+    /// one of this graph's adjacencies).
+    pub fn from_parts(graph: Graph, mut links: LinkTable, nodes: Vec<R>) -> Result<Self, SimError> {
+        if graph.node_count() != nodes.len() {
+            return Err(SimError::NodeCountMismatch {
+                nodes: graph.node_count(),
+                reactors: nodes.len(),
+            });
+        }
+        let directed = 2 * graph.edge_count();
+        if links.link_count() != directed {
+            return Err(SimError::LinkCountMismatch {
+                links: links.link_count(),
+                expected: directed,
+            });
+        }
+        // Equal counts are not identity: every adjacency of this graph must
+        // have its registered link (with the count equal, this makes the
+        // registries bijective), otherwise the first send over a missing
+        // link would panic deep in `LinkTable::push` instead of erroring
+        // here.
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                if links.link_between(u, v).is_none() {
+                    return Err(SimError::LinkTopologyMismatch { from: u, to: v });
+                }
+            }
+        }
+        links.clear();
+        let n = graph.node_count();
+        Ok(Simulation {
+            graph,
+            nodes,
+            links,
+            noise: Box::new(Noiseless),
+            scheduler: Box::new(RandomScheduler::new(0)),
+            stats: Stats::new(n),
+            transcript: None,
+            next_seq: 0,
+            steps: 0,
+            max_steps: DEFAULT_MAX_STEPS,
+            started: false,
+        })
+    }
+
     /// Replaces the noise model (builder style).
     pub fn with_noise(mut self, noise: impl NoiseModel + 'static) -> Self {
         self.noise = Box::new(noise);
@@ -267,6 +332,15 @@ impl<R: Reactor> Simulation<R> {
             }
             self.step()?;
         }
+        // Delivery-accounting invariant at quiescence: with no message left
+        // in flight, every send was either delivered or dropped — strict
+        // equality, not `<=` (a leak here means the link core lost an
+        // envelope).
+        debug_assert_eq!(
+            self.stats.delivered_total + self.stats.dropped_total,
+            self.stats.sent_total,
+            "quiescent run leaked in-flight messages"
+        );
         Ok(RunReport {
             steps: self.steps - start_steps,
             quiescent: true,
@@ -498,6 +572,100 @@ mod tests {
         assert_eq!(run(1, 0), (7, 0));
         // burst(1,1) drops everything: one step, one drop.
         assert_eq!(run(1, 1), (1, 1));
+    }
+
+    #[test]
+    fn quiescent_accounting_is_exact_under_every_noise_model() {
+        // At quiescence every sent message was delivered or dropped — strict
+        // equality, not `<=`: a `<` here would mean the link core leaked an
+        // in-flight envelope. Checked across the noise spectrum (none, pure
+        // alteration, partial deletion, total deletion).
+        use crate::noise::Omission;
+        let runs: Vec<Simulation<RingOnce>> = vec![
+            ring_sim(6),
+            ring_sim(6).with_noise(FullCorruption::new(3)),
+            ring_sim(6).with_noise(Omission::new(400, 5)),
+            ring_sim(6).with_noise(Omission::new(1000, 5)),
+        ];
+        for mut sim in runs {
+            let report = sim.run().unwrap();
+            assert!(report.quiescent);
+            let s = sim.stats();
+            assert_eq!(
+                s.delivered_total + s.dropped_total,
+                s.sent_total,
+                "quiescent run leaked messages"
+            );
+        }
+        // A run stopped mid-flight (step limit 1) still has messages in the
+        // network: the sum is strictly below the send total.
+        let mut sim = ring_sim(6).with_max_steps(1);
+        assert!(sim.run().is_err());
+        let s = sim.stats();
+        assert!(s.delivered_total + s.dropped_total < s.sent_total);
+        assert!(!sim.is_quiescent());
+    }
+
+    #[test]
+    fn from_parts_warm_starts_without_reregistering_links() {
+        // A finished simulation's topology (graph + registered link table)
+        // rehoused around fresh reactors must behave exactly like a
+        // from-scratch simulation: same run, same stats, stale queue
+        // contents cleared.
+        let mut first = ring_sim(5);
+        first.run().unwrap();
+        let (graph, links, _) = first.into_parts();
+        let nodes = (0..5).map(|_| RingOnce::new(5)).collect();
+        let mut warm = Simulation::from_parts(graph, links, nodes).unwrap();
+        let report = warm.run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.steps, 4);
+        assert_eq!(warm.stats().sent_total, 4);
+        assert_eq!(warm.node(NodeId(3)).output(), Some(vec![7, 7]));
+
+        // Leftover in-flight messages are cleared, not replayed.
+        let mut aborted = ring_sim(5).with_max_steps(1);
+        assert!(aborted.run().is_err());
+        let (graph, links, _) = aborted.into_parts();
+        assert!(links.total() > 0, "the aborted run left messages in flight");
+        let nodes = (0..5).map(|_| RingOnce::new(5)).collect();
+        let warm = Simulation::from_parts(graph, links, nodes).unwrap();
+        assert_eq!(warm.inflight_count(), 0);
+
+        // Mismatched parts are rejected, not silently misrouted.
+        let (graph, links, _) = ring_sim(5).into_parts();
+        let short: Vec<RingOnce> = (0..4).map(|_| RingOnce::new(4)).collect();
+        assert!(matches!(
+            Simulation::from_parts(graph, links, short),
+            Err(SimError::NodeCountMismatch { .. })
+        ));
+        let (_, links, _) = ring_sim(5).into_parts();
+        let (other_graph, _, other_nodes) = ring_sim(6).into_parts();
+        assert!(matches!(
+            Simulation::from_parts(other_graph, links, other_nodes),
+            Err(SimError::LinkCountMismatch { .. })
+        ));
+        // Equal sizes but different adjacencies: a path-with-extra-edge graph
+        // and a ring both have n nodes and n-ish edges; the registry check
+        // must reject the swap instead of letting the first send panic.
+        let ring5 = generators::cycle(5).unwrap();
+        let other = {
+            // 5 nodes, 5 edges, but not the ring's adjacency: a 4-cycle plus
+            // a pendant node on 0 has no link for the ring's 3-4 edge.
+            let mut g = Graph::new(5);
+            for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)] {
+                g.add_edge(NodeId(u), NodeId(v)).unwrap();
+            }
+            g
+        };
+        assert_eq!(ring5.node_count(), other.node_count());
+        assert_eq!(ring5.edge_count(), other.edge_count());
+        let links = LinkTable::new(&other);
+        let nodes = (0..5).map(|_| RingOnce::new(5)).collect();
+        assert!(matches!(
+            Simulation::from_parts(ring5, links, nodes),
+            Err(SimError::LinkTopologyMismatch { .. })
+        ));
     }
 
     #[test]
