@@ -1,0 +1,101 @@
+//! Cost of the observer layer on the simulation hot path.
+//!
+//! The observer hooks are monomorphized: with the default [`NullObserver`]
+//! (whose `ENABLED` is `false`) every hook is a no-op the compiler erases,
+//! so a simulation without an observer must cost the same as before the
+//! layer existed. These benchmarks drive the same pre-loaded drain as the
+//! `link_core` group three ways — null observer, time-series sampler, and
+//! sampler + span profiler — on the same network. The `null` series is the
+//! zero-cost claim (compare against `link_core_drain/random`); the attached
+//! series bound what an actual trace run pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdn_graph::{generators, NodeId};
+use fdn_netsim::{
+    Context, NullObserver, Observer, Reactor, SchedulerSpec, Simulation, SpanProfiler,
+    TimeSeriesSampler, DEFAULT_SAMPLE_CAPACITY,
+};
+
+/// A sink: messages are consumed, never answered. The interesting work is
+/// draining the pre-loaded queues, i.e. pure event-core throughput.
+struct Sink;
+
+impl Reactor for Sink {
+    fn on_start(&mut self, _ctx: &mut Context) {}
+    fn on_message(&mut self, _from: NodeId, _payload: &[u8], _ctx: &mut Context) {}
+    fn output(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Builds a ring simulation with `depth` messages pre-loaded on every
+/// directed link and drains it with `observer` attached.
+fn drain<O: Observer>(n: usize, depth: usize, observer: O) -> u64 {
+    let g = generators::cycle(n).unwrap();
+    let nodes = (0..n).map(|_| Sink).collect();
+    let mut sim = Simulation::new(g, nodes)
+        .unwrap()
+        .with_scheduler_boxed(SchedulerSpec::Random.build(7))
+        .with_observer(observer);
+    sim.start().unwrap();
+    for _ in 0..depth {
+        for u in 0..n {
+            let next = NodeId(((u + 1) % n) as u32);
+            let prev = NodeId(((u + n - 1) % n) as u32);
+            sim.with_node_mut(NodeId(u as u32), |_, ctx| {
+                ctx.send(next, vec![1]);
+                ctx.send(prev, vec![1]);
+            })
+            .unwrap();
+        }
+    }
+    let report = sim.run_to_quiescence().unwrap();
+    assert_eq!(report.steps, (2 * n * depth) as u64);
+    report.steps
+}
+
+fn bench_observers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(10);
+    let n = 64usize;
+    for depth in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("null", format!("depth{depth}")),
+            &depth,
+            |b, &depth| b.iter(|| drain(n, depth, NullObserver)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sampler", format!("depth{depth}")),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    drain(
+                        n,
+                        depth,
+                        TimeSeriesSampler::new(64, DEFAULT_SAMPLE_CAPACITY),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sampler+profiler", format!("depth{depth}")),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    drain(
+                        n,
+                        depth,
+                        (
+                            TimeSeriesSampler::new(64, DEFAULT_SAMPLE_CAPACITY),
+                            SpanProfiler::new(),
+                        ),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observers);
+criterion_main!(benches);

@@ -160,6 +160,19 @@ impl ConstructionCheckpoint {
         self.nodes.len()
     }
 
+    /// The node whose boundary engine holds the cycle token ([`capture`]
+    /// validated there is exactly one). Observers and stall diagnostics use
+    /// this to seed token-circulation tracking for replayed runs.
+    ///
+    /// [`capture`]: Self::capture
+    pub fn token_holder(&self) -> NodeId {
+        self.nodes
+            .iter()
+            .find(|n| n.engine.is_token_holder())
+            .map(NodeCheckpoint::node)
+            .expect("capture validated exactly one token holder")
+    }
+
     /// The per-node boundary states, indexed by node id.
     pub fn nodes(&self) -> &[NodeCheckpoint] {
         &self.nodes
@@ -270,6 +283,9 @@ mod tests {
             .filter(|n| n.engine().is_token_holder())
             .count();
         assert_eq!(holders, 1);
+        assert!(ckpt.nodes()[ckpt.token_holder().index()]
+            .engine()
+            .is_token_holder());
         for (i, n) in ckpt.nodes().iter().enumerate() {
             assert_eq!(n.node(), NodeId(i as u32));
             assert!(n.engine().is_idle());

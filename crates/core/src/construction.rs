@@ -172,6 +172,26 @@ impl ConstructionNode {
         matches!(self.phase, Phase::Done)
     }
 
+    /// Coarse, render-stable label of the construction stage at this node,
+    /// for stall diagnostics and traces (never parsed back).
+    pub fn stage(&self) -> &'static str {
+        match self.phase {
+            Phase::Dfs => "dfs",
+            Phase::FreshLearnId => "learn-id",
+            Phase::Cycle(stage) => match stage {
+                CycleStage::NextRootAwaitCheck | CycleStage::NextRootAwaitDecision => {
+                    "next-root-election"
+                }
+                CycleStage::EarAwaitClosed
+                | CycleStage::EarAwaitCoordPulse
+                | CycleStage::EarAwaitReady
+                | CycleStage::EarLearnId
+                | CycleStage::EarAwaitNewCycle => "ear-extension",
+            },
+            Phase::Done => "done",
+        }
+    }
+
     /// The first error observed, if any.
     pub fn error(&self) -> Option<&CoreError> {
         self.error

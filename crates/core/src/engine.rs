@@ -257,6 +257,18 @@ impl RobbinsEngine {
         self.queue.len()
     }
 
+    /// Render-stable label of the engine's Algorithm 3 wait point, for stall
+    /// diagnostics and traces (never parsed back).
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            State::AwaitTrigger => "await-trigger",
+            State::AwaitRequests { .. } => "await-requests",
+            State::AwaitPulse => "await-pulse",
+            State::Sender(_) => "sender",
+            State::Receiver(_) => "receiver",
+        }
+    }
+
     /// Whether the engine is parked at the top of the token phase with
     /// nothing queued and no unconsumed pulse (the quiescence condition of
     /// Theorem 6/12).

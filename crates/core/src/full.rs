@@ -15,7 +15,7 @@
 //! and everything after is `CCoverhead`.
 
 use fdn_graph::{connectivity, Graph, NodeId, RobbinsCycle};
-use fdn_netsim::{Context, InnerProtocol, ProtocolIo, Reactor};
+use fdn_netsim::{Context, InnerProtocol, PhaseEvent, ProtocolIo, Reactor};
 
 use crate::construction::ConstructionNode;
 use crate::encoding::Encoding;
@@ -148,6 +148,27 @@ impl<P: InnerProtocol> FullSimulator<P> {
         self.engine_baseline
     }
 
+    /// Whether this node's engine currently holds the cycle token (always
+    /// `false` before the node is online).
+    pub fn holds_token(&self) -> bool {
+        self.engine
+            .as_ref()
+            .is_some_and(RobbinsEngine::is_token_holder)
+    }
+
+    /// Coarse, render-stable label of the node's current stage — the
+    /// construction stage while pre-processing, `"online"` afterwards. Used
+    /// by stall diagnostics and traces; never parsed back.
+    pub fn stage(&self) -> &'static str {
+        match self.phase {
+            FullPhase::Online => "online",
+            FullPhase::Construction => self
+                .construction
+                .as_ref()
+                .map_or("construction", ConstructionNode::stage),
+        }
+    }
+
     /// The first error observed, if any.
     pub fn error(&self) -> Option<&CoreError> {
         self.error
@@ -186,9 +207,20 @@ impl<P: InnerProtocol> FullSimulator<P> {
                 self.cycle = Some(cycle);
                 self.engine = Some(engine);
                 self.phase = FullPhase::Online;
+                // The quiescence marker sits after this event's construction
+                // sends (already in the outbox) and before any online send
+                // the pump queues below, so an observer's per-phase send
+                // attribution agrees exactly with `construction_pulses`.
+                ctx.marker(PhaseEvent::ConstructionQuiescence);
+                if self.holds_token() {
+                    ctx.marker(PhaseEvent::TokenAcquired);
+                }
                 // Release the inner protocol's messages buffered during the
                 // pre-processing phase.
                 let buffered = std::mem::take(&mut self.buffered);
+                if !buffered.is_empty() {
+                    ctx.marker(PhaseEvent::OnlineWindow);
+                }
                 for msg in buffered {
                     if let Some(e) = &mut self.engine {
                         if let Err(err) = e.enqueue(msg) {
@@ -223,6 +255,11 @@ impl<P: InnerProtocol> FullSimulator<P> {
                     emitted.extend(io.take_sends());
                 }
             }
+            if !emitted.is_empty() {
+                // A fresh batch of inner-protocol data enters the engine: an
+                // online pulse window opens.
+                ctx.marker(PhaseEvent::OnlineWindow);
+            }
             for m in emitted {
                 let wire = WireMessage::from_protocol(self.node, m);
                 if let Some(e) = &mut self.engine {
@@ -244,6 +281,7 @@ impl<P: InnerProtocol> Reactor for FullSimulator<P> {
         self.inner.on_init(&mut io);
         match self.phase {
             FullPhase::Construction => {
+                ctx.marker(PhaseEvent::ConstructionStart);
                 for m in io.take_sends() {
                     self.buffered.push(WireMessage::from_protocol(self.node, m));
                 }
@@ -256,7 +294,15 @@ impl<P: InnerProtocol> Reactor for FullSimulator<P> {
                 // A checkpoint-restored node is online from the first event:
                 // the inner protocol's initial sends go straight into the
                 // boundary engine instead of the construction buffer.
-                for m in io.take_sends() {
+                ctx.marker(PhaseEvent::ReplayWarmStart);
+                if self.holds_token() {
+                    ctx.marker(PhaseEvent::TokenAcquired);
+                }
+                let sends = io.take_sends();
+                if !sends.is_empty() {
+                    ctx.marker(PhaseEvent::OnlineWindow);
+                }
+                for m in sends {
                     let wire = WireMessage::from_protocol(self.node, m);
                     if let Some(e) = &mut self.engine {
                         if let Err(err) = e.enqueue(wire) {
@@ -279,10 +325,20 @@ impl<P: InnerProtocol> Reactor for FullSimulator<P> {
                 self.maybe_go_online(ctx);
             }
             FullPhase::Online => {
+                // Token-circulation markers need a before/after comparison;
+                // skip the bookkeeping entirely when nothing collects it.
+                let held_before = ctx.markers_enabled().then(|| self.holds_token());
                 if let Some(e) = &mut self.engine {
                     e.on_pulse(from);
                 }
                 self.pump_online(ctx);
+                if let Some(before) = held_before {
+                    match (before, self.holds_token()) {
+                        (false, true) => ctx.marker(PhaseEvent::TokenAcquired),
+                        (true, false) => ctx.marker(PhaseEvent::TokenReleased),
+                        _ => {}
+                    }
+                }
             }
         }
     }

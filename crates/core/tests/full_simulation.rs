@@ -166,3 +166,112 @@ fn rejects_bad_root_and_oversized_graphs() {
     })
     .is_err());
 }
+
+#[test]
+fn phase_markers_attribute_every_pulse_exactly() {
+    use fdn_netsim::{PhaseEvent, SpanProfiler};
+    let g = generators::figure3();
+    let value = vec![0xAB, 0xCD];
+    let nodes = full_simulators(&g, NodeId(0), Encoding::binary(), |v| {
+        FloodBroadcast::new(v, NodeId(2), value.clone())
+    })
+    .unwrap();
+    let mut sim = Simulation::new(g.clone(), nodes)
+        .unwrap()
+        .with_noise(FullCorruption::new(3))
+        .with_scheduler(RandomScheduler::new(9))
+        .with_observer(SpanProfiler::new());
+    sim.run().unwrap();
+    // The profiler's per-phase send attribution, driven purely by markers
+    // interleaved with sends, must agree with the reactors' own CCinit /
+    // online accounting — per node, not just in aggregate.
+    for v in g.nodes() {
+        let node = sim.node(v);
+        assert!(node.is_online(), "node {v} never finished construction");
+        assert_eq!(node.stage(), "online");
+        let prof = sim.observer();
+        assert_eq!(
+            prof.construction_span(v).sends,
+            node.construction_pulses(),
+            "construction attribution diverged at node {v}"
+        );
+        assert_eq!(
+            prof.online_span(v).sends,
+            node.online_pulses(),
+            "online attribution diverged at node {v}"
+        );
+        assert!(!prof.still_constructing(v));
+    }
+    let events: Vec<PhaseEvent> = sim
+        .observer()
+        .markers()
+        .iter()
+        .map(|&(_, m)| m.event)
+        .collect();
+    let count = |e: PhaseEvent| events.iter().filter(|&&x| x == e).count();
+    assert_eq!(count(PhaseEvent::ConstructionStart), g.node_count());
+    assert_eq!(count(PhaseEvent::ConstructionQuiescence), g.node_count());
+    assert!(count(PhaseEvent::TokenAcquired) >= 1);
+    assert!(count(PhaseEvent::OnlineWindow) >= 1);
+    assert_eq!(count(PhaseEvent::ReplayWarmStart), 0);
+    // Exactly one node holds the token at quiescence.
+    let holders = g.nodes().filter(|&v| sim.node(v).holds_token()).count();
+    assert_eq!(holders, 1);
+}
+
+#[test]
+fn replayed_runs_emit_warm_start_markers_and_no_construction_markers() {
+    use fdn_core::{construction_simulators, replay_simulators, ConstructionCheckpoint};
+    use fdn_netsim::{PhaseEvent, SpanProfiler};
+    let g = generators::figure3();
+    let nodes = construction_simulators(&g, NodeId(0), Encoding::binary()).unwrap();
+    let mut build = Simulation::new(g.clone(), nodes)
+        .unwrap()
+        .with_noise(FullCorruption::new(5))
+        .with_scheduler(RandomScheduler::new(11));
+    build.run().unwrap();
+    let (_, _, reactors) = build.into_parts();
+    let checkpoint = ConstructionCheckpoint::capture(
+        reactors
+            .into_iter()
+            .map(fdn_core::ConstructionSimulator::into_construction)
+            .collect(),
+    )
+    .unwrap();
+    let holder = checkpoint.token_holder();
+
+    let value = vec![0x5A];
+    let sims = replay_simulators(&g, &checkpoint, |v| {
+        FloodBroadcast::new(v, NodeId(1), value.clone())
+    })
+    .unwrap();
+    let mut sim = Simulation::new(g.clone(), sims)
+        .unwrap()
+        .with_noise(FullCorruption::new(6))
+        .with_scheduler(RandomScheduler::new(13))
+        .with_observer(SpanProfiler::new());
+    sim.run().unwrap();
+    let events: Vec<(PhaseEvent, NodeId)> = sim
+        .observer()
+        .markers()
+        .iter()
+        .map(|&(_, m)| (m.event, m.node))
+        .collect();
+    // Replay never constructs: warm-start markers only, one per node, and
+    // every pulse is online traffic.
+    assert!(events.iter().all(|&(e, _)| !e.is_construction()));
+    let warm = events
+        .iter()
+        .filter(|&&(e, _)| e == PhaseEvent::ReplayWarmStart)
+        .count();
+    assert_eq!(warm, g.node_count());
+    // The checkpointed token holder announces itself at warm start.
+    assert!(events
+        .iter()
+        .any(|&(e, v)| e == PhaseEvent::TokenAcquired && v == holder));
+    for v in g.nodes() {
+        let prof = sim.observer();
+        assert_eq!(prof.construction_span(v).sends, 0);
+        assert_eq!(prof.online_span(v).sends, sim.node(v).online_pulses());
+    }
+}

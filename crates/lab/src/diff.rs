@@ -178,6 +178,33 @@ fn compare_cells(base: &CellReport, now: &CellReport, tol: &DiffTolerance) -> Ce
         notes.push(format!("runs changed {} -> {}", base.runs, now.runs));
     }
 
+    // The sampled in-flight curve is an observability attachment, never a
+    // gated metric: whether (and how densely) a run was sampled is a flag on
+    // the invocation, not a property of the simulated system, so curve
+    // changes are always notes.
+    match (&base.inflight_curve, &now.inflight_curve) {
+        (None, None) => {}
+        (Some(b), Some(n)) if b == n => {}
+        (Some(b), Some(n)) => notes.push(format!(
+            "inflight curve changed (peak p50 {:.0} -> {:.0}, mean p50 {:.2} -> {:.2})",
+            b.peak.p50, n.peak.p50, b.mean.p50, n.mean.p50
+        )),
+        (None, Some(_)) => {
+            notes.push("inflight curve attached (candidate was sampled)".to_string())
+        }
+        (Some(_), None) => notes.push("inflight curve dropped (candidate not sampled)".to_string()),
+    }
+    // Stall diagnostics ride along the same way: the *count* of stalls is
+    // already gated through `construction skews` above, so the diagnostic
+    // text itself only annotates.
+    if base.stall_diagnostics != now.stall_diagnostics {
+        notes.push(format!(
+            "stall diagnostics changed ({} -> {} line(s))",
+            base.stall_diagnostics.len(),
+            now.stall_diagnostics.len()
+        ));
+    }
+
     CellDelta {
         cell: cell_key(base),
         change: CellChange::Changed,
@@ -400,6 +427,8 @@ mod tests {
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,
+            inflight_curve: None,
+            stall_diagnostics: vec![],
         }
     }
 
@@ -568,6 +597,68 @@ mod tests {
         let d = diff_reports(&bad, &base, DiffTolerance::default());
         assert!(!d.has_regressions());
         assert_eq!(d.deltas[0].notes.len(), 2);
+    }
+
+    #[test]
+    fn inflight_curve_and_stall_changes_are_notes_not_regressions() {
+        use crate::report::CurveSummary;
+        let curve = |peak: f64| CurveSummary {
+            sample_every: 64,
+            peak: MetricSummary {
+                min: peak,
+                mean: peak,
+                p50: peak,
+                p95: peak,
+                max: peak,
+            },
+            mean: MetricSummary::ZERO,
+        };
+        let mut a = cell("noiseless", 1.0, 100.0);
+        let mut b = cell("noiseless", 1.0, 100.0);
+        // Attaching a curve where there was none: note only.
+        b.inflight_curve = Some(curve(12.0));
+        let d = diff_reports(
+            &report("base", vec![a.clone()]),
+            &report("new", vec![b.clone()]),
+            DiffTolerance::default(),
+        );
+        assert!(!d.has_regressions());
+        assert!(d.deltas[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("curve attached")));
+        // A changed curve (even a worse peak): still only a note.
+        a.inflight_curve = Some(curve(5.0));
+        let d = diff_reports(
+            &report("base", vec![a.clone()]),
+            &report("new", vec![b.clone()]),
+            DiffTolerance::default(),
+        );
+        assert!(!d.has_regressions());
+        assert!(d.deltas[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("peak p50 5 -> 12")));
+        // Identical curves: unchanged cell, no delta at all.
+        b.inflight_curve = Some(curve(5.0));
+        let d = diff_reports(
+            &report("base", vec![a.clone()]),
+            &report("new", vec![b.clone()]),
+            DiffTolerance::default(),
+        );
+        assert_eq!(d.unchanged, 1);
+        // Stall diagnostics annotate without failing the gate.
+        b.stall_diagnostics = vec!["s3: stalled mid-construction".to_string()];
+        let d = diff_reports(
+            &report("base", vec![a]),
+            &report("new", vec![b]),
+            DiffTolerance::default(),
+        );
+        assert!(!d.has_regressions());
+        assert!(d.deltas[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("stall diagnostics changed (0 -> 1")));
     }
 
     #[test]

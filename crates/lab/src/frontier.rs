@@ -49,7 +49,7 @@ use fdn_protocols::WorkloadSpec;
 use crate::cache::Caches;
 use crate::error::LabError;
 use crate::json::Json;
-use crate::runner::run_scenario_with;
+use crate::runner::{run_scenario_with, CellTiming};
 use crate::spec::{Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, SkippedCell};
 
 /// Human description of the probe axis, recorded in every report.
@@ -430,9 +430,24 @@ fn bisect_cell(
 /// Returns [`LabError::Usage`] for invalid axis parameters and
 /// [`LabError::EmptyCampaign`] if no cell is eligible.
 pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
+    run_frontier_instrumented(spec).map(|(report, _)| report)
+}
+
+/// [`run_frontier`] plus a per-cell wall-clock sidecar (one
+/// [`CellTiming`] per bisected cell, in report order). The report itself
+/// stays byte-deterministic; only the sidecar carries wall time, so it is
+/// written to a separate file and never enters a diff gate.
+///
+/// # Errors
+///
+/// Same as [`run_frontier`].
+pub fn run_frontier_instrumented(
+    spec: &FrontierSpec,
+) -> Result<(FrontierReport, Vec<CellTiming>), LabError> {
     spec.validate()?;
     let caches = Caches::new();
     let mut cells = Vec::new();
+    let mut timings: Vec<CellTiming> = Vec::new();
     let mut skipped: Vec<SkippedCell> = Vec::new();
     let skip = |cell: String, reason: String, skipped: &mut Vec<SkippedCell>| {
         if !skipped.iter().any(|s| s.cell == cell) {
@@ -472,7 +487,8 @@ pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
                     );
                     continue;
                 }
-                cells.push(bisect_cell(
+                let started = std::time::Instant::now();
+                let cell = bisect_cell(
                     &caches,
                     spec,
                     family,
@@ -480,21 +496,30 @@ pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
                     workload,
                     graph.node_count(),
                     graph.edge_count(),
-                ));
+                );
+                timings.push(CellTiming {
+                    cell: id,
+                    wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                    runs: cell.probes.iter().map(|p| p.runs as usize).sum(),
+                });
+                cells.push(cell);
             }
         }
     }
     if cells.is_empty() {
         return Err(LabError::EmptyCampaign);
     }
-    Ok(FrontierReport {
-        name: spec.name.clone(),
-        max_rate: spec.max_rate,
-        resolution: spec.resolution,
-        seeds_per_cell: spec.seeds.count,
-        skipped,
-        cells,
-    })
+    Ok((
+        FrontierReport {
+            name: spec.name.clone(),
+            max_rate: spec.max_rate,
+            resolution: spec.resolution,
+            seeds_per_cell: spec.seeds.count,
+            skipped,
+            cells,
+        },
+        timings,
+    ))
 }
 
 impl FrontierReport {

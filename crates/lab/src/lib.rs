@@ -61,6 +61,7 @@ pub mod presets;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod trace;
 
 pub use cache::{
     BaselineCache, BaselineKey, CachedConstruction, CachedTopology, Caches, ReplayCache, ReplayKey,
@@ -69,17 +70,22 @@ pub use cache::{
 pub use diff::{diff_reports, CellChange, CellDelta, DiffTolerance, ReportDiff};
 pub use error::LabError;
 pub use frontier::{
-    diff_frontier_reports, run_frontier, FrontierCell, FrontierCellDelta, FrontierDiff,
-    FrontierProbe, FrontierReport, FrontierSpec, FrontierStatus, FrontierTolerance, FRONTIER_AXIS,
+    diff_frontier_reports, run_frontier, run_frontier_instrumented, FrontierCell,
+    FrontierCellDelta, FrontierDiff, FrontierProbe, FrontierReport, FrontierSpec, FrontierStatus,
+    FrontierTolerance, FRONTIER_AXIS,
 };
 pub use json::Json;
 pub use presets::PRESET_NAMES;
 pub use report::{
-    aggregate, fmt_rate, merge_reports, percentile, CampaignReport, CellReport, MetricSummary,
+    aggregate, fmt_rate, merge_reports, percentile, CampaignReport, CellReport, CurveSummary,
+    MetricSummary,
 };
 pub use runner::{
-    run_campaign, run_expanded, run_scenario, run_scenario_with, run_shard, ScenarioOutcome,
+    run_campaign, run_expanded, run_scenario, run_scenario_observed, run_scenario_sampled,
+    run_scenario_with, run_shard, run_shard_instrumented, CellTiming, InflightCurve,
+    ScenarioOutcome,
 };
 pub use spec::{
     shard_slice, Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, Shard, SkippedCell,
 };
+pub use trace::{run_trace, run_trace_instrumented, CellTrace, TraceOptions, TraceReport};

@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! fdn-lab run [matrix flags] [--threads N] [--out DIR] [--shard K/M]
-//! fdn-lab frontier [frontier flags] [--threads N] [--out DIR]
+//!              [--sample-every K] [--timings PATH]
+//! fdn-lab frontier [frontier flags] [--threads N] [--out DIR] [--timings PATH]
 //!              # bisect the omission drop-rate axis per cell
+//! fdn-lab trace [matrix flags] [--sample-every K] [--top-links K]
+//!              [--threads N] [--out DIR] [--timings PATH]
+//!              # one deeply-observed run per cell:
+//!              # NAME.trace.{jsonl,json,md} (samples, Perfetto, phase tables)
 //! fdn-lab list-scenarios [matrix flags] [--family SUBSTR] [--noise SUBSTR]
 //! fdn-lab report --input FILE [--format md|csv|json]
 //! fdn-lab merge SHARD.json... [--out FILE]   # recombine per-shard reports
@@ -32,9 +37,10 @@ use std::time::Instant;
 
 use fdn_graph::GraphFamily;
 use fdn_lab::{
-    diff_frontier_reports, diff_reports, merge_reports, run_expanded, run_frontier, run_shard,
-    shard_slice, Campaign, CampaignReport, DiffTolerance, FrontierReport, FrontierSpec,
-    FrontierTolerance, LabError, Shard,
+    diff_frontier_reports, diff_reports, merge_reports, run_expanded, run_frontier_instrumented,
+    run_shard, run_shard_instrumented, run_trace_instrumented, shard_slice, Campaign,
+    CampaignReport, CellTiming, DiffTolerance, FrontierReport, FrontierSpec, FrontierTolerance,
+    Json, LabError, Shard, TraceOptions,
 };
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
@@ -56,6 +62,7 @@ fn dispatch(args: &[String]) -> Result<(), LabError> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("frontier") => cmd_frontier(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("list-scenarios") => cmd_list(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
@@ -77,6 +84,10 @@ fn usage() -> String {
     \x20 frontier        bisect the omission drop-rate axis (per mille) per\n\
     \x20                 (family, mode, workload) cell to the smallest rate\n\
     \x20                 that breaks it; write NAME.frontier.{json,csv,md}\n\
+    \x20 trace           run the first seed of every cell with the observer\n\
+    \x20                 layer attached; write NAME.trace.{jsonl,json,md}\n\
+    \x20                 (sampled time series, Perfetto/Chrome trace-event\n\
+    \x20                 JSON, markdown phase breakdown)\n\
     \x20 list-scenarios  print the expanded matrix without running it\n\
     \x20                 (--family SUBSTR / --noise SUBSTR filter the listing)\n\
     \x20 report          re-render a saved JSON report (--input FILE)\n\
@@ -104,6 +115,15 @@ fn usage() -> String {
     \x20 --shard K/M                     run only the K-th of M deterministic\n\
     \x20                                 cell slices (recombine with `merge`)\n\
     \x20 --format md|csv|json            (report command) output format\n\
+    \x20 --sample-every K                (run, trace) attach the in-flight\n\
+    \x20                                 sampler, one sample per K deliveries\n\
+    \x20                                 [trace default: 64]\n\
+    \x20 --timings PATH                  (run, frontier, trace) write a\n\
+    \x20                                 per-cell wall-clock JSON sidecar;\n\
+    \x20                                 reports themselves never carry wall\n\
+    \x20                                 time, so diff gates stay byte-exact\n\
+    \x20 --top-links K                   (trace) hottest links listed per cell\n\
+    \x20                                 in the markdown rendering [default: 8]\n\
      \n\
      Frontier flags (`fdn-lab frontier`, sharing --preset/--name/--families/\n\
      --modes/--workloads/--seeds/--seed-start/--max-steps with `run`):\n\
@@ -159,6 +179,11 @@ struct RunOptions {
     threads: Option<usize>,
     out_dir: PathBuf,
     shard: Option<Shard>,
+    /// `--sample-every K`: attach the in-flight sampler to every scenario
+    /// and summarize the curve per cell.
+    sample_every: Option<u64>,
+    /// `--timings PATH`: write the per-cell wall-clock sidecar.
+    timings: Option<PathBuf>,
 }
 
 /// The first pass over a command's flags: only `--preset` matters, every
@@ -242,6 +267,8 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
     let mut threads = None;
     let mut out_dir = PathBuf::from("lab-out");
     let mut shard = None;
+    let mut sample_every = None;
+    let mut timings = None;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
@@ -277,6 +304,10 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
             "--shard" => {
                 shard = Some(Shard::parse(flags.value(flag)?).map_err(|e| parse_err(flag, e))?);
             }
+            "--sample-every" => {
+                sample_every = Some(parse_stride(flag, flags.value(flag)?)?);
+            }
+            "--timings" => timings = Some(PathBuf::from(flags.value(flag)?)),
             other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -285,7 +316,20 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
         threads,
         out_dir,
         shard,
+        sample_every,
+        timings,
     })
+}
+
+/// Parses a sampling stride: a positive delivery count.
+fn parse_stride(flag: &str, v: &str) -> Result<u64, LabError> {
+    let n = parse_num(flag, v)?;
+    if n == 0 {
+        return Err(LabError::Usage(format!(
+            "flag `{flag}` needs a positive delivery count"
+        )));
+    }
+    Ok(n)
 }
 
 fn takes_value(flag: &str) -> bool {
@@ -364,9 +408,18 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
     // A shard is allowed to be empty (more shards than cells): it still
     // writes a report so a fleet driver can merge all M shards uniformly.
     // An unsharded empty expansion stays an error.
-    let report = match opts.shard {
-        Some(_) => run_shard(&opts.campaign, scenarios, skipped),
-        None => run_expanded(&opts.campaign, scenarios, skipped)?,
+    let instrumented = opts.sample_every.is_some() || opts.timings.is_some();
+    let (report, timings) = if instrumented {
+        if opts.shard.is_none() && scenarios.is_empty() {
+            return Err(LabError::EmptyCampaign);
+        }
+        run_shard_instrumented(&opts.campaign, scenarios, skipped, opts.sample_every)
+    } else {
+        let report = match opts.shard {
+            Some(_) => run_shard(&opts.campaign, scenarios, skipped),
+            None => run_expanded(&opts.campaign, scenarios, skipped)?,
+        };
+        (report, Vec::new())
     };
     let elapsed = started.elapsed();
     eprintln!(
@@ -392,6 +445,9 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
         "md",
         &report.to_markdown_with_wall_clock(Some(elapsed.as_secs_f64())),
     )?;
+    if let Some(path) = &opts.timings {
+        write_timings(path, "run", &report.name, elapsed.as_secs_f64(), &timings)?;
+    }
     let failed: Vec<&fdn_lab::CellReport> = report
         .cells
         .iter()
@@ -429,6 +485,43 @@ fn write_report(dir: &Path, stem: &str, ext: &str, contents: &str) -> Result<(),
     Ok(())
 }
 
+/// Writes the `--timings` sidecar: per-cell wall clock, kept out of every
+/// report so the byte-identity diff gates never see wall time.
+fn write_timings(
+    path: &Path,
+    command: &str,
+    name: &str,
+    wall_s: f64,
+    cells: &[CellTiming],
+) -> Result<(), LabError> {
+    let doc = Json::obj(vec![
+        ("command", Json::Str(command.to_string())),
+        ("name", Json::Str(name.to_string())),
+        ("wall_s", Json::Num(wall_s)),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("cell", Json::Str(t.cell.clone())),
+                            ("wall_ms", Json::Num(t.wall_ms)),
+                            ("runs", Json::Num(t.runs as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, doc.render())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
     // Two passes, mirroring `run`: --preset decides the base spec, the
     // shared matrix/execution flags and the frontier-specific axis flags
@@ -436,6 +529,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
     let mut spec = FrontierSpec::preset(&parse_preset_name(args)?)?;
     let mut threads = None;
     let mut out_dir = PathBuf::from("lab-out");
+    let mut timings_path: Option<PathBuf> = None;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
@@ -466,6 +560,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
             "--verify-probes" => {
                 spec.verify_probes = parse_num_bounded(flag, flags.value(flag)?, 1000)? as u16;
             }
+            "--timings" => timings_path = Some(PathBuf::from(flags.value(flag)?)),
             other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -487,7 +582,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
         spec.seeds.count,
     );
     let started = Instant::now();
-    let report = run_frontier(&spec)?;
+    let (report, timings) = run_frontier_instrumented(&spec)?;
     let elapsed = started.elapsed();
     eprintln!(
         "{} cells bisected with {} probes in {elapsed:.2?}",
@@ -506,6 +601,15 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
         "md",
         &report.to_markdown_with_wall_clock(Some(elapsed.as_secs_f64())),
     )?;
+    if let Some(path) = &timings_path {
+        write_timings(
+            path,
+            "frontier",
+            &report.name,
+            elapsed.as_secs_f64(),
+            &timings,
+        )?;
+    }
     println!(
         "frontier `{}`: {} cells ({} bracketed, {} break at zero, {} never break, \
          {} non-monotone), {} skipped combination(s)",
@@ -537,6 +641,87 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
             cell.bracket_width(),
             cell.probes.len(),
             if cell.monotone { "" } else { ", non-monotone" },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), LabError> {
+    // The matrix selector flags are literally `run`'s: trace-specific flags
+    // are pulled out first and the rest goes through [`parse_run_options`],
+    // so a selector that works on `run` works identically here.
+    let mut trace_opts = TraceOptions::default();
+    let mut timings_path: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--sample-every" => {
+                trace_opts.sample_every = parse_stride(flag, flags.value(flag)?)?;
+            }
+            "--top-links" => {
+                trace_opts.top_links = parse_num(flag, flags.value(flag)?)? as usize;
+            }
+            "--timings" => timings_path = Some(PathBuf::from(flags.value(flag)?)),
+            other => {
+                rest.push(other.to_string());
+                if takes_value(other) {
+                    rest.push(flags.value(other)?.to_string());
+                }
+            }
+        }
+    }
+    let opts = parse_run_options(&rest)?;
+    if opts.shard.is_some() {
+        return Err(LabError::Usage(
+            "trace runs one scenario per cell; --shard applies to `run`".into(),
+        ));
+    }
+    if let Some(n) = opts.threads {
+        // First configuration wins; a second command in-process keeps the pool.
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global();
+    }
+    eprintln!(
+        "trace `{}`: first seed of every cell, sampling every {} deliveries",
+        opts.campaign.name, trace_opts.sample_every,
+    );
+    let started = Instant::now();
+    let (report, timings) = run_trace_instrumented(&opts.campaign, trace_opts)?;
+    let elapsed = started.elapsed();
+    eprintln!("{} cell(s) traced in {elapsed:.2?}", report.cells.len());
+    std::fs::create_dir_all(&opts.out_dir)?;
+    // `.trace` in the stem keeps the artifacts apart from the same preset's
+    // campaign reports in a shared --out directory. The `.json` artifact is
+    // the Perfetto / Chrome trace-event document (load it at ui.perfetto.dev
+    // or chrome://tracing); `.jsonl` is one record per sample/marker.
+    let stem = format!("{}.trace", report.name);
+    write_report(&opts.out_dir, &stem, "jsonl", &report.to_jsonl())?;
+    write_report(&opts.out_dir, &stem, "json", &report.to_perfetto_json())?;
+    write_report(&opts.out_dir, &stem, "md", &report.to_markdown())?;
+    if let Some(path) = &timings_path {
+        write_timings(path, "trace", &report.name, elapsed.as_secs_f64(), &timings)?;
+    }
+    println!(
+        "trace `{}`: {} cell(s), {} skipped combination(s)",
+        report.name,
+        report.cells.len(),
+        report.skipped.len(),
+    );
+    for trace in &report.cells {
+        println!(
+            "  {}: CCinit {}, online {}, {} sample(s), {} marker(s){}",
+            trace.cell_id(),
+            trace.outcome.cc_init,
+            trace.outcome.online_pulses,
+            trace.sampler.samples().len(),
+            trace.profiler.markers().len(),
+            if trace.outcome.success {
+                ""
+            } else {
+                " — NOT successful"
+            },
         );
     }
     Ok(())

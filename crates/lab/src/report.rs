@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 
 use crate::cache::TopologyCache;
 use crate::json::Json;
-use crate::runner::ScenarioOutcome;
+use crate::runner::{InflightCurve, ScenarioOutcome};
 use crate::spec::{Campaign, SkippedCell};
 
 /// Quotes a CSV field when it contains a separator, quote, or line break
@@ -146,6 +146,48 @@ impl MetricSummary {
     }
 }
 
+/// Per-cell aggregate of the sampled in-flight depth curves, present only
+/// when the campaign ran with `--sample-every`. Serialized as an optional
+/// field, so unsampled reports keep their exact pre-sampler byte layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveSummary {
+    /// Largest effective sampling stride across the cell's runs (the
+    /// sampler's ring doubles its stride under compaction, so long runs can
+    /// exceed the requested value).
+    pub sample_every: u64,
+    /// Peak in-flight depth, summarized across runs.
+    pub peak: MetricSummary,
+    /// Per-run mean in-flight depth, summarized across runs.
+    pub mean: MetricSummary,
+}
+
+impl CurveSummary {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("sample_every", Json::Num(self.sample_every as f64)),
+            ("peak", self.peak.to_json()),
+            ("mean", self.mean.to_json()),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<CurveSummary, String> {
+        Ok(CurveSummary {
+            sample_every: j
+                .get("sample_every")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "curve field `sample_every` missing".to_string())?,
+            peak: MetricSummary::from_json(
+                j.get("peak")
+                    .ok_or_else(|| "curve field `peak` missing".to_string())?,
+            )?,
+            mean: MetricSummary::from_json(
+                j.get("mean")
+                    .ok_or_else(|| "curve field `mean` missing".to_string())?,
+            )?,
+        })
+    }
+}
+
 /// Aggregated measurements of one cell (family x mode x encoding x workload
 /// x noise x scheduler) across its seed sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +263,12 @@ pub struct CellReport {
     /// Online pulses per baseline message (`CCoverhead`), when a noiseless
     /// baseline exists for the workload.
     pub overhead: Option<MetricSummary>,
+    /// Aggregate of the sampled in-flight curves (`--sample-every` runs
+    /// only). `None` — and absent from the JSON — for unsampled campaigns.
+    pub inflight_curve: Option<CurveSummary>,
+    /// One diagnostic line per run that stalled mid-construction (prefixed
+    /// with its seed). Empty — and absent from the JSON — for healthy cells.
+    pub stall_diagnostics: Vec<String>,
 }
 
 /// The aggregated result of one campaign.
@@ -338,6 +386,33 @@ fn summarize_cell(group: &[&ScenarioOutcome], cache: &TopologyCache) -> CellRepo
         cycle_len: metric(&|o| o.cycle_len as f64),
         baseline_messages: metric(&|o| o.baseline_messages as f64),
         overhead: MetricSummary::from_values(&overhead_values),
+        inflight_curve: {
+            let curves: Vec<InflightCurve> =
+                group.iter().filter_map(|o| o.inflight_curve).collect();
+            (!curves.is_empty()).then(|| CurveSummary {
+                sample_every: curves
+                    .iter()
+                    .map(|c| c.sample_every)
+                    .max()
+                    .expect("curves are non-empty"),
+                peak: MetricSummary::from_values(
+                    &curves.iter().map(|c| c.peak as f64).collect::<Vec<f64>>(),
+                )
+                .expect("curves are non-empty"),
+                mean: MetricSummary::from_values(
+                    &curves.iter().map(|c| c.mean).collect::<Vec<f64>>(),
+                )
+                .expect("curves are non-empty"),
+            })
+        },
+        stall_diagnostics: group
+            .iter()
+            .filter_map(|o| {
+                o.stall_diagnostic
+                    .as_ref()
+                    .map(|d| format!("s{}: {d}", o.scenario.seed))
+            })
+            .collect(),
     }
 }
 
@@ -353,7 +428,7 @@ impl CellReport {
     }
 
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("family", Json::Str(self.family.clone())),
             ("mode", Json::Str(self.mode.clone())),
             ("encoding", Json::Str(self.encoding.clone())),
@@ -399,7 +474,26 @@ impl CellReport {
                 "overhead",
                 self.overhead.map_or(Json::Null, MetricSummary::to_json),
             ),
-        ])
+        ];
+        // Optional observability fields are *omitted* — not rendered as null
+        // — when absent, so unsampled, healthy campaigns keep producing the
+        // exact bytes they produced before these fields existed (the
+        // byte-identity the CI rerun gates compare).
+        if let Some(curve) = self.inflight_curve {
+            fields.push(("inflight_curve", curve.to_json()));
+        }
+        if !self.stall_diagnostics.is_empty() {
+            fields.push((
+                "stall_diagnostics",
+                Json::Arr(
+                    self.stall_diagnostics
+                        .iter()
+                        .map(|d| Json::Str(d.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(j: &Json) -> Result<CellReport, String> {
@@ -479,6 +573,23 @@ impl CellReport {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(MetricSummary::from_json(v)?),
             },
+            // Observability fields postdate the observer layer; reports
+            // without them parse as "not sampled, nothing stalled".
+            inflight_curve: match j.get("inflight_curve") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(CurveSummary::from_json(v)?),
+            },
+            stall_diagnostics: j
+                .get("stall_diagnostics")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "stall diagnostic entry is not a string".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
         })
     }
 }
@@ -746,6 +857,45 @@ impl CampaignReport {
                     .join(", ")
             );
         }
+        let sampled: Vec<&CellReport> = self
+            .cells
+            .iter()
+            .filter(|c| c.inflight_curve.is_some())
+            .collect();
+        if !sampled.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## In-flight curve (sampled)");
+            let _ = writeln!(out);
+            out.push_str("| cell | every | peak p50 | peak max | mean p50 |\n");
+            out.push_str("|---|---|---|---|---|\n");
+            for c in sampled {
+                let curve = c.inflight_curve.expect("filtered above");
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.0} | {:.0} | {:.2} |",
+                    md_cell(&c.cell_id()),
+                    curve.sample_every,
+                    curve.peak.p50,
+                    curve.peak.max,
+                    curve.mean.p50,
+                );
+            }
+        }
+        let stalled: Vec<&CellReport> = self
+            .cells
+            .iter()
+            .filter(|c| !c.stall_diagnostics.is_empty())
+            .collect();
+        if !stalled.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "## Stall diagnostics");
+            let _ = writeln!(out);
+            for c in stalled {
+                for d in &c.stall_diagnostics {
+                    let _ = writeln!(out, "* `{}` {}", c.cell_id(), d);
+                }
+            }
+        }
         if !self.skipped.is_empty() {
             let _ = writeln!(out);
             let _ = writeln!(out, "## Skipped combinations");
@@ -993,6 +1143,8 @@ mod tests {
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,
+            inflight_curve: None,
+            stall_diagnostics: vec![],
         };
         let report = CampaignReport {
             name: "md".to_string(),
@@ -1047,6 +1199,8 @@ mod tests {
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,
+            inflight_curve: None,
+            stall_diagnostics: vec![],
         };
         let Json::Obj(fields) = cell.to_json() else {
             panic!("cell renders as an object");
@@ -1089,6 +1243,8 @@ mod tests {
             cycle_len: MetricSummary::ZERO,
             baseline_messages: MetricSummary::ZERO,
             overhead: None,
+            inflight_curve: None,
+            stall_diagnostics: vec![],
         };
         let render = |cell: &CellReport| {
             CampaignReport {
@@ -1164,6 +1320,8 @@ mod tests {
             construction_skew: skew,
             baseline_messages: 10,
             baseline_error: None,
+            stall_diagnostic: None,
+            inflight_curve: None,
         };
         // Two measured runs (online 200/400), one skewed placeholder (0).
         let outcomes = vec![

@@ -13,8 +13,11 @@
 
 use rayon::prelude::*;
 
-use fdn_core::{cycle_simulators_prevalidated, full_simulators, replay_simulators};
-use fdn_netsim::{DirectRunner, LinkTable, Simulation, StatsSnapshot};
+use fdn_core::{cycle_simulators_prevalidated, full_simulators, replay_simulators, FullSimulator};
+use fdn_netsim::{
+    DirectRunner, LinkTable, NullObserver, Observer, Simulation, StatsSnapshot, TimeSeriesSampler,
+    DEFAULT_SAMPLE_CAPACITY,
+};
 use fdn_protocols::{BoxedProtocol, WorkloadSpec};
 
 use crate::cache::{BaselineKey, Caches, ReplayKey};
@@ -26,6 +29,50 @@ use crate::spec::{Campaign, EngineMode, Scenario};
 pub(crate) const NOISE_SALT: u64 = 0x4E01_5E00;
 /// Seed salt for the scheduler stream.
 pub(crate) const SCHED_SALT: u64 = 0x5C4E_D000;
+
+/// Compact summary of a sampled in-flight depth curve (attached by
+/// `--sample-every`). Every field derives from delivery-count-stamped
+/// samples, so the summary is as byte-deterministic as the run itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InflightCurve {
+    /// Effective sampling stride in deliveries (the sampler doubles its
+    /// stride under compaction, so this can exceed the requested value).
+    pub sample_every: u64,
+    /// Number of retained samples.
+    pub samples: u64,
+    /// Peak in-flight depth observed at any sample point.
+    pub peak: u64,
+    /// Delivery stamp of the first peak sample.
+    pub peak_at: u64,
+    /// Mean in-flight depth across the retained samples.
+    pub mean: f64,
+}
+
+impl InflightCurve {
+    /// Summarizes a sampler's retained samples.
+    pub fn from_sampler(sampler: &TimeSeriesSampler) -> Self {
+        let samples = sampler.samples();
+        let (mut peak, mut peak_at, mut sum) = (0u64, 0u64, 0u64);
+        for s in samples {
+            sum += s.inflight;
+            if s.inflight > peak {
+                peak = s.inflight;
+                peak_at = s.deliveries;
+            }
+        }
+        InflightCurve {
+            sample_every: sampler.stride(),
+            samples: samples.len() as u64,
+            peak,
+            peak_at,
+            mean: if samples.is_empty() {
+                0.0
+            } else {
+                sum as f64 / samples.len() as f64
+            },
+        }
+    }
+}
 
 /// The measured result of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +114,14 @@ pub struct ScenarioOutcome {
     /// distinct from "the workload has no baseline" so reports can render an
     /// explicit marker instead of silently dropping the overhead column.
     pub baseline_error: Option<String>,
+    /// One-shot diagnostic recorded when a full-mode run stopped (step
+    /// budget) with nodes still mid-construction: active links, deepest
+    /// queue, per-node stage histogram, token holder if visible. `None` for
+    /// healthy runs, so pre-existing report bytes are untouched.
+    pub stall_diagnostic: Option<String>,
+    /// Summary of the in-flight depth curve when the run was sampled
+    /// (`--sample-every`); `None` for unsampled runs.
+    pub inflight_curve: Option<InflightCurve>,
 }
 
 impl ScenarioOutcome {
@@ -97,6 +152,8 @@ impl ScenarioOutcome {
             construction_skew: false,
             baseline_messages: 0,
             baseline_error: None,
+            stall_diagnostic: None,
+            inflight_curve: None,
         }
     }
 }
@@ -162,10 +219,34 @@ fn baseline_for(caches: &Caches, scenario: Scenario, graph: &fdn_graph::Graph) -
 /// modes; engine errors and step-limit exhaustion are reported in the
 /// outcome.
 pub fn run_scenario_with(caches: &Caches, scenario: Scenario) -> ScenarioOutcome {
+    run_scenario_observed(caches, scenario, NullObserver).0
+}
+
+/// Runs one scenario with a [`TimeSeriesSampler`] attached (the lab's
+/// `--sample-every` flag) and records the compact in-flight curve summary on
+/// the outcome. Everything else — noise, scheduling, accounting — is
+/// byte-identical to the unsampled run: the sampler only listens.
+pub fn run_scenario_sampled(caches: &Caches, scenario: Scenario, every: u64) -> ScenarioOutcome {
+    let sampler = TimeSeriesSampler::new(every, DEFAULT_SAMPLE_CAPACITY);
+    let (mut outcome, sampler) = run_scenario_observed(caches, scenario, sampler);
+    outcome.inflight_curve = Some(InflightCurve::from_sampler(&sampler));
+    outcome
+}
+
+/// Like [`run_scenario_with`], but threads an [`Observer`] through the
+/// simulation and hands it back alongside the outcome. `run_scenario_with`
+/// is this function monomorphized at [`NullObserver`]: the no-observer path
+/// compiles to the exact un-instrumented code, which is what keeps no-flag
+/// `fdn-lab run` output byte-identical to pre-observer builds.
+pub fn run_scenario_observed<O: Observer>(
+    caches: &Caches,
+    scenario: Scenario,
+    observer: O,
+) -> (ScenarioOutcome, O) {
     let cell = scenario.cell;
     let topo = match caches.topology.get(cell.family) {
         Ok(t) => t,
-        Err(e) => return ScenarioOutcome::failed(scenario, 0, 0, e),
+        Err(e) => return (ScenarioOutcome::failed(scenario, 0, 0, e), observer),
     };
     let graph = &topo.graph;
     let (nodes_n, edges_n) = (graph.node_count(), graph.edge_count());
@@ -186,23 +267,29 @@ pub fn run_scenario_with(caches: &Caches, scenario: Scenario) -> ScenarioOutcome
             }) {
                 Ok(s) => s,
                 Err(e) => {
-                    return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
+                    return (
+                        ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
+                        observer,
+                    )
                 }
             };
-            drive(scenario, graph, baseline, None, sims, |sim| Inspection {
-                node_error: graph
-                    .nodes()
-                    .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
-                cc_init: graph
-                    .nodes()
-                    .map(|v| sim.node(v).construction_pulses())
-                    .sum(),
-                cc_init_in_stats: true,
-                cycle_len: sim
-                    .node(WorkloadSpec::ROOT)
-                    .cycle()
-                    .map(fdn_graph::RobbinsCycle::len)
-                    .unwrap_or(0),
+            drive(scenario, graph, baseline, None, sims, observer, |sim| {
+                Inspection {
+                    node_error: graph
+                        .nodes()
+                        .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
+                    cc_init: graph
+                        .nodes()
+                        .map(|v| sim.node(v).construction_pulses())
+                        .sum(),
+                    cc_init_in_stats: true,
+                    cycle_len: sim
+                        .node(WorkloadSpec::ROOT)
+                        .cycle()
+                        .map(fdn_graph::RobbinsCycle::len)
+                        .unwrap_or(0),
+                    stall: stall_diagnostic(graph, sim),
+                }
             })
         }
         EngineMode::CycleOnly => {
@@ -211,23 +298,34 @@ pub fn run_scenario_with(caches: &Caches, scenario: Scenario) -> ScenarioOutcome
             // simulator nodes for every seed.
             let cycle = match &topo.cycle {
                 Ok(c) => c,
-                Err(e) => return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.clone()),
+                Err(e) => {
+                    return (
+                        ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.clone()),
+                        observer,
+                    )
+                }
             };
             let sims = match cycle_simulators_prevalidated(graph, cycle, encoding, |v| {
                 cell.workload.build(graph, v)
             }) {
                 Ok(s) => s,
                 Err(e) => {
-                    return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
+                    return (
+                        ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
+                        observer,
+                    )
                 }
             };
-            drive(scenario, graph, baseline, None, sims, |sim| Inspection {
-                node_error: graph
-                    .nodes()
-                    .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
-                cc_init: 0,
-                cc_init_in_stats: true,
-                cycle_len: cycle.len(),
+            drive(scenario, graph, baseline, None, sims, observer, |sim| {
+                Inspection {
+                    node_error: graph
+                        .nodes()
+                        .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
+                    cc_init: 0,
+                    cc_init_in_stats: true,
+                    cycle_len: cycle.len(),
+                    stall: None,
+                }
             })
         }
         EngineMode::Replay => {
@@ -245,14 +343,22 @@ pub fn run_scenario_with(caches: &Caches, scenario: Scenario) -> ScenarioOutcome
             };
             let construction = match caches.construction.get(&caches.topology, key) {
                 Ok(c) => c,
-                Err(e) => return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e),
+                Err(e) => {
+                    return (
+                        ScenarioOutcome::failed(scenario, nodes_n, edges_n, e),
+                        observer,
+                    )
+                }
             };
             let sims = match replay_simulators(graph, &construction.checkpoint, |v| {
                 cell.workload.build(graph, v)
             }) {
                 Ok(s) => s,
                 Err(e) => {
-                    return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string())
+                    return (
+                        ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
+                        observer,
+                    )
                 }
             };
             let cc_init = construction.checkpoint.cc_init();
@@ -260,16 +366,23 @@ pub fn run_scenario_with(caches: &Caches, scenario: Scenario) -> ScenarioOutcome
             // Warm start: reuse the construction's registered link table
             // instead of re-registering links for every seed.
             let links = construction.links.clone();
-            drive(scenario, graph, baseline, Some(links), sims, |sim| {
-                Inspection {
+            drive(
+                scenario,
+                graph,
+                baseline,
+                Some(links),
+                sims,
+                observer,
+                |sim| Inspection {
                     node_error: graph
                         .nodes()
                         .find_map(|v| sim.node(v).error().map(|e| e.to_string())),
                     cc_init,
                     cc_init_in_stats: false,
                     cycle_len,
-                }
-            })
+                    stall: None,
+                },
+            )
         }
     }
 }
@@ -287,20 +400,75 @@ struct Inspection {
     cc_init_in_stats: bool,
     /// Length of the cycle the run used.
     cycle_len: usize,
+    /// Stall diagnostic for runs that stopped mid-construction (full mode
+    /// only; the other modes have no construction phase to stall in).
+    stall: Option<String>,
+}
+
+/// Renders the one-shot stall diagnostic for a full-mode run that stopped
+/// without reaching quiescence while nodes were still mid-construction — the
+/// step-budget-exhaustion path behind the `construction_skew` flag. Instead
+/// of only the flag, the outcome carries what the network looked like at the
+/// moment of death: how many links still had traffic, how deep the worst
+/// queue was, which construction stage each node was stuck in, and where the
+/// cycle token was (if any engine already held it).
+fn stall_diagnostic<O: Observer>(
+    graph: &fdn_graph::Graph,
+    sim: &Simulation<FullSimulator<BoxedProtocol>, O>,
+) -> Option<String> {
+    if sim.is_quiescent() {
+        return None;
+    }
+    let offline = graph.nodes().filter(|&v| !sim.node(v).is_online()).count();
+    if offline == 0 {
+        return None;
+    }
+    let view = sim.link_view();
+    let active = view.active().len();
+    let deepest = view
+        .active()
+        .iter()
+        .map(|&l| view.queue_len(l))
+        .max()
+        .unwrap_or(0);
+    // Stage histogram in node-id order of first appearance: deterministic,
+    // and it reads in the same order the stages are reached.
+    let mut stages: Vec<(&'static str, usize)> = Vec::new();
+    for v in graph.nodes() {
+        let stage = sim.node(v).stage();
+        match stages.iter_mut().find(|(name, _)| *name == stage) {
+            Some((_, n)) => *n += 1,
+            None => stages.push((stage, 1)),
+        }
+    }
+    let stages = stages
+        .iter()
+        .map(|(stage, n)| format!("{stage}:{n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let token = graph
+        .nodes()
+        .find(|&v| sim.node(v).holds_token())
+        .map_or_else(|| "unassigned".to_string(), |v| format!("at {v}"));
+    Some(format!(
+        "stalled mid-construction: {offline} node(s) offline, {active} active link(s), \
+         deepest queue {deepest}, stages [{stages}], token {token}"
+    ))
 }
 
 /// Runs an already-built reactor set under the scenario's noise/scheduler and
 /// assembles the outcome; `inspect` supplies the mode-specific facts. A
 /// pre-registered `links` table (replay warm start) skips per-seed link
 /// registration.
-fn drive<R: fdn_netsim::Reactor>(
+fn drive<R: fdn_netsim::Reactor, O: Observer>(
     scenario: Scenario,
     graph: &fdn_graph::Graph,
     baseline: Baseline,
     links: Option<LinkTable>,
     sims: Vec<R>,
-    inspect: impl FnOnce(&Simulation<R>) -> Inspection,
-) -> ScenarioOutcome {
+    observer: O,
+    inspect: impl FnOnce(&Simulation<R, O>) -> Inspection,
+) -> (ScenarioOutcome, O) {
     let cell = scenario.cell;
     let (nodes_n, edges_n) = (graph.node_count(), graph.edge_count());
     let built = match links {
@@ -308,8 +476,13 @@ fn drive<R: fdn_netsim::Reactor>(
         None => Simulation::new(graph.clone(), sims),
     };
     let mut sim = match built {
-        Ok(s) => s,
-        Err(e) => return ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
+        Ok(s) => s.with_observer(observer),
+        Err(e) => {
+            return (
+                ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
+                observer,
+            )
+        }
     };
     sim = sim
         .with_noise_boxed(cell.noise.build(scenario.seed ^ NOISE_SALT))
@@ -329,7 +502,7 @@ fn drive<R: fdn_netsim::Reactor>(
         inspection.cc_init,
         inspection.cc_init_in_stats,
     );
-    ScenarioOutcome {
+    let outcome = ScenarioOutcome {
         scenario,
         success: error.is_none() && quiescent && cell.workload.is_success(graph, &outputs),
         error,
@@ -344,7 +517,10 @@ fn drive<R: fdn_netsim::Reactor>(
         stats,
         baseline_messages: baseline.messages,
         baseline_error: baseline.error,
-    }
+        stall_diagnostic: inspection.stall,
+        inflight_curve: None,
+    };
+    (outcome, sim.into_observer())
 }
 
 /// Splits a run's send total into `(online_pulses, construction_skew)`.
@@ -407,12 +583,68 @@ pub fn run_shard(
     scenarios: Vec<Scenario>,
     skipped: Vec<crate::spec::SkippedCell>,
 ) -> CampaignReport {
+    run_shard_instrumented(campaign, scenarios, skipped, None).0
+}
+
+/// Wall-clock cost of one cell, summed over its scenarios. This is the
+/// payload of the `--timings` sidecar and is deliberately kept out of
+/// [`CampaignReport`]: wall time is nondeterministic and must never enter a
+/// byte-compared artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// The cell's compact identifier ([`crate::spec::Cell::id`]).
+    pub cell: String,
+    /// Total wall-clock milliseconds spent running this cell's scenarios
+    /// (work time, not span — parallel scenarios sum their individual
+    /// durations).
+    pub wall_ms: f64,
+    /// Number of scenario runs the total covers.
+    pub runs: usize,
+}
+
+/// Like [`run_shard`], but also measures per-cell wall-clock cost and — when
+/// `sample_every` is set — attaches a [`TimeSeriesSampler`] to every run so
+/// each outcome carries an [`InflightCurve`]. Timings are listed in the
+/// deterministic scenario-expansion order of their cells; only the `wall_ms`
+/// values themselves are nondeterministic.
+pub fn run_shard_instrumented(
+    campaign: &Campaign,
+    scenarios: Vec<Scenario>,
+    skipped: Vec<crate::spec::SkippedCell>,
+    sample_every: Option<u64>,
+) -> (CampaignReport, Vec<CellTiming>) {
     let caches = Caches::new();
-    let outcomes: Vec<ScenarioOutcome> = scenarios
+    let timed: Vec<(ScenarioOutcome, f64)> = scenarios
         .into_par_iter()
-        .map(|s| run_scenario_with(&caches, s))
+        .map(|s| {
+            let start = std::time::Instant::now();
+            let outcome = match sample_every {
+                Some(every) => run_scenario_sampled(&caches, s, every),
+                None => run_scenario_with(&caches, s),
+            };
+            (outcome, start.elapsed().as_secs_f64() * 1e3)
+        })
         .collect();
-    aggregate(campaign, &outcomes, &skipped, &caches.topology)
+    let mut timings: Vec<CellTiming> = Vec::new();
+    for (outcome, ms) in &timed {
+        let id = outcome.scenario.cell.id();
+        match timings.iter_mut().find(|t| t.cell == id) {
+            Some(t) => {
+                t.wall_ms += ms;
+                t.runs += 1;
+            }
+            None => timings.push(CellTiming {
+                cell: id,
+                wall_ms: *ms,
+                runs: 1,
+            }),
+        }
+    }
+    let outcomes: Vec<ScenarioOutcome> = timed.into_iter().map(|(o, _)| o).collect();
+    (
+        aggregate(campaign, &outcomes, &skipped, &caches.topology),
+        timings,
+    )
 }
 
 #[cfg(test)]
@@ -666,6 +898,58 @@ mod tests {
         let out = run_scenario(scenario(cell, 1));
         assert!(out.error.is_some());
         assert!(!out.success);
+    }
+
+    #[test]
+    fn sampled_runs_only_add_the_curve() {
+        let caches = Caches::new();
+        let plain = run_scenario_with(&caches, scenario(base_cell(), 7));
+        let mut sampled = run_scenario_sampled(&caches, scenario(base_cell(), 7), 8);
+        let curve = sampled.inflight_curve.take().expect("curve recorded");
+        // The sampler only listens: strip the curve and the outcomes match
+        // field for field, stats included.
+        assert_eq!(sampled, plain);
+        assert!(curve.samples > 0);
+        assert!(curve.sample_every >= 8 && curve.sample_every.is_multiple_of(8));
+        assert!(curve.peak >= 1);
+        assert!(curve.peak_at <= plain.steps);
+        assert!(curve.mean > 0.0);
+        assert_eq!(plain.inflight_curve, None);
+        assert_eq!(plain.stall_diagnostic, None);
+    }
+
+    #[test]
+    fn step_budget_exhaustion_mid_construction_gets_a_diagnostic() {
+        let mut starved = scenario(base_cell(), 7);
+        starved.max_steps = 4;
+        let out = run_scenario(starved);
+        assert!(out.error.is_some());
+        assert!(!out.quiescent);
+        let diag = out.stall_diagnostic.expect("diagnostic recorded");
+        assert!(diag.contains("stalled mid-construction"), "{diag}");
+        assert!(diag.contains("active link"), "{diag}");
+        assert!(diag.contains("stages ["), "{diag}");
+        assert!(diag.contains("token "), "{diag}");
+    }
+
+    #[test]
+    fn instrumented_shard_times_every_cell_and_samples_every_run() {
+        let mut campaign = Campaign::new("unit");
+        campaign.families = vec![GraphFamily::Figure3, GraphFamily::Cycle { n: 4 }];
+        campaign.seeds = SeedRange { start: 1, count: 2 };
+        let (scenarios, skipped) = campaign.expand_with_skips();
+        let runs = scenarios.len();
+        let (report, timings) =
+            run_shard_instrumented(&campaign, scenarios.clone(), skipped.clone(), Some(16));
+        assert_eq!(report.scenario_count, runs);
+        assert_eq!(timings.len(), report.cells.len());
+        assert_eq!(timings.iter().map(|t| t.runs).sum::<usize>(), runs);
+        assert!(timings.iter().all(|t| t.wall_ms >= 0.0));
+        // The unsampled instrumented run aggregates to the exact same report
+        // as the plain shard runner.
+        let (unsampled, _) =
+            run_shard_instrumented(&campaign, scenarios.clone(), skipped.clone(), None);
+        assert_eq!(unsampled, run_shard(&campaign, scenarios, skipped));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Integration tests of `fdn-lab trace`: byte-determinism of the trace
+//! artifacts across worker-thread counts, and the phase-marker contract
+//! (construction markers are present in full mode and absent in replay
+//! mode, whose simulation warm-starts past the construction).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A scratch directory under the target tree, unique per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs the fdn-lab binary with the given arguments and environment
+/// overrides, returning the full output.
+fn fdn_lab(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdn-lab"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn fdn-lab")
+}
+
+/// A small but multi-cell selector: two families x two schedulers, full
+/// engine, one seed per cell.
+const SELECTOR: &[&str] = &[
+    "--preset",
+    "quick",
+    "--name",
+    "t",
+    "--families",
+    "figure3,cycle(4)",
+    "--modes",
+    "full",
+    "--workloads",
+    "flood(2)",
+    "--noises",
+    "noiseless",
+    "--schedulers",
+    "random,fifo",
+    "--seeds",
+    "1",
+];
+
+fn run_trace(dir: &Path, extra: &[&str], threads: &str) -> (String, String, String) {
+    let mut args = vec!["trace"];
+    args.extend_from_slice(SELECTOR);
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--out", dir.to_str().unwrap()]);
+    let out = fdn_lab(&args, &[("RAYON_NUM_THREADS", threads)]);
+    assert!(
+        out.status.success(),
+        "trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let read = |ext: &str| {
+        std::fs::read_to_string(dir.join(format!("t.trace.{ext}")))
+            .unwrap_or_else(|e| panic!("read t.trace.{ext}: {e}"))
+    };
+    (read("jsonl"), read("json"), read("md"))
+}
+
+#[test]
+fn trace_artifacts_are_byte_identical_across_thread_counts() {
+    let dir1 = scratch("trace-threads-1");
+    let dir4 = scratch("trace-threads-4");
+    let (jsonl1, perfetto1, md1) = run_trace(&dir1, &[], "1");
+    let (jsonl4, perfetto4, md4) = run_trace(&dir4, &[], "4");
+    assert_eq!(jsonl1, jsonl4, "JSONL depends on the thread count");
+    assert_eq!(
+        perfetto1, perfetto4,
+        "Perfetto JSON depends on the thread count"
+    );
+    assert_eq!(md1, md4, "markdown depends on the thread count");
+    // Four cells (2 families x 2 schedulers), each with samples + markers.
+    let cells = jsonl1
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"cell\""))
+        .count();
+    assert_eq!(cells, 4);
+    assert!(jsonl1
+        .lines()
+        .any(|l| l.starts_with("{\"type\":\"sample\"")));
+    assert!(jsonl1
+        .lines()
+        .any(|l| l.starts_with("{\"type\":\"marker\"")));
+}
+
+#[test]
+fn full_mode_traces_carry_construction_markers_and_replay_traces_do_not() {
+    let full_dir = scratch("trace-mode-full");
+    let (full_jsonl, full_perfetto, _) = run_trace(&full_dir, &[], "2");
+    assert!(full_jsonl.contains("\"construction-start\""));
+    assert!(full_jsonl.contains("\"construction-quiescence\""));
+    assert!(full_perfetto.contains("\"construction\""));
+
+    let replay_dir = scratch("trace-mode-replay");
+    let mut args = vec!["trace"];
+    args.extend_from_slice(SELECTOR);
+    // Last flag wins over the selector's `--modes full`.
+    args.extend_from_slice(&["--mode", "replay", "--out", replay_dir.to_str().unwrap()]);
+    let out = fdn_lab(&args, &[("RAYON_NUM_THREADS", "2")]);
+    assert!(
+        out.status.success(),
+        "replay trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let jsonl = std::fs::read_to_string(replay_dir.join("t.trace.jsonl")).unwrap();
+    // A replayed simulation never constructs: it warm-starts from the
+    // checkpoint, so construction markers must be absent while the replay
+    // marker and online windows are present.
+    assert!(!jsonl.contains("\"construction-start\""));
+    assert!(!jsonl.contains("\"construction-quiescence\""));
+    assert!(jsonl.contains("\"replay-warm-start\""));
+    assert!(jsonl.contains("\"online-window\""));
+    // The replay trace still reports the checkpoint's CCinit in its cell
+    // headers (nonzero for every successful cell).
+    for line in jsonl
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"cell\""))
+    {
+        assert!(line.contains("\"success\":true"), "{line}");
+        assert!(!line.contains("\"cc_init\":0,"), "{line}");
+    }
+}
+
+#[test]
+fn sampling_flag_only_adds_fields_to_the_run_report() {
+    // `run` without --sample-every must stay byte-identical to the pre-
+    // observer engine; with the flag, the report gains per-cell curve
+    // summaries but nothing else changes.
+    let plain_dir = scratch("trace-run-plain");
+    let sampled_dir = scratch("trace-run-sampled");
+    let mut plain = vec!["run"];
+    plain.extend_from_slice(SELECTOR);
+    plain.extend_from_slice(&["--out", plain_dir.to_str().unwrap()]);
+    let out = fdn_lab(&plain, &[]);
+    assert!(out.status.success());
+    let mut sampled = vec!["run"];
+    sampled.extend_from_slice(SELECTOR);
+    sampled.extend_from_slice(&[
+        "--sample-every",
+        "32",
+        "--out",
+        sampled_dir.to_str().unwrap(),
+    ]);
+    let out = fdn_lab(&sampled, &[]);
+    assert!(out.status.success());
+
+    let plain_json = std::fs::read_to_string(plain_dir.join("t.json")).unwrap();
+    let sampled_json = std::fs::read_to_string(sampled_dir.join("t.json")).unwrap();
+    assert!(!plain_json.contains("inflight_curve"));
+    assert!(sampled_json.contains("inflight_curve"));
+    // CSV never carries the curve: the two runs' CSVs are byte-identical.
+    assert_eq!(
+        std::fs::read_to_string(plain_dir.join("t.csv")).unwrap(),
+        std::fs::read_to_string(sampled_dir.join("t.csv")).unwrap(),
+    );
+}

@@ -66,6 +66,7 @@ pub mod envelope;
 pub mod error;
 pub mod links;
 pub mod noise;
+pub mod observer;
 pub mod protocol;
 pub mod reactor;
 pub mod scheduler;
@@ -80,6 +81,10 @@ pub use links::{LinkId, LinkTable, LinkView};
 pub use noise::{
     BitFlip, Burst, ConstantOne, CrashLink, FullCorruption, NoiseModel, Noiseless, Omission,
     TargetedEdges, OMISSION_DENOM,
+};
+pub use observer::{
+    NullObserver, Observer, PhaseEvent, PhaseMarker, Sample, SpanProfiler, SpanStats,
+    TimeSeriesSampler, DEFAULT_SAMPLE_CAPACITY,
 };
 pub use protocol::{Dest, DirectRunner, InnerProtocol, ProtocolIo, ProtocolMsg};
 pub use reactor::{Context, Reactor};

@@ -2,13 +2,18 @@
 
 use fdn_graph::NodeId;
 
+use crate::observer::PhaseEvent;
+
 /// The per-event execution context handed to a [`Reactor`]: identifies the
-/// node, exposes its neighbourhood and collects outgoing messages.
+/// node, exposes its neighbourhood, collects outgoing messages and — when an
+/// observer is attached — semantic phase markers.
 #[derive(Debug)]
 pub struct Context<'a> {
     node: NodeId,
     neighbors: &'a [NodeId],
     outbox: Vec<(NodeId, Vec<u8>)>,
+    markers: Vec<(usize, PhaseEvent)>,
+    markers_enabled: bool,
 }
 
 impl<'a> Context<'a> {
@@ -18,6 +23,8 @@ impl<'a> Context<'a> {
             node,
             neighbors,
             outbox: Vec::new(),
+            markers: Vec::new(),
+            markers_enabled: false,
         }
     }
 
@@ -46,6 +53,36 @@ impl<'a> Context<'a> {
     /// Drains the queued messages (used by the engine).
     pub fn take_outbox(&mut self) -> Vec<(NodeId, Vec<u8>)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Switches phase-marker collection on. Called by the engine when the
+    /// attached observer has [`Observer::ENABLED`](crate::Observer::ENABLED)
+    /// set; reactors never call this.
+    pub fn enable_markers(&mut self) {
+        self.markers_enabled = true;
+    }
+
+    /// Whether phase markers are being collected. Reactors may consult this
+    /// to skip work that only feeds markers (e.g. snapshotting state to
+    /// detect a transition).
+    pub fn markers_enabled(&self) -> bool {
+        self.markers_enabled
+    }
+
+    /// Records a semantic phase marker at the current position in the
+    /// outbox: the engine forwards it to the observer *before* any message
+    /// queued after this call, so phase attribution of sends is exact. A
+    /// no-op (no allocation) unless an observer enabled marker collection.
+    pub fn marker(&mut self, event: PhaseEvent) {
+        if self.markers_enabled {
+            self.markers.push((self.outbox.len(), event));
+        }
+    }
+
+    /// Drains the recorded markers as `(outbox position, event)` pairs
+    /// (used by the engine).
+    pub fn take_markers(&mut self) -> Vec<(usize, PhaseEvent)> {
+        std::mem::take(&mut self.markers)
     }
 }
 
@@ -86,6 +123,29 @@ mod tests {
         let out = ctx.take_outbox();
         assert_eq!(out, vec![(NodeId(1), vec![1, 2]), (NodeId(2), vec![3])]);
         assert_eq!(ctx.pending_sends(), 0);
+    }
+
+    #[test]
+    fn markers_are_noops_until_enabled() {
+        let neighbors = [NodeId(1)];
+        let mut ctx = Context::new(NodeId(0), &neighbors);
+        assert!(!ctx.markers_enabled());
+        ctx.marker(PhaseEvent::ConstructionStart);
+        assert!(ctx.take_markers().is_empty());
+
+        ctx.enable_markers();
+        assert!(ctx.markers_enabled());
+        ctx.marker(PhaseEvent::ConstructionStart);
+        ctx.send(NodeId(1), vec![1]);
+        ctx.marker(PhaseEvent::ConstructionQuiescence);
+        ctx.send(NodeId(1), vec![2]);
+        assert_eq!(
+            ctx.take_markers(),
+            vec![
+                (0, PhaseEvent::ConstructionStart),
+                (1, PhaseEvent::ConstructionQuiescence)
+            ]
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::envelope::Envelope;
 use crate::error::SimError;
 use crate::links::{LinkTable, LinkView};
 use crate::noise::{NoiseModel, Noiseless};
+use crate::observer::{NullObserver, Observer, PhaseMarker};
 use crate::reactor::{Context, Reactor};
 use crate::scheduler::{RandomScheduler, Scheduler};
 use crate::stats::Stats;
@@ -28,7 +29,12 @@ pub struct RunReport {
 /// A deterministic asynchronous execution of a set of [`Reactor`]s over a
 /// communication graph, under a chosen [`Scheduler`] (asynchrony) and
 /// [`NoiseModel`] (channel corruption).
-pub struct Simulation<R> {
+///
+/// The engine is generic over an [`Observer`] probing its hot path; the
+/// default [`NullObserver`] is monomorphized away, so an un-observed
+/// simulation is exactly the un-instrumented engine. Attach a probe with
+/// [`with_observer`](Self::with_observer).
+pub struct Simulation<R, O = NullObserver> {
     graph: Graph,
     nodes: Vec<R>,
     links: LinkTable,
@@ -36,6 +42,7 @@ pub struct Simulation<R> {
     scheduler: Box<dyn Scheduler>,
     stats: Stats,
     transcript: Option<Transcript>,
+    observer: O,
     next_seq: u64,
     steps: u64,
     max_steps: u64,
@@ -67,19 +74,12 @@ impl<R: Reactor> Simulation<R> {
             scheduler: Box::new(RandomScheduler::new(0)),
             stats: Stats::new(n),
             transcript: None,
+            observer: NullObserver,
             next_seq: 0,
             steps: 0,
             max_steps: DEFAULT_MAX_STEPS,
             started: false,
         })
-    }
-
-    /// Dismantles the simulation into its reusable topology — the graph and
-    /// the link table (registry intact, queues as left by the run) — plus
-    /// the reactors, which keep whatever state the run drove them into.
-    /// The counterpart of [`Simulation::from_parts`].
-    pub fn into_parts(self) -> (Graph, LinkTable, Vec<R>) {
-        (self.graph, self.links, self.nodes)
     }
 
     /// Warm-starts a simulation from an already-registered link table — the
@@ -132,11 +132,55 @@ impl<R: Reactor> Simulation<R> {
             scheduler: Box::new(RandomScheduler::new(0)),
             stats: Stats::new(n),
             transcript: None,
+            observer: NullObserver,
             next_seq: 0,
             steps: 0,
             max_steps: DEFAULT_MAX_STEPS,
             started: false,
         })
+    }
+}
+
+impl<R: Reactor, O: Observer> Simulation<R, O> {
+    /// Dismantles the simulation into its reusable topology — the graph and
+    /// the link table (registry intact, queues as left by the run) — plus
+    /// the reactors, which keep whatever state the run drove them into.
+    /// The counterpart of [`Simulation::from_parts`]. Any attached observer
+    /// is dropped; retrieve it first with
+    /// [`into_observer`](Self::into_observer) if its data matters.
+    pub fn into_parts(self) -> (Graph, LinkTable, Vec<R>) {
+        (self.graph, self.links, self.nodes)
+    }
+
+    /// Attaches an [`Observer`] (builder style), replacing the current one.
+    /// Must be called before the run starts: the observer's
+    /// [`on_attach`](Observer::on_attach) fires at [`start`](Self::start).
+    pub fn with_observer<O2: Observer>(self, observer: O2) -> Simulation<R, O2> {
+        Simulation {
+            graph: self.graph,
+            nodes: self.nodes,
+            links: self.links,
+            noise: self.noise,
+            scheduler: self.scheduler,
+            stats: self.stats,
+            transcript: self.transcript,
+            observer,
+            next_seq: self.next_seq,
+            steps: self.steps,
+            max_steps: self.max_steps,
+            started: self.started,
+        }
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Consumes the simulation and returns the observer with everything it
+    /// recorded.
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// Replaces the noise model (builder style).
@@ -239,13 +283,17 @@ impl<R: Reactor> Simulation<R> {
             return Ok(());
         }
         self.started = true;
+        self.observer
+            .on_attach(self.nodes.len(), self.links.link_count());
         for id in 0..self.nodes.len() {
             let node = NodeId(id as u32);
             let neighbors = self.graph.neighbors(node).to_vec();
             let mut ctx = Context::new(node, &neighbors);
+            if O::ENABLED {
+                ctx.enable_markers();
+            }
             self.nodes[id].on_start(&mut ctx);
-            let outbox = ctx.take_outbox();
-            self.enqueue_sends(node, outbox)?;
+            self.drain_context(node, &mut ctx)?;
         }
         Ok(())
     }
@@ -283,6 +331,8 @@ impl<R: Reactor> Simulation<R> {
             // that is what lets run_to_quiescence absorb delete-everything
             // adversaries without hanging.
             self.stats.record_drop();
+            self.observer
+                .on_drop(env.from, env.to, self.stats.delivered_total);
             if let Some(t) = &mut self.transcript {
                 t.push(TranscriptEvent::Dropped {
                     from: env.from,
@@ -297,6 +347,13 @@ impl<R: Reactor> Simulation<R> {
             "noise must not deliver empty payloads"
         );
         self.stats.record_delivery();
+        self.observer.on_deliver(
+            env.from,
+            env.to,
+            (delivered_payload.len() * 8) as u64,
+            self.stats.delivered_total,
+            self.links.total(),
+        );
         if let Some(t) = &mut self.transcript {
             t.push(TranscriptEvent::Delivered {
                 from: env.from,
@@ -307,9 +364,11 @@ impl<R: Reactor> Simulation<R> {
         let to = env.to;
         let neighbors = self.graph.neighbors(to).to_vec();
         let mut ctx = Context::new(to, &neighbors);
+        if O::ENABLED {
+            ctx.enable_markers();
+        }
         self.nodes[to.index()].on_message(env.from, &delivered_payload, &mut ctx);
-        let outbox = ctx.take_outbox();
-        self.enqueue_sends(to, outbox)?;
+        self.drain_context(to, &mut ctx)?;
         Ok(true)
     }
 
@@ -372,47 +431,81 @@ impl<R: Reactor> Simulation<R> {
     {
         let neighbors = self.graph.neighbors(node).to_vec();
         let mut ctx = Context::new(node, &neighbors);
+        if O::ENABLED {
+            ctx.enable_markers();
+        }
         f(&mut self.nodes[node.index()], &mut ctx);
-        let outbox = ctx.take_outbox();
-        self.enqueue_sends(node, outbox)
+        self.drain_context(node, &mut ctx)
     }
 
-    fn enqueue_sends(
-        &mut self,
-        from: NodeId,
-        outbox: Vec<(NodeId, Vec<u8>)>,
-    ) -> Result<(), SimError> {
-        for (to, payload) in outbox {
-            if !self.graph.has_edge(from, to) {
-                return Err(SimError::NotNeighbor { from, to });
+    /// Moves a reactor's outbox into the network and forwards its phase
+    /// markers to the observer, interleaved at the outbox positions where
+    /// they were recorded — so every send lands on the correct side of a
+    /// phase boundary. For the null observer both the marker vector and the
+    /// `O::ENABLED` blocks compile away.
+    fn drain_context(&mut self, from: NodeId, ctx: &mut Context) -> Result<(), SimError> {
+        let outbox = ctx.take_outbox();
+        let markers = if O::ENABLED {
+            ctx.take_markers()
+        } else {
+            Vec::new()
+        };
+        let mut markers = markers.into_iter().peekable();
+        for (pos, (to, payload)) in outbox.into_iter().enumerate() {
+            if O::ENABLED {
+                while markers.peek().is_some_and(|&(at, _)| at <= pos) {
+                    let (_, event) = markers.next().expect("peeked marker");
+                    self.observer.on_marker(
+                        PhaseMarker { node: from, event },
+                        self.stats.delivered_total,
+                    );
+                }
             }
-            if payload.is_empty() {
-                return Err(SimError::EmptyPayload { from, to });
-            }
-            let env = Envelope {
-                from,
-                to,
-                payload,
-                seq: self.next_seq,
-            };
-            self.next_seq += 1;
-            self.stats.record_send(&env);
-            if let Some(t) = &mut self.transcript {
-                t.push(TranscriptEvent::Sent {
-                    from: env.from,
-                    to: env.to,
-                    payload: env.payload.clone(),
-                });
-            }
-            let (env_from, env_to) = (env.from, env.to);
-            let (_, depth) = self.links.push(env);
-            self.stats.record_queue_depth(
-                env_from,
-                env_to,
-                depth as u64,
-                self.links.total() as u64,
-            );
+            self.enqueue_send(from, to, payload)?;
         }
+        if O::ENABLED {
+            for (_, event) in markers {
+                self.observer.on_marker(
+                    PhaseMarker { node: from, event },
+                    self.stats.delivered_total,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<(), SimError> {
+        if !self.graph.has_edge(from, to) {
+            return Err(SimError::NotNeighbor { from, to });
+        }
+        if payload.is_empty() {
+            return Err(SimError::EmptyPayload { from, to });
+        }
+        let env = Envelope {
+            from,
+            to,
+            payload,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.stats.record_send(&env);
+        if let Some(t) = &mut self.transcript {
+            t.push(TranscriptEvent::Sent {
+                from: env.from,
+                to: env.to,
+                payload: env.payload.clone(),
+            });
+        }
+        let (env_from, env_to) = (env.from, env.to);
+        let bits = (env.payload.len() * 8) as u64;
+        let (link, depth) = self.links.push(env);
+        self.stats
+            .record_queue_depth(env_from, env_to, depth as u64, self.links.total() as u64);
+        if depth == 1 {
+            self.observer.on_link_activation(link, env_from, env_to);
+        }
+        self.observer
+            .on_send(env_from, env_to, bits, depth, self.links.total());
         Ok(())
     }
 }
@@ -750,6 +843,145 @@ mod tests {
         assert_eq!(sim.inflight_count(), 1);
         let report = sim.run_to_quiescence().unwrap();
         assert!(report.steps >= 1);
+    }
+
+    #[test]
+    fn observer_sees_every_event_with_consistent_counters() {
+        use crate::observer::{Observer, PhaseMarker};
+
+        #[derive(Default)]
+        struct Recorder {
+            attached: Option<(usize, usize)>,
+            sends: u64,
+            delivers: u64,
+            drops: u64,
+            activations: u64,
+            last_inflight: usize,
+        }
+        impl Observer for Recorder {
+            fn on_attach(&mut self, nodes: usize, links: usize) {
+                self.attached = Some((nodes, links));
+            }
+            fn on_send(
+                &mut self,
+                _f: NodeId,
+                _t: NodeId,
+                bits: u64,
+                depth: usize,
+                inflight: usize,
+            ) {
+                assert_eq!(bits, 16);
+                assert!(depth >= 1);
+                self.sends += 1;
+                self.last_inflight = inflight;
+            }
+            fn on_link_activation(&mut self, _l: crate::LinkId, _f: NodeId, _t: NodeId) {
+                self.activations += 1;
+            }
+            fn on_deliver(
+                &mut self,
+                _f: NodeId,
+                _t: NodeId,
+                bits: u64,
+                deliveries: u64,
+                inflight: usize,
+            ) {
+                assert_eq!(bits, 16);
+                self.delivers += 1;
+                assert_eq!(deliveries, self.delivers);
+                self.last_inflight = inflight;
+            }
+            fn on_drop(&mut self, _f: NodeId, _t: NodeId, _deliveries: u64) {
+                self.drops += 1;
+            }
+            fn on_marker(&mut self, _m: PhaseMarker, _deliveries: u64) {}
+        }
+
+        let mut sim = ring_sim(5).with_observer(Recorder::default());
+        sim.run().unwrap();
+        let rec = sim.observer();
+        assert_eq!(rec.attached, Some((5, 10)));
+        assert_eq!(rec.sends, sim.stats().sent_total);
+        assert_eq!(rec.delivers, sim.stats().delivered_total);
+        assert_eq!(rec.drops, 0);
+        // A single token: every send re-activates an empty link.
+        assert_eq!(rec.activations, rec.sends);
+        assert_eq!(rec.last_inflight, 0);
+
+        // Drops are observed too.
+        use crate::noise::Omission;
+        let mut sim = ring_sim(5)
+            .with_noise(Omission::new(1000, 3))
+            .with_observer(Recorder::default());
+        sim.run().unwrap();
+        assert_eq!(sim.observer().drops, 1);
+        let rec = sim.into_observer();
+        assert_eq!(rec.sends, 1);
+    }
+
+    #[test]
+    fn markers_interleave_with_sends_at_recorded_positions() {
+        use crate::observer::{Observer, PhaseEvent, PhaseMarker};
+
+        /// Emits marker / send / marker / send from node 0 at start.
+        struct Marking;
+        impl Reactor for Marking {
+            fn on_start(&mut self, ctx: &mut Context) {
+                assert!(ctx.markers_enabled());
+                if ctx.node() == NodeId(0) {
+                    ctx.marker(PhaseEvent::ConstructionStart);
+                    ctx.send(NodeId(1), vec![1, 1]);
+                    ctx.marker(PhaseEvent::ConstructionQuiescence);
+                    ctx.send(NodeId(1), vec![2, 2]);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _p: &[u8], _c: &mut Context) {}
+        }
+
+        #[derive(Default)]
+        struct Log(Vec<String>);
+        impl Observer for Log {
+            fn on_send(&mut self, _f: NodeId, _t: NodeId, _b: u64, _d: usize, _i: usize) {
+                self.0.push("send".into());
+            }
+            fn on_marker(&mut self, m: PhaseMarker, _deliveries: u64) {
+                assert_eq!(m.node, NodeId(0));
+                self.0.push(m.event.label().into());
+            }
+        }
+
+        let g = generators::two_party();
+        let mut sim = Simulation::new(g, vec![Marking, Marking])
+            .unwrap()
+            .with_observer(Log::default());
+        sim.run().unwrap();
+        assert_eq!(
+            sim.observer().0,
+            vec![
+                "construction-start",
+                "send",
+                "construction-quiescence",
+                "send"
+            ]
+        );
+    }
+
+    #[test]
+    fn null_observer_keeps_marker_collection_off() {
+        /// Asserts the engine did not enable marker collection.
+        struct NoMarkers;
+        impl Reactor for NoMarkers {
+            fn on_start(&mut self, ctx: &mut Context) {
+                assert!(!ctx.markers_enabled());
+                // Harmless even when disabled: recorded nowhere.
+                ctx.marker(crate::observer::PhaseEvent::OnlineWindow);
+            }
+            fn on_message(&mut self, _f: NodeId, _p: &[u8], _c: &mut Context) {}
+        }
+        let g = generators::two_party();
+        let mut sim = Simulation::new(g, vec![NoMarkers, NoMarkers]).unwrap();
+        sim.run().unwrap();
+        assert!(sim.is_quiescent());
     }
 
     #[test]

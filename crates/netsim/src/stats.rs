@@ -362,6 +362,41 @@ mod tests {
     }
 
     #[test]
+    fn per_link_high_water_serializes_order_independently() {
+        // The live per-link map is an unordered HashMap: the same
+        // observations arriving in different orders give maps with
+        // different iteration orders. Every render/serialize path must go
+        // through the sorted snapshot — two snapshots of order-permuted
+        // stats must be equal values AND byte-identical when formatted.
+        let obs = [
+            ((3u32, 2u32), 5u64),
+            ((0, 1), 2),
+            ((2, 3), 4),
+            ((1, 0), 1),
+            ((0, 3), 7),
+        ];
+        let mut a = Stats::new(4);
+        for &((f, t), d) in &obs {
+            a.record_queue_depth(NodeId(f), NodeId(t), d, d);
+        }
+        let mut b = Stats::new(4);
+        for &((f, t), d) in obs.iter().rev() {
+            b.record_queue_depth(NodeId(f), NodeId(t), d, d);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa, sb);
+        assert_eq!(format!("{sa:?}"), format!("{sb:?}"));
+        // Serializing twice is also stable byte for byte.
+        assert_eq!(format!("{sa:?}"), format!("{:?}", a.snapshot()));
+        // And the order is the canonical (from, to).
+        let links: Vec<(NodeId, NodeId)> = sa.per_link_high_water.iter().map(|&(l, _)| l).collect();
+        let mut sorted = links.clone();
+        sorted.sort_unstable();
+        assert_eq!(links, sorted);
+        assert_eq!(sa.max_link_high_water(), 7);
+    }
+
+    #[test]
     fn snapshot_since_diffs_counters() {
         let mut s = Stats::new(3);
         s.record_send(&env(0, 1, 1));
