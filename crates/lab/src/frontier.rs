@@ -487,7 +487,7 @@ pub fn run_frontier_instrumented(
                     );
                     continue;
                 }
-                let started = std::time::Instant::now();
+                let watch = crate::timing::Stopwatch::start();
                 let cell = bisect_cell(
                     &caches,
                     spec,
@@ -499,7 +499,7 @@ pub fn run_frontier_instrumented(
                 );
                 timings.push(CellTiming {
                     cell: id,
-                    wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                    wall_ms: watch.elapsed_ms(),
                     runs: cell.probes.iter().map(|p| p.runs as usize).sum(),
                 });
                 cells.push(cell);

@@ -61,6 +61,7 @@ pub mod presets;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod timing;
 pub mod trace;
 
 pub use cache::{
@@ -85,6 +86,8 @@ pub use runner::{
     run_scenario_with, run_shard, run_shard_instrumented, CellTiming, InflightCurve,
     ScenarioOutcome,
 };
+pub use timing::Stopwatch;
+
 pub use spec::{
     shard_slice, Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, Shard, SkippedCell,
 };

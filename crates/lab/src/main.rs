@@ -33,14 +33,13 @@
 //! ```
 
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 use fdn_graph::GraphFamily;
 use fdn_lab::{
     diff_frontier_reports, diff_reports, merge_reports, run_expanded, run_frontier_instrumented,
     run_shard, run_shard_instrumented, run_trace_instrumented, shard_slice, Campaign,
     CampaignReport, CellTiming, DiffTolerance, FrontierReport, FrontierSpec, FrontierTolerance,
-    Json, LabError, Shard, TraceOptions,
+    Json, LabError, Shard, Stopwatch, TraceOptions,
 };
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
@@ -404,7 +403,7 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
         rayon::current_num_threads().min(scenarios.len().max(1)),
         skipped.len()
     );
-    let started = Instant::now();
+    let started = Stopwatch::start();
     // A shard is allowed to be empty (more shards than cells): it still
     // writes a report so a fleet driver can merge all M shards uniformly.
     // An unsharded empty expansion stays an error.
@@ -581,7 +580,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
         spec.resolution,
         spec.seeds.count,
     );
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let (report, timings) = run_frontier_instrumented(&spec)?;
     let elapsed = started.elapsed();
     eprintln!(
@@ -687,7 +686,7 @@ fn cmd_trace(args: &[String]) -> Result<(), LabError> {
         "trace `{}`: first seed of every cell, sampling every {} deliveries",
         opts.campaign.name, trace_opts.sample_every,
     );
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let (report, timings) = run_trace_instrumented(&opts.campaign, trace_opts)?;
     let elapsed = started.elapsed();
     eprintln!("{} cell(s) traced in {elapsed:.2?}", report.cells.len());

@@ -955,6 +955,7 @@ pub fn merge_reports(reports: &[CampaignReport]) -> Result<CampaignReport, Strin
         cells.extend(r.cells.iter().cloned());
     }
     cells.sort_by_key(|c| c.first_scenario_index);
+    // fdn-lint: allow(D2) -- duplicate-cell membership check only, never iterated
     let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     for c in &cells {
         let id = c.cell_id();

@@ -617,12 +617,12 @@ pub fn run_shard_instrumented(
     let timed: Vec<(ScenarioOutcome, f64)> = scenarios
         .into_par_iter()
         .map(|s| {
-            let start = std::time::Instant::now();
+            let watch = crate::timing::Stopwatch::start();
             let outcome = match sample_every {
                 Some(every) => run_scenario_sampled(&caches, s, every),
                 None => run_scenario_with(&caches, s),
             };
-            (outcome, start.elapsed().as_secs_f64() * 1e3)
+            (outcome, watch.elapsed_ms())
         })
         .collect();
     let mut timings: Vec<CellTiming> = Vec::new();

@@ -176,11 +176,11 @@ pub fn run_trace_instrumented(
     let (cells, timings): (Vec<CellTrace>, Vec<CellTiming>) = firsts
         .into_par_iter()
         .map(|s| {
-            let started = std::time::Instant::now();
+            let watch = crate::timing::Stopwatch::start();
             let trace = trace_scenario(&caches, s, opts);
             let timing = CellTiming {
                 cell: trace.cell_id(),
-                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                wall_ms: watch.elapsed_ms(),
                 runs: 1,
             };
             (trace, timing)

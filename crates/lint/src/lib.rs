@@ -1,0 +1,48 @@
+//! `fdn-lint` — the determinism static-analysis pass.
+//!
+//! This repository's reproduction of *Distributed Computations in
+//! Fully-Defective Networks* rests on a byte-identity contract: campaign,
+//! frontier and trace artifacts must be byte-identical across thread
+//! counts, shard splits and reruns, because content-oblivious runs are only
+//! comparable across schedulers and seeds if nothing nondeterministic leaks
+//! into reports. CI enforces that contract *dynamically* with `cmp` gates;
+//! this crate enforces it *statically*, at the source level, on every file
+//! of every PR.
+//!
+//! The tool is a zero-dependency (workspace-internal only) lexical scanner:
+//! [`scanner`] tokenizes Rust sources with full awareness of comments,
+//! strings, raw strings and char-vs-lifetime ambiguity; [`rules`] matches
+//! the determinism rules D1–D6 over the code tokens under per-rule path
+//! policies; [`pragma`] implements the inline
+//! `// fdn-lint: allow(<rule>) -- <reason>` suppression form (reason
+//! mandatory); [`baseline`] grandfathers findings recorded in the committed
+//! `lint-baseline.json`; [`report`] renders deterministic JSON, markdown
+//! and text. Unbaselined findings exit with code 2 — the same gate contract
+//! as `fdn-lab diff`.
+//!
+//! ```no_run
+//! use fdn_lint::{check_file, Baseline, LintReport, PathPolicy};
+//!
+//! let findings = check_file(
+//!     "crates/core/src/engine.rs",
+//!     "let t = std::time::Instant::now();",
+//!     &PathPolicy::default(),
+//! );
+//! let report = LintReport::new(1, findings, &Baseline::empty());
+//! assert!(!report.is_clean());
+//! println!("{}", report.to_text());
+//! ```
+
+pub mod baseline;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use pragma::{Pragma, Pragmas};
+pub use report::{FindingStatus, LintReport};
+pub use rules::{check_file, Finding, PathPolicy, RuleId, ALL_RULES};
+pub use scanner::{scan, ScannedFile, Token, TokenKind};
+pub use workspace::{discover, relative};

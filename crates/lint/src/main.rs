@@ -1,0 +1,209 @@
+//! The `fdn-lint` command line: scan the workspace (or explicit paths) for
+//! determinism-contract violations.
+//!
+//! ```text
+//! fdn-lint [PATHS...] [--root DIR] [--format text|json|md]
+//!          [--baseline FILE | --no-baseline] [--write-baseline]
+//!          [--apply-all-rules] [--list-rules]
+//! ```
+//!
+//! Exit codes mirror `fdn-lab diff`: 0 when every finding is baselined (or
+//! none exist), 2 when unbaselined findings are present, 1 on usage or I/O
+//! errors.
+
+use std::path::{Path, PathBuf};
+
+use fdn_lint::{
+    check_file, discover, relative, Baseline, Finding, LintReport, PathPolicy, ALL_RULES,
+};
+
+/// Exit code when unbaselined findings are present.
+const EXIT_FINDINGS: i32 = 2;
+
+fn main() {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(clean) => {
+            if !clean {
+                std::process::exit(EXIT_FINDINGS);
+            }
+        }
+        Err(e) => {
+            eprintln!("fdn-lint: {e}");
+            eprintln!("run `fdn-lint --help` for usage");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parsed command line.
+struct Options {
+    /// Explicit files/directories to scan (workspace walk when empty).
+    paths: Vec<PathBuf>,
+    /// Workspace root: paths are reported relative to it.
+    root: PathBuf,
+    /// `text`, `json` or `md`.
+    format: String,
+    /// Baseline file (`None` = `<root>/lint-baseline.json` when present).
+    baseline: Option<PathBuf>,
+    /// Ignore any baseline.
+    no_baseline: bool,
+    /// Write the scan's findings as the new baseline and exit.
+    write_baseline: bool,
+    /// Ignore all path carve-outs (fixture/CI use).
+    apply_all_rules: bool,
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "fdn-lint — determinism static analysis for the fully-defective workspace\n\
+         \n\
+         Usage: fdn-lint [PATHS...] [flags]\n\
+         \n\
+         With no PATHS, scans every .rs file under --root (default: the\n\
+         current directory), excluding target/, dot-directories and\n\
+         tests/fixtures corpora.\n\
+         \n\
+         Flags:\n\
+        \x20 --root DIR          workspace root for path policies and the\n\
+        \x20                     default baseline [default: .]\n\
+        \x20 --format FMT        text | json | md [default: text]\n\
+        \x20 --baseline FILE     baseline file [default: ROOT/lint-baseline.json]\n\
+        \x20 --no-baseline       ignore any baseline file\n\
+        \x20 --write-baseline    record current findings as the baseline\n\
+        \x20 --apply-all-rules   ignore path allowlists/scopes (fixture gate)\n\
+        \x20 --list-rules        print the rule table and exit\n\
+         \n\
+         Suppression: `// fdn-lint: allow(D1, D2) -- <reason>` on (or above)\n\
+         the offending line; the reason is mandatory.\n\
+         Exit codes: 0 clean, 2 unbaselined findings, 1 error.\n\
+         \n\
+         Rules:\n",
+    );
+    for rule in ALL_RULES {
+        out.push_str(&format!("\x20 {}  {}\n", rule.name(), rule.title()));
+    }
+    out
+}
+
+fn parse(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        paths: Vec::new(),
+        root: PathBuf::from("."),
+        format: "text".to_string(),
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        apply_all_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(None);
+            }
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{}  {} — {}", rule.name(), rule.title(), rule.rationale());
+                }
+                return Ok(None);
+            }
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--format" => {
+                let f = value("--format")?;
+                if !["text", "json", "md"].contains(&f.as_str()) {
+                    return Err(format!("unknown format `{f}` (text|json|md)"));
+                }
+                opts.format = f;
+            }
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--apply-all-rules" => opts.apply_all_rules = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Runs the scan; `Ok(true)` means the gate passed.
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(opts) = parse(args)? else {
+        return Ok(true);
+    };
+
+    // Resolve the file set: explicit paths (files or directories) or the
+    // default workspace walk. Sorted either way — report bytes must not
+    // depend on argument or directory-entry order.
+    let mut files: Vec<PathBuf> = Vec::new();
+    if opts.paths.is_empty() {
+        files = discover(&opts.root).map_err(|e| format!("walking {:?}: {e}", opts.root))?;
+    } else {
+        for p in &opts.paths {
+            if p.is_dir() {
+                files.extend(discover(p).map_err(|e| format!("walking {p:?}: {e}"))?);
+            } else {
+                files.push(p.clone());
+            }
+        }
+        files.sort();
+        files.dedup();
+    }
+
+    let policy = PathPolicy {
+        apply_all_rules: opts.apply_all_rules,
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+        let rel = relative(&opts.root, path);
+        findings.extend(check_file(&rel, &source, &policy));
+    }
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.json"));
+
+    if opts.write_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        std::fs::write(&baseline_path, baseline.to_json_string())
+            .map_err(|e| format!("writing {baseline_path:?}: {e}"))?;
+        eprintln!(
+            "fdn-lint: wrote {} entr(y/ies) to {}",
+            baseline.entries.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = if opts.no_baseline {
+        Baseline::empty()
+    } else {
+        load_baseline(&baseline_path)?
+    };
+
+    let report = LintReport::new(files.len(), findings, &baseline);
+    match opts.format.as_str() {
+        "json" => print!("{}", report.to_json_string()),
+        "md" => print!("{}", report.to_markdown()),
+        _ => print!("{}", report.to_text()),
+    }
+    Ok(report.is_clean())
+}
+
+/// Loads the baseline, treating a missing file as empty (a fresh checkout
+/// with no grandfathered findings needs no baseline file at all).
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::empty()),
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic renderers for a lint run.
+//!
+//! Like every artifact in this repository, lint output is a pure function
+//! of the scanned sources: findings are sorted by `(file, line, rule)`,
+//! paths are workspace-relative, and no clock, hostname or absolute path
+//! ever enters the bytes. CI runs the scan twice and `cmp`s the JSON.
+
+use crate::baseline::{Baseline, BaselineEntry};
+use crate::rules::{Finding, ALL_RULES};
+use fdn_lab::Json;
+
+/// The outcome of linting a file set against a baseline.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Every finding, sorted, with its baseline status.
+    pub findings: Vec<(Finding, FindingStatus)>,
+    /// Baseline entries that matched nothing.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Whether a finding is gated or grandfathered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingStatus {
+    /// Not in the baseline: fails the gate (exit 2).
+    New,
+    /// Recorded in the baseline: reported, tolerated.
+    Baselined,
+}
+
+impl FindingStatus {
+    fn name(self) -> &'static str {
+        match self {
+            FindingStatus::New => "new",
+            FindingStatus::Baselined => "baselined",
+        }
+    }
+}
+
+impl LintReport {
+    /// Classifies `findings` against `baseline`.
+    pub fn new(files_scanned: usize, mut findings: Vec<Finding>, baseline: &Baseline) -> Self {
+        findings.sort();
+        let stale = baseline.stale(&findings);
+        let findings = findings
+            .into_iter()
+            .map(|f| {
+                let status = if baseline.contains(&f) {
+                    FindingStatus::Baselined
+                } else {
+                    FindingStatus::New
+                };
+                (f, status)
+            })
+            .collect();
+        LintReport {
+            files_scanned,
+            findings,
+            stale,
+        }
+    }
+
+    /// Number of gate-failing findings.
+    pub fn new_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|(_, s)| *s == FindingStatus::New)
+            .count()
+    }
+
+    /// Number of grandfathered findings.
+    pub fn baselined_count(&self) -> usize {
+        self.findings.len() - self.new_count()
+    }
+
+    /// True when the gate passes (no unbaselined findings).
+    pub fn is_clean(&self) -> bool {
+        self.new_count() == 0
+    }
+
+    /// Renders the report as deterministic JSON.
+    pub fn to_json_string(&self) -> String {
+        Json::obj(vec![
+            ("tool", Json::Str("fdn-lint".to_string())),
+            ("version", Json::Num(1.0)),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            ("new", Json::Num(self.new_count() as f64)),
+            ("baselined", Json::Num(self.baselined_count() as f64)),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|(f, status)| {
+                            Json::obj(vec![
+                                ("file", Json::Str(f.file.clone())),
+                                ("line", Json::Num(f.line as f64)),
+                                ("rule", Json::Str(f.rule.name().to_string())),
+                                ("message", Json::Str(f.message.clone())),
+                                ("status", Json::Str(status.name().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stale_baseline_entries",
+                Json::Arr(
+                    self.stale
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("file", Json::Str(e.file.clone())),
+                                ("line", Json::Num(e.line as f64)),
+                                ("rule", Json::Str(e.rule.name().to_string())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Renders the report as markdown: the rule table (with rationale) plus
+    /// a findings table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# fdn-lint report\n\n");
+        out.push_str(&format!(
+            "{} file(s) scanned — {} new finding(s), {} baselined, {} stale baseline entr(y/ies)\n\n",
+            self.files_scanned,
+            self.new_count(),
+            self.baselined_count(),
+            self.stale.len()
+        ));
+        out.push_str("## Rules\n\n| rule | title | rationale |\n|------|-------|----------|\n");
+        for rule in ALL_RULES {
+            out.push_str(&format!(
+                "| {} | {} | {} |\n",
+                rule.name(),
+                rule.title(),
+                rule.rationale()
+            ));
+        }
+        out.push_str("\n## Findings\n\n");
+        if self.findings.is_empty() {
+            out.push_str("No findings.\n");
+        } else {
+            out.push_str(
+                "| location | rule | status | message |\n|----------|------|--------|--------|\n",
+            );
+            for (f, status) in &self.findings {
+                out.push_str(&format!(
+                    "| {}:{} | {} | {} | {} |\n",
+                    f.file,
+                    f.line,
+                    f.rule.name(),
+                    status.name(),
+                    f.message.replace('|', "\\|")
+                ));
+            }
+        }
+        if !self.stale.is_empty() {
+            out.push_str("\n## Stale baseline entries\n\n");
+            for e in &self.stale {
+                out.push_str(&format!("- {}:{} {}\n", e.file, e.line, e.rule.name()));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as compact human-readable text (the default CLI
+    /// format): one `file:line rule message` per finding.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (f, status) in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} [{}{}] {}\n",
+                f.file,
+                f.line,
+                f.rule.title(),
+                f.rule.name(),
+                match status {
+                    FindingStatus::New => "",
+                    FindingStatus::Baselined => ", baselined",
+                },
+                f.message
+            ));
+        }
+        for e in &self.stale {
+            out.push_str(&format!(
+                "{}:{}: stale baseline entry for {} (violation no longer present)\n",
+                e.file,
+                e.line,
+                e.rule.name()
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} new finding(s), {} baselined, {} stale\n",
+            self.files_scanned,
+            self.new_count(),
+            self.baselined_count(),
+            self.stale.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn finding(file: &str, line: u32, rule: RuleId) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: format!("violation in {file}"),
+        }
+    }
+
+    #[test]
+    fn classification_against_baseline() {
+        let old = finding("a.rs", 1, RuleId::D1);
+        let new = finding("b.rs", 2, RuleId::D6);
+        let baseline = Baseline::from_findings(&[old.clone(), finding("gone.rs", 3, RuleId::D5)]);
+        let report = LintReport::new(2, vec![new, old], &baseline);
+        assert_eq!(report.new_count(), 1);
+        assert_eq!(report.baselined_count(), 1);
+        assert_eq!(report.stale.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let baseline = Baseline::empty();
+        let a = LintReport::new(
+            2,
+            vec![
+                finding("b.rs", 2, RuleId::D6),
+                finding("a.rs", 9, RuleId::D1),
+            ],
+            &baseline,
+        );
+        let b = LintReport::new(
+            2,
+            vec![
+                finding("a.rs", 9, RuleId::D1),
+                finding("b.rs", 2, RuleId::D6),
+            ],
+            &baseline,
+        );
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        let json = a.to_json_string();
+        assert!(json.find("a.rs").unwrap() < json.find("b.rs").unwrap());
+    }
+
+    #[test]
+    fn markdown_contains_rule_table_and_findings() {
+        let report = LintReport::new(1, vec![finding("a.rs", 1, RuleId::D2)], &Baseline::empty());
+        let md = report.to_markdown();
+        assert!(md.contains("| D2 |"));
+        assert!(md.contains("a.rs:1"));
+        assert!(md.contains("iteration order"));
+    }
+}

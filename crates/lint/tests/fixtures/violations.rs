@@ -1,0 +1,67 @@
+//! Seeded-violation corpus for the CI lint gate.
+//!
+//! This file is NOT compiled (it sits below `tests/fixtures/`, which cargo
+//! ignores and the default `fdn-lint` walk excludes). It exists to prove,
+//! on every CI run, that the gate still *fails* when it should: linted
+//! explicitly with `--apply-all-rules`, it must produce at least one
+//! finding for every rule D1–D6 plus a P1, and exit 2.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+/// D1 — wall clock reads.
+fn wall_clock() -> u128 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    started.elapsed().as_millis()
+}
+
+/// D2 — unordered containers (either identifier fires).
+fn unordered_report() -> (HashMap<String, u64>, HashSet<String>) {
+    (HashMap::new(), HashSet::new())
+}
+
+/// D3 — RNG construction outside the factories, plus an entropy seed.
+fn rogue_rng() {
+    let _seeded = StdRng::seed_from_u64(42);
+    let _entropy = thread_rng();
+}
+
+/// D4 — float arithmetic in an accounting path.
+fn float_accounting(delivered: u64) -> f64 {
+    delivered as f64 * 0.5
+}
+
+/// D5 — print outside a CLI main.
+fn noisy() {
+    println!("stray stdout write");
+    eprintln!("stray stderr write");
+}
+
+/// D6 — unsafe code.
+fn unchecked(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// P1 — a malformed pragma: reason missing, so it is reported, not honoured.
+// fdn-lint: allow(D1)
+fn still_flagged() -> Instant {
+    Instant::now()
+}
+
+/// Suppression control: a *valid* pragma keeps this finding out of the
+/// report, proving suppression works inside the same fixture.
+fn sanctioned() {
+    // fdn-lint: allow(D6) -- fixture: demonstrates a justified suppression
+    unsafe { std::hint::unreachable_unchecked() }
+}
+
+/// Non-findings: the scanner must NOT flag any of these.
+fn decoys() {
+    // Instant::now() in a line comment is invisible.
+    /* HashMap in /* a nested */ block comment is invisible. */
+    let _s = "unsafe { } in a string is invisible";
+    let _r = r#"SystemTime inside a raw string is invisible"#;
+    let _smuggled = "fdn-lint: allow(D5) -- a pragma in a string suppresses nothing";
+    println!("flagged: the string pragma above must not cover this line");
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests of the `fdn-lint` binary: the exit-code gate contract,
+//! byte-determinism of the JSON report, the seeded-violation fixture, and
+//! the baseline add/remove round-trip.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Runs the `fdn-lint` binary (cargo builds it for integration tests and
+/// exposes its path via `CARGO_BIN_EXE_fdn-lint`).
+fn fdn_lint(args: &[&str], cwd: Option<&Path>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdn-lint"));
+    cmd.args(args);
+    if let Some(dir) = cwd {
+        cmd.current_dir(dir);
+    }
+    cmd.output().expect("fdn-lint binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+/// The crate directory (where `tests/fixtures/` lives).
+fn crate_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The workspace root, two levels up from `crates/lint`.
+fn workspace_root() -> PathBuf {
+    crate_dir()
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn fixture_path() -> String {
+    crate_dir()
+        .join("tests/fixtures/violations.rs")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// A scratch directory unique to one test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdn-lint-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn violation_fixture_trips_every_rule_and_exits_2() {
+    let out = fdn_lint(
+        &[
+            "--apply-all-rules",
+            "--no-baseline",
+            "--format",
+            "json",
+            &fixture_path(),
+        ],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(2), "seeded violations must gate");
+    let json = stdout(&out);
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "P1"] {
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "fixture must trip {rule}; report was:\n{json}"
+        );
+    }
+    // The justified suppression is honoured: exactly one D6 finding (the
+    // bare `unsafe`), not two.
+    assert_eq!(json.matches("\"rule\": \"D6\"").count(), 1);
+    // Decoys stay invisible: nothing is reported from the comment/string
+    // section of the fixture except the deliberately-unsuppressed println.
+    assert!(!json.contains("is invisible"));
+}
+
+#[test]
+fn json_report_is_byte_deterministic() {
+    let args = [
+        "--apply-all-rules",
+        "--no-baseline",
+        "--format",
+        "json",
+        &fixture_path(),
+    ];
+    let a = fdn_lint(&args, None);
+    let b = fdn_lint(&args, None);
+    assert_eq!(a.stdout, b.stdout, "same scan, different bytes");
+    assert_eq!(a.status.code(), b.status.code());
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let root = workspace_root();
+    let out = fdn_lint(&["--format", "json"], Some(&root));
+    let json = stdout(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the workspace must lint clean against its committed baseline:\n{json}"
+    );
+    assert!(
+        json.contains("\"new\": 0"),
+        "no unbaselined findings:\n{json}"
+    );
+    // The committed baseline is meant to stay (near-)empty and fresh.
+    assert!(
+        json.contains("\"stale_baseline_entries\": []"),
+        "stale baseline entries should be removed:\n{json}"
+    );
+}
+
+#[test]
+fn baseline_round_trip_add_and_remove() {
+    let dir = scratch("baseline");
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    let file = src.join("engine.rs");
+    std::fs::write(&file, "fn f() { let t = std::time::Instant::now(); }\n").unwrap();
+
+    let root = dir.to_string_lossy().into_owned();
+    // Fresh violation, no baseline: exit 2.
+    let out = fdn_lint(&["--root", &root, "--format", "json"], Some(&dir));
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stdout(&out).contains("\"rule\": \"D1\""));
+
+    // Grandfather it.
+    let out = fdn_lint(&["--root", &root, "--write-baseline"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    let baseline_text = std::fs::read_to_string(dir.join("lint-baseline.json")).unwrap();
+    assert!(baseline_text.contains("\"rule\": \"D1\""));
+
+    // Same scan now passes, finding reported as baselined.
+    let out = fdn_lint(&["--root", &root, "--format", "json"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("\"status\": \"baselined\""));
+
+    // A *new* violation on another line still gates.
+    std::fs::write(
+        &file,
+        "fn f() { let t = std::time::Instant::now(); }\nfn g() { println!(\"hi\"); }\n",
+    )
+    .unwrap();
+    let out = fdn_lint(&["--root", &root, "--format", "json"], Some(&dir));
+    assert_eq!(out.status.code(), Some(2));
+    let json = stdout(&out);
+    assert!(json.contains("\"new\": 1"), "{json}");
+    assert!(json.contains("\"baselined\": 1"), "{json}");
+
+    // Fixing the grandfathered violation leaves its entry stale (reported,
+    // not fatal).
+    std::fs::write(&file, "fn f() {}\n").unwrap();
+    let out = fdn_lint(&["--root", &root, "--format", "json"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    let json = stdout(&out);
+    assert!(json.contains("\"stale_baseline_entries\": [\n"), "{json}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn markdown_report_carries_the_rule_table() {
+    let out = fdn_lint(
+        &[
+            "--apply-all-rules",
+            "--no-baseline",
+            "--format",
+            "md",
+            &fixture_path(),
+        ],
+        None,
+    );
+    let md = stdout(&out);
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "P1"] {
+        assert!(md.contains(&format!("| {rule} |")), "rule table row {rule}");
+    }
+    assert!(md.contains("## Findings"));
+    assert!(md.contains("violations.rs"));
+}
+
+#[test]
+fn malformed_baseline_is_a_usage_error_not_a_gate_result() {
+    let dir = scratch("badbase");
+    std::fs::write(dir.join("lib.rs"), "fn ok() {}\n").unwrap();
+    std::fs::write(dir.join("lint-baseline.json"), "{ not json").unwrap();
+    let root = dir.to_string_lossy().into_owned();
+    let out = fdn_lint(&["--root", &root], Some(&dir));
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_and_list_rules_succeed() {
+    for flag in ["--help", "--list-rules"] {
+        let out = fdn_lint(&[flag], None);
+        assert_eq!(out.status.code(), Some(0), "{flag}");
+        assert!(stdout(&out).contains("D1"));
+    }
+}

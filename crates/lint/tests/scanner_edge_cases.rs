@@ -1,0 +1,105 @@
+//! Scanner and pragma edge cases, exercised through the public library API
+//! exactly as the CLI uses it: `check_file` with the permissive
+//! `apply_all_rules` policy, so any token leak becomes a visible finding.
+
+use fdn_lint::{check_file, Baseline, Finding, LintReport, PathPolicy, RuleId};
+
+fn lint(source: &str) -> Vec<Finding> {
+    check_file(
+        "crates/x/src/lib.rs",
+        source,
+        &PathPolicy {
+            apply_all_rules: true,
+        },
+    )
+}
+
+fn rules(findings: &[Finding]) -> Vec<RuleId> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn raw_strings_hide_violations_at_every_hash_depth() {
+    for src in [
+        r###"let s = r"Instant::now() unsafe";"###,
+        r###"let s = r#"Instant::now() "quoted" unsafe"#;"###,
+        r###"let s = r##"Instant::now() "# unsafe"##;"###,
+        r###"let s = br#"unsafe bytes"#;"###,
+    ] {
+        assert!(lint(src).is_empty(), "leak in {src}");
+    }
+    // The raw string terminates where its guard count says: code after the
+    // close is live again.
+    let src = r###"let s = r#"quiet"#; unsafe { }"###;
+    assert_eq!(rules(&lint(src)), vec![RuleId::D6]);
+}
+
+#[test]
+fn nested_block_comments_track_depth() {
+    let src = "/* outer /* inner unsafe */ still comment Instant */ let x = 1;";
+    assert!(lint(src).is_empty());
+    // An unbalanced opener swallows the rest of the file (forgiving EOF).
+    assert!(lint("/* /* unsafe */ Instant::now()").is_empty());
+    // …but a balanced pair does not swallow trailing code.
+    let src = "/* /* a */ b */ unsafe { }";
+    assert_eq!(rules(&lint(src)), vec![RuleId::D6]);
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_desync_the_scanner() {
+    // A quote-heavy gauntlet: if any of these desynchronized the scanner,
+    // the trailing `unsafe` would vanish or a string's content would leak.
+    let src = "let a = '\"'; let b = '\\''; let c: &'static str = \"Instant\"; unsafe { }";
+    assert_eq!(rules(&lint(src)), vec![RuleId::D6]);
+}
+
+#[test]
+fn pragma_inside_string_must_not_suppress() {
+    let src = "let s = \"fdn-lint: allow(D6) -- smuggled\";\nunsafe { }";
+    assert_eq!(rules(&lint(src)), vec![RuleId::D6]);
+    // Same text as a *comment* does suppress.
+    let src = "// fdn-lint: allow(D6) -- genuine\nunsafe { }";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn multi_rule_pragmas_cover_exactly_their_rules() {
+    let src =
+        "// fdn-lint: allow(D1, D5) -- both on one line\nlet t = Instant::now(); println!(\"x\");";
+    assert!(lint(src).is_empty());
+    // The pragma names D1 only: D5 still fires.
+    let src = "// fdn-lint: allow(D1) -- timing only\nlet t = Instant::now(); println!(\"x\");";
+    assert_eq!(rules(&lint(src)), vec![RuleId::D5]);
+    // Duplicate rule ids in one pragma are tolerated.
+    let src = "unsafe { } // fdn-lint: allow(D6, D6) -- dup";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn doc_comments_mentioning_the_marker_are_not_directives() {
+    // Prose *about* pragmas (like this crate's own docs) must neither
+    // suppress nor be reported as malformed.
+    let src = "//! The `// fdn-lint: allow(<rule>) -- <reason>` form.\nfn ok() {}";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn findings_order_is_stable_for_identical_content() {
+    let src = "unsafe { }\nlet t = Instant::now();\nunsafe { }";
+    let a = LintReport::new(1, lint(src), &Baseline::empty()).to_json_string();
+    let b = LintReport::new(1, lint(src), &Baseline::empty()).to_json_string();
+    assert_eq!(a, b);
+    // Sorted by line within the file.
+    assert!(a.find("\"line\": 1").unwrap() < a.find("\"line\": 2").unwrap());
+}
+
+#[test]
+fn baseline_survives_json_round_trip_with_findings() {
+    let findings = lint("unsafe { }\nlet t = Instant::now();");
+    let baseline = Baseline::from_findings(&findings);
+    let reparsed = Baseline::parse(&baseline.to_json_string()).unwrap();
+    assert_eq!(baseline, reparsed);
+    let report = LintReport::new(1, findings, &reparsed);
+    assert!(report.is_clean());
+    assert_eq!(report.baselined_count(), 2);
+}

@@ -111,6 +111,7 @@ impl NoiseModel for ConstantOne {
 /// break down long before total corruption.
 #[derive(Debug, Clone)]
 pub struct BitFlip {
+    // fdn-lint: allow(D4) -- Bernoulli parameter for seeded per-bit draws, never accumulated
     p: f64,
     rng: StdRng,
 }
@@ -121,8 +122,10 @@ impl BitFlip {
     /// # Panics
     ///
     /// Panics if `p` is not within `[0, 1]`.
+    // fdn-lint: allow(D4) -- probability parameter feeding seeded draws only
     pub fn new(p: f64, seed: u64) -> Self {
         assert!(
+            // fdn-lint: allow(D4) -- range check on the probability parameter
             (0.0..=1.0).contains(&p),
             "flip probability must be in [0, 1]"
         );
