@@ -1,12 +1,13 @@
 //! E6 — Theorem 2: end-to-end cost (construction + online simulation) of a
 //! broadcast workload over fully-defective networks, plus the campaign
-//! runner's baseline-memoization win.
+//! runner's baseline-memoization win and the shared-payload broadcast
+//! fan-out win.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdn_bench::end_to_end_cost;
-use fdn_graph::{generators, Graph, GraphFamily};
+use fdn_graph::{generators, Graph, GraphFamily, NodeId};
 use fdn_lab::{run_scenario_with, Caches, Cell, EncodingSpec, EngineMode, Scenario};
-use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_netsim::{Context, LinkStore, NoiseSpec, Payload, Reactor, SchedulerSpec, Simulation};
 use fdn_protocols::WorkloadSpec;
 
 fn cases() -> Vec<(String, Graph)> {
@@ -50,6 +51,7 @@ fn noise_axis_sweep(caches: &Caches) -> u64 {
             workload: WorkloadSpec::Flood { payload_bytes: 2 },
             noise,
             scheduler: SchedulerSpec::Random,
+            link_store: LinkStore::Exact,
         };
         for seed in 1..=2u64 {
             let out = run_scenario_with(
@@ -60,6 +62,7 @@ fn noise_axis_sweep(caches: &Caches) -> u64 {
                     seed,
                     construction_seed: 1,
                     max_steps: 2_000_000,
+                    link_store: cell.link_store,
                 },
             );
             assert!(out.success);
@@ -87,5 +90,74 @@ fn bench_baseline_memo(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_baseline_memo);
+/// A one-shot fan-out: node 0 sends one `size`-byte message to every
+/// neighbour of a complete graph, either sharing a single serialized
+/// [`Payload`] across the enqueues (one allocation, per-neighbour `Arc`
+/// clones) or handing each enqueue its own `Vec` copy; every other node is
+/// a sink. The round-trip through the engine is identical, so the gap
+/// between the two series is exactly the serialize-once win a pulse
+/// broadcast gets for free.
+struct Fanout {
+    size: usize,
+    shared: bool,
+}
+
+impl Reactor for Fanout {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if ctx.node() != NodeId(0) {
+            return;
+        }
+        let neighbors = ctx.neighbors().to_vec();
+        let bytes = vec![0xAB; self.size];
+        if self.shared {
+            let payload = Payload::from(bytes);
+            for &v in &neighbors {
+                ctx.send(v, payload.clone());
+            }
+        } else {
+            for &v in &neighbors {
+                ctx.send(v, bytes.clone());
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _payload: &[u8], _ctx: &mut Context) {}
+
+    fn output(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+fn fanout_drain(n: usize, size: usize, shared: bool) -> u64 {
+    let g = generators::complete(n).unwrap();
+    let nodes = (0..n).map(|_| Fanout { size, shared }).collect();
+    let mut sim = Simulation::new(g, nodes).unwrap();
+    sim.start().unwrap();
+    let report = sim.run_to_quiescence().unwrap();
+    assert_eq!(report.steps, (n - 1) as u64);
+    report.steps
+}
+
+fn bench_broadcast_payload_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_payload_sharing");
+    group.sample_size(10);
+    let n = 64;
+    for size in [1usize, 256, 4096] {
+        for (label, shared) in [("shared", true), ("per-copy", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{size}B")),
+                &size,
+                |b, &size| b.iter(|| fanout_drain(n, size, shared)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_baseline_memo,
+    bench_broadcast_payload_sharing
+);
 criterion_main!(benches);

@@ -32,7 +32,7 @@ use crate::control::ControlMsg;
 use crate::encoding::Encoding;
 use crate::engine::RobbinsEngine;
 use crate::error::CoreError;
-use crate::reactors::PULSE;
+use crate::reactors::pulse_payload;
 use crate::wire::{WireDest, WireMessage};
 
 /// The role of this node in the paper's Algorithm 4(a) DFS.
@@ -952,14 +952,14 @@ impl Reactor for ConstructionSimulator {
     fn on_start(&mut self, ctx: &mut Context) {
         self.inner.on_start();
         for to in self.inner.take_outgoing() {
-            ctx.send(to, PULSE.to_vec());
+            ctx.send(to, pulse_payload());
         }
     }
 
     fn on_message(&mut self, from: NodeId, _payload: &[u8], ctx: &mut Context) {
         self.inner.on_pulse(from);
         for to in self.inner.take_outgoing() {
-            ctx.send(to, PULSE.to_vec());
+            ctx.send(to, pulse_payload());
         }
     }
 
@@ -984,10 +984,10 @@ pub fn construction_simulators(
     encoding: Encoding,
 ) -> Result<Vec<ConstructionSimulator>, CoreError> {
     graph.check_node(designated_root)?;
-    if graph.node_count() > crate::wire::MAX_NODE_ID as usize + 1 {
+    if graph.node_count() > crate::wire::MAX_WIDE_NODE_ID as usize + 1 {
         return Err(CoreError::TooManyNodes {
             nodes: graph.node_count(),
-            max: crate::wire::MAX_NODE_ID as usize + 1,
+            max: crate::wire::MAX_WIDE_NODE_ID as usize + 1,
         });
     }
     if !connectivity::is_two_edge_connected(graph) {

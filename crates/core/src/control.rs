@@ -44,48 +44,85 @@ const TAG_EDGE_REPORT: u8 = 7;
 const TAG_NEW_ROOT: u8 = 8;
 const TAG_COMPLETED: u8 = 9;
 
-fn push_ids(out: &mut Vec<u8>, ids: &[NodeId]) {
+/// Tag bit marking the wide id encoding (u16 little-endian per id). A
+/// message carrying only byte-sized ids keeps the historical one-byte-per-id
+/// body, so small-graph payloads — and the pulse costs derived from their
+/// lengths — are byte-identical to what they were before large-n support.
+const WIDE: u8 = 0x80;
+
+fn ids_fit_bytes(ids: &[NodeId]) -> bool {
+    ids.iter().all(|id| id.0 <= u8::MAX as u32)
+}
+
+fn push_ids(out: &mut Vec<u8>, ids: &[NodeId], wide: bool) {
     for id in ids {
-        debug_assert!(id.0 <= u8::MAX as u32);
-        out.push(id.0 as u8);
+        if wide {
+            debug_assert!(id.0 <= u16::MAX as u32);
+            out.extend_from_slice(&(id.0 as u16).to_le_bytes());
+        } else {
+            debug_assert!(id.0 <= u8::MAX as u32);
+            out.push(id.0 as u8);
+        }
     }
 }
 
-fn parse_ids(bytes: &[u8]) -> Vec<NodeId> {
-    bytes.iter().map(|&b| NodeId(u32::from(b))).collect()
+fn parse_ids(bytes: &[u8], wide: bool) -> Result<Vec<NodeId>, CoreError> {
+    if !wide {
+        return Ok(bytes.iter().map(|&b| NodeId(u32::from(b))).collect());
+    }
+    if !bytes.len().is_multiple_of(2) {
+        return Err(CoreError::MalformedWireMessage(format!(
+            "wide id list has odd byte length {}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(2)
+        .map(|c| NodeId(u32::from(u16::from_le_bytes([c[0], c[1]]))))
+        .collect())
 }
 
 impl ControlMsg {
-    /// Serializes the control message into a wire payload.
+    /// Serializes the control message into a wire payload. Messages whose
+    /// ids all fit a byte use the historical narrow body; any larger id
+    /// switches the message to the self-describing wide-tag form (the
+    /// high bit of the tag byte marks two-byte little-endian ids).
     pub fn to_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        let tag = |t: u8, wide: bool| if wide { t | WIDE } else { t };
         match self {
             ControlMsg::LearnIdCollect { ids } => {
-                out.push(TAG_COLLECT);
-                push_ids(&mut out, ids);
+                let wide = !ids_fit_bytes(ids);
+                out.push(tag(TAG_COLLECT, wide));
+                push_ids(&mut out, ids, wide);
             }
             ControlMsg::LearnIdDone { cycle } => {
-                out.push(TAG_DONE);
-                push_ids(&mut out, cycle);
+                let wide = !ids_fit_bytes(cycle);
+                out.push(tag(TAG_DONE, wide));
+                push_ids(&mut out, cycle, wide);
             }
             ControlMsg::EarClosedAt { z } => {
-                out.push(TAG_EAR_CLOSED);
-                out.push(z.0 as u8);
+                let wide = !ids_fit_bytes(&[*z]);
+                out.push(tag(TAG_EAR_CLOSED, wide));
+                push_ids(&mut out, &[*z], wide);
             }
             ControlMsg::Ready => out.push(TAG_READY),
             ControlMsg::NewCycle { cycle } => {
-                out.push(TAG_NEW_CYCLE);
-                push_ids(&mut out, cycle);
+                let wide = !ids_fit_bytes(cycle);
+                out.push(tag(TAG_NEW_CYCLE, wide));
+                push_ids(&mut out, cycle, wide);
             }
             ControlMsg::CheckEdges => out.push(TAG_CHECK_EDGES),
             ControlMsg::EdgeReport { id, has_unexplored } => {
-                out.push(TAG_EDGE_REPORT);
-                out.push(id.0 as u8);
+                let wide = !ids_fit_bytes(&[*id]);
+                out.push(tag(TAG_EDGE_REPORT, wide));
+                push_ids(&mut out, &[*id], wide);
                 out.push(u8::from(*has_unexplored));
             }
             ControlMsg::NewRoot { id } => {
-                out.push(TAG_NEW_ROOT);
-                out.push(id.0 as u8);
+                let wide = !ids_fit_bytes(&[*id]);
+                out.push(tag(TAG_NEW_ROOT, wide));
+                push_ids(&mut out, &[*id], wide);
             }
             ControlMsg::Completed => out.push(TAG_COMPLETED),
         }
@@ -99,9 +136,12 @@ impl ControlMsg {
     /// Returns [`CoreError::MalformedWireMessage`] on an unknown tag or a
     /// truncated body.
     pub fn from_payload(bytes: &[u8]) -> Result<Self, CoreError> {
-        let (&tag, rest) = bytes
+        let (&raw_tag, rest) = bytes
             .split_first()
             .ok_or_else(|| CoreError::MalformedWireMessage("empty control payload".into()))?;
+        let wide = raw_tag & WIDE != 0;
+        let tag = raw_tag & !WIDE;
+        let id_len = if wide { 2 } else { 1 };
         let need = |len: usize| {
             if rest.len() == len {
                 Ok(())
@@ -112,42 +152,45 @@ impl ControlMsg {
                 )))
             }
         };
+        let one_id = |bytes: &[u8]| {
+            if wide {
+                NodeId(u32::from(u16::from_le_bytes([bytes[0], bytes[1]])))
+            } else {
+                NodeId(u32::from(bytes[0]))
+            }
+        };
         match tag {
             TAG_COLLECT => Ok(ControlMsg::LearnIdCollect {
-                ids: parse_ids(rest),
+                ids: parse_ids(rest, wide)?,
             }),
             TAG_DONE => Ok(ControlMsg::LearnIdDone {
-                cycle: parse_ids(rest),
+                cycle: parse_ids(rest, wide)?,
             }),
             TAG_EAR_CLOSED => {
-                need(1)?;
-                Ok(ControlMsg::EarClosedAt {
-                    z: NodeId(u32::from(rest[0])),
-                })
+                need(id_len)?;
+                Ok(ControlMsg::EarClosedAt { z: one_id(rest) })
             }
             TAG_READY => {
                 need(0)?;
                 Ok(ControlMsg::Ready)
             }
             TAG_NEW_CYCLE => Ok(ControlMsg::NewCycle {
-                cycle: parse_ids(rest),
+                cycle: parse_ids(rest, wide)?,
             }),
             TAG_CHECK_EDGES => {
                 need(0)?;
                 Ok(ControlMsg::CheckEdges)
             }
             TAG_EDGE_REPORT => {
-                need(2)?;
+                need(id_len + 1)?;
                 Ok(ControlMsg::EdgeReport {
-                    id: NodeId(u32::from(rest[0])),
-                    has_unexplored: rest[1] != 0,
+                    id: one_id(rest),
+                    has_unexplored: rest[id_len] != 0,
                 })
             }
             TAG_NEW_ROOT => {
-                need(1)?;
-                Ok(ControlMsg::NewRoot {
-                    id: NodeId(u32::from(rest[0])),
-                })
+                need(id_len)?;
+                Ok(ControlMsg::NewRoot { id: one_id(rest) })
             }
             TAG_COMPLETED => {
                 need(0)?;
@@ -203,6 +246,53 @@ mod tests {
                 "roundtrip failed for {m:?}"
             );
         }
+    }
+
+    #[test]
+    fn roundtrip_wide_ids() {
+        // Any id past the byte range flips the message to the wide encoding;
+        // the list variants must round-trip mixed small/large ids too.
+        let msgs = vec![
+            ControlMsg::LearnIdCollect {
+                ids: ids(&[3, 500, 9_999]),
+            },
+            ControlMsg::LearnIdDone {
+                cycle: ids(&[1, 300, 2, 1]),
+            },
+            ControlMsg::EarClosedAt { z: NodeId(1_000) },
+            ControlMsg::NewCycle {
+                cycle: ids(&[0, 65_534, 2]),
+            },
+            ControlMsg::EdgeReport {
+                id: NodeId(400),
+                has_unexplored: true,
+            },
+            ControlMsg::NewRoot { id: NodeId(256) },
+        ];
+        for m in msgs {
+            let payload = m.to_payload();
+            assert!(payload[0] & WIDE != 0, "wide tag for {m:?}");
+            assert_eq!(
+                ControlMsg::from_payload(&payload).unwrap(),
+                m,
+                "roundtrip failed for {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_id_payload_bytes_are_unchanged() {
+        // The historical narrow encoding, byte for byte: wide-id support
+        // must not change what small graphs put on the wire.
+        let m = ControlMsg::LearnIdCollect {
+            ids: ids(&[0, 3, 255]),
+        };
+        assert_eq!(m.to_payload(), vec![TAG_COLLECT, 0, 3, 255]);
+        let m = ControlMsg::EdgeReport {
+            id: NodeId(4),
+            has_unexplored: true,
+        };
+        assert_eq!(m.to_payload(), vec![TAG_EDGE_REPORT, 4, 1]);
     }
 
     #[test]

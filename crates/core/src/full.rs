@@ -21,7 +21,7 @@ use crate::construction::ConstructionNode;
 use crate::encoding::Encoding;
 use crate::engine::RobbinsEngine;
 use crate::error::CoreError;
-use crate::reactors::PULSE;
+use crate::reactors::pulse_payload;
 use crate::wire::WireMessage;
 
 /// Which phase of Theorem 2 the node is currently in.
@@ -187,7 +187,7 @@ impl<P: InnerProtocol> FullSimulator<P> {
         if let Some(c) = &mut self.construction {
             for to in c.take_outgoing() {
                 self.construction_pulses += 1;
-                ctx.send(to, PULSE.to_vec());
+                ctx.send(to, pulse_payload());
             }
         }
     }
@@ -245,7 +245,7 @@ impl<P: InnerProtocol> FullSimulator<P> {
                 return;
             }
             for to in pulses {
-                ctx.send(to, PULSE.to_vec());
+                ctx.send(to, pulse_payload());
             }
             let mut emitted = Vec::new();
             for msg in &delivered {
@@ -366,10 +366,10 @@ where
     F: FnMut(NodeId) -> P,
 {
     graph.check_node(designated_root)?;
-    if graph.node_count() > crate::wire::MAX_NODE_ID as usize + 1 {
+    if graph.node_count() > crate::wire::MAX_WIDE_NODE_ID as usize + 1 {
         return Err(CoreError::TooManyNodes {
             nodes: graph.node_count(),
-            max: crate::wire::MAX_NODE_ID as usize + 1,
+            max: crate::wire::MAX_WIDE_NODE_ID as usize + 1,
         });
     }
     if !connectivity::is_two_edge_connected(graph) {

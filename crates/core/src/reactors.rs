@@ -8,9 +8,11 @@
 //! Theorem 2 compiler, which first *constructs* the Robbins cycle, lives in
 //! [`crate::full`].
 
+use std::sync::OnceLock;
+
 use fdn_graph::cycle::LocalCycleView;
 use fdn_graph::{connectivity, Graph, NodeId, RobbinsCycle};
-use fdn_netsim::{Context, InnerProtocol, ProtocolIo, Reactor};
+use fdn_netsim::{Context, InnerProtocol, Payload, ProtocolIo, Reactor};
 
 use crate::encoding::Encoding;
 use crate::engine::RobbinsEngine;
@@ -21,6 +23,15 @@ use crate::wire::WireMessage;
 /// ignore content — but it must be non-empty because the noise model may not
 /// delete messages.
 pub const PULSE: [u8; 1] = [0];
+
+/// The [`PULSE`] as a shared [`Payload`]: serialized once per process, cloned
+/// (an `Arc` bump) per send. Every pulse the simulators emit goes through
+/// this single allocation, which is also what lets the counting link backend
+/// classify pulse runs by pointer identity instead of comparing bytes.
+pub fn pulse_payload() -> Payload {
+    static SHARED: OnceLock<Payload> = OnceLock::new();
+    SHARED.get_or_init(|| PULSE.to_vec().into()).clone()
+}
 
 /// One node of the cycle simulator: an inner protocol `π` plus the
 /// content-oblivious engine that carries its messages over the
@@ -110,7 +121,7 @@ impl<P: InnerProtocol> CycleSimulator<P> {
                 break;
             }
             for to in pulses {
-                ctx.send(to, PULSE.to_vec());
+                ctx.send(to, pulse_payload());
             }
         }
     }
@@ -193,10 +204,10 @@ where
     P: InnerProtocol,
     F: FnMut(NodeId) -> P,
 {
-    if graph.node_count() > crate::wire::MAX_NODE_ID as usize + 1 {
+    if graph.node_count() > crate::wire::MAX_WIDE_NODE_ID as usize + 1 {
         return Err(CoreError::TooManyNodes {
             nodes: graph.node_count(),
-            max: crate::wire::MAX_NODE_ID as usize + 1,
+            max: crate::wire::MAX_WIDE_NODE_ID as usize + 1,
         });
     }
     let mut views = cycle.local_views();

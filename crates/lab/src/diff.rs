@@ -401,6 +401,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: noise.to_string(),
             scheduler: "random".to_string(),
+            link_store: None,
             first_scenario_index: 0,
             nodes: 5,
             edges: 8,

@@ -306,6 +306,7 @@ impl CellProber<'_> {
                 drop_per_mille: rate,
             },
             scheduler: self.spec.scheduler,
+            link_store: fdn_netsim::LinkStore::Exact,
         };
         let scenarios: Vec<Scenario> = self
             .spec
@@ -318,6 +319,7 @@ impl CellProber<'_> {
                 seed,
                 construction_seed: self.spec.seeds.start,
                 max_steps: self.spec.max_steps,
+                link_store: cell.link_store,
             })
             .collect();
         let runs = scenarios.len() as u32;

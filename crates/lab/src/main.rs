@@ -18,7 +18,7 @@
 //!              # campaign or frontier reports; exit 0 clean, 2 on regression
 //!
 //! Matrix flags (each overrides one axis of the chosen --preset):
-//!   --preset quick|standard|paper|scale  base campaign  [default: standard]
+//!   --preset quick|standard|paper|scale|huge  base campaign [default: standard]
 //!   --name NAME                       report name     [default: preset name]
 //!   --families CSV    e.g. cycle(8),petersen,random2ec(10,5,s2)
 //!   --modes CSV       full,cycle,replay (--mode is an alias)
@@ -30,6 +30,9 @@
 //!   --seeds N         seeds per cell
 //!   --seed-start K    first seed      [default: 1]
 //!   --max-steps N     delivery limit per scenario
+//!   --link-store exact|counting   (run, trace, list-scenarios) force every
+//!                     scenario onto one link-queue representation; cell ids
+//!                     and reports are unchanged (equivalence gate)
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -96,7 +99,7 @@ fn usage() -> String {
     \x20                 cell-by-cell; exit 0 when clean, 2 on regression\n\
      \n\
      Matrix flags (override one axis of the chosen --preset):\n\
-    \x20 --preset quick|standard|paper|scale  base campaign [default: standard]\n\
+    \x20 --preset quick|standard|paper|scale|huge  base campaign [default: standard]\n\
     \x20 --name NAME                     report name\n\
     \x20 --families CSV                  cycle(8),petersen,random2ec(10,5,s2),...\n\
     \x20 --modes CSV                     full,cycle,replay (--mode works too)\n\
@@ -107,6 +110,11 @@ fn usage() -> String {
     \x20 --schedulers CSV                random,fifo,lifo\n\
     \x20 --seeds N / --seed-start K      seed sweep per cell\n\
     \x20 --max-steps N                   delivery limit per scenario\n\
+    \x20 --link-store exact|counting     (run, trace, list-scenarios) force\n\
+    \x20                                 every scenario onto one link-queue\n\
+    \x20                                 representation; cell ids and report\n\
+    \x20                                 bytes are unchanged (the equivalence\n\
+    \x20                                 gate compares the two runs)\n\
      \n\
      Execution flags:\n\
     \x20 --threads N                     worker threads [default: all cores]\n\
@@ -306,6 +314,12 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
             "--sample-every" => {
                 sample_every = Some(parse_stride(flag, flags.value(flag)?)?);
             }
+            "--link-store" => {
+                campaign.link_store_override = Some(
+                    fdn_netsim::LinkStore::parse(flags.value(flag)?)
+                        .map_err(|e| parse_err(flag, e))?,
+                );
+            }
             "--timings" => timings = Some(PathBuf::from(flags.value(flag)?)),
             other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
         }
@@ -461,13 +475,8 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
     );
     for cell in failed {
         println!(
-            "  {}/{}/{}/{}/{}/{}: success {}, {} error(s)",
-            cell.family,
-            cell.mode,
-            cell.encoding,
-            cell.workload,
-            cell.noise,
-            cell.scheduler,
+            "  {}: success {}, {} error(s)",
+            cell.cell_id(),
             fdn_lab::fmt_rate(cell.success_rate),
             cell.errors
         );

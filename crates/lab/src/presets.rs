@@ -20,7 +20,17 @@
 //!   full-topology online sweeps then fit comfortably inside the 20M-step
 //!   budget that full mode exhausts mid-construction. The campaign
 //!   wall-clock is recorded in the markdown report header so future changes
-//!   can track the speedup.
+//!   can track the speedup. A second, **counting-store** block extends the
+//!   sweep to rings and thetas at n ∈ {400, 1000} (cycle + replay modes,
+//!   its own step budget): sizes where the run-length-compressed link
+//!   queues are what keeps memory and queue work flat. The replay cells at
+//!   these sizes chart the next frontier — the distributed construction's
+//!   id-learning phase outgrows even the generous construction budget.
+//! * `huge` — the n = 10⁴ frontier: one counting-store ring scenario in
+//!   cycle mode with a minimal flood. A ring broadcast costs `Θ(n²)`
+//!   deliveries, so this is a multi-billion-step run (tens of minutes);
+//!   it exists as a bounded, reproducible target for profiling the
+//!   compressed event core at depth, not as a CI gate.
 //!
 //! Every preset sweeps [`NoiseSpec::DELETION`] alongside the paper-model
 //! noises: the alteration cells must stay at 100% success (Theorem 2) while
@@ -35,7 +45,7 @@ use crate::error::LabError;
 use crate::spec::{Campaign, EncodingSpec, EngineMode, SeedRange};
 
 /// The built-in preset names, in documentation order.
-pub const PRESET_NAMES: [&str; 4] = ["quick", "standard", "paper", "scale"];
+pub const PRESET_NAMES: [&str; 5] = ["quick", "standard", "paper", "scale", "huge"];
 
 /// The given alteration noises plus the canonical deletion-side frontier
 /// sweep ([`NoiseSpec::DELETION`]).
@@ -208,7 +218,49 @@ impl Campaign {
                 // `CONSTRUCTION_MAX_STEPS` and only the online phase counts
                 // against this per-scenario budget.
                 max_steps: 20_000_000,
+                // The counting-store block: rings and thetas at n ∈ {400,
+                // 1000}, cycle + replay only — full mode's distributed
+                // construction is hopeless at these sizes (the scale
+                // frontier above already charts why). A ring broadcast
+                // costs Θ(n²) deliveries, so the block carries its own
+                // budget: the n = 1000 cycle-mode cells land in the tens of
+                // millions of steps, far past the main block's 20M cap.
+                counting_families: vec![
+                    GraphFamily::Cycle { n: 400 },
+                    GraphFamily::Cycle { n: 1000 },
+                    GraphFamily::Theta {
+                        a: 133,
+                        b: 133,
+                        c: 132,
+                    },
+                    GraphFamily::Theta {
+                        a: 333,
+                        b: 333,
+                        c: 332,
+                    },
+                ],
+                counting_modes: vec![EngineMode::CycleOnly, EngineMode::Replay],
+                counting_max_steps: Some(200_000_000),
                 ..Campaign::new("scale")
+            }),
+            "huge" => Ok(Campaign {
+                // Everything lives in the counting block: there is no point
+                // running an exact-store cell at n = 10⁴, and full mode
+                // cannot construct at this size at all.
+                families: vec![],
+                modes: vec![],
+                encodings: vec![EncodingSpec::Binary],
+                // The minimal flood: every byte of payload multiplies the
+                // Θ(n²)-per-bit broadcast cost.
+                workloads: vec![WorkloadSpec::Flood { payload_bytes: 0 }],
+                noises: vec![NoiseSpec::FullCorruption],
+                schedulers: vec![SchedulerSpec::Random],
+                seeds: SeedRange { start: 1, count: 1 },
+                max_steps: 20_000_000,
+                counting_families: vec![GraphFamily::Cycle { n: 10_000 }],
+                counting_modes: vec![EngineMode::CycleOnly],
+                counting_max_steps: Some(12_000_000_000),
+                ..Campaign::new("huge")
             }),
             other => Err(LabError::Usage(format!(
                 "unknown preset `{other}` (expected one of {})",
@@ -241,10 +293,13 @@ mod tests {
 
     #[test]
     fn every_small_preset_sweeps_the_deletion_frontier() {
-        // `scale` is exempt: a deletion adversary on an n >= 50 topology
-        // only stalls the construction into the 20M-step budget, seed after
-        // seed — the frontier is already charted by the small presets.
-        for name in PRESET_NAMES.iter().filter(|&&n| n != "scale") {
+        // `scale` and `huge` are exempt: a deletion adversary on an n >= 50
+        // topology only stalls the construction into the step budget, seed
+        // after seed — the frontier is already charted by the small presets.
+        for name in PRESET_NAMES
+            .iter()
+            .filter(|&&n| n != "scale" && n != "huge")
+        {
             let c = Campaign::preset(name).unwrap();
             for noise in NoiseSpec::DELETION {
                 assert!(c.noises.contains(&noise), "{name} misses {noise}");
@@ -263,8 +318,9 @@ mod tests {
         let c = Campaign::preset("scale").unwrap();
         let (scenarios, skipped) = c.expand_with_skips();
         assert!(skipped.is_empty(), "every scale family is 2EC and floods");
-        // 9 families x 3 modes x 2 seeds.
-        assert_eq!(scenarios.len(), 54);
+        // 9 families x 3 modes x 2 seeds, then the counting block:
+        // 4 families x 2 modes x 2 seeds.
+        assert_eq!(scenarios.len(), 70);
         for family in &c.families {
             let g = family.build().unwrap();
             assert!(g.node_count() >= 50, "{family} is not a scale topology");
@@ -291,5 +347,61 @@ mod tests {
         // step budget that accommodates the n = 120 cycle-mode cells.
         assert!(c.noises.iter().all(|n| !n.deletes()));
         assert!(c.max_steps >= 20_000_000);
+    }
+
+    #[test]
+    fn scale_preset_counting_block_reaches_n_1000() {
+        let c = Campaign::preset("scale").unwrap();
+        let (scenarios, _) = c.expand_with_skips();
+        let counting: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.cell.link_store == fdn_netsim::LinkStore::Counting)
+            .collect();
+        // 4 families x {cycle, replay} x 2 seeds, appended after the exact
+        // block so pre-existing scenario indices never renumber.
+        assert_eq!(counting.len(), 16);
+        assert!(counting.iter().all(|s| s.index >= 54));
+        assert!(counting
+            .iter()
+            .all(|s| s.link_store == fdn_netsim::LinkStore::Counting));
+        // The counting cells carry their store in the id (seventh segment);
+        // exact cells keep the historical six-segment id.
+        assert!(counting.iter().all(|s| s.cell.id().ends_with("/counting")));
+        assert!(scenarios[..54]
+            .iter()
+            .all(|s| !s.cell.id().contains("counting")));
+        // The headline cell: the n = 1000 ring in cycle mode, with a budget
+        // that fits its ~10⁸ deliveries.
+        let headline = counting
+            .iter()
+            .find(|s| {
+                s.cell.family == GraphFamily::Cycle { n: 1000 }
+                    && s.cell.mode == EngineMode::CycleOnly
+            })
+            .expect("scale sweeps the n=1000 ring in cycle mode");
+        assert!(headline.max_steps >= 100_000_000);
+        // Both n ∈ {400, 1000} appear as ring and theta topologies.
+        for n in [400usize, 1000] {
+            let sizes: Vec<_> = counting
+                .iter()
+                .filter(|s| s.cell.family.build().unwrap().node_count() == n)
+                .collect();
+            assert!(sizes.len() >= 4, "missing counting cells at n = {n}");
+        }
+    }
+
+    #[test]
+    fn huge_preset_is_one_counting_ring_scenario() {
+        let c = Campaign::preset("huge").unwrap();
+        let (scenarios, skipped) = c.expand_with_skips();
+        assert!(skipped.is_empty());
+        assert_eq!(scenarios.len(), 1);
+        let s = &scenarios[0];
+        assert_eq!(s.cell.family, GraphFamily::Cycle { n: 10_000 });
+        assert_eq!(s.cell.mode, EngineMode::CycleOnly);
+        assert_eq!(s.link_store, fdn_netsim::LinkStore::Counting);
+        // Θ(n²) deliveries per broadcast bit at n = 10⁴ needs a budget in
+        // the billions.
+        assert!(s.max_steps >= 1_000_000_000);
     }
 }

@@ -204,6 +204,13 @@ pub struct CellReport {
     pub noise: String,
     /// Scheduler label.
     pub scheduler: String,
+    /// Link-store label of cells authored on a non-default queue
+    /// representation (`Some("counting")`); `None` — and absent from the
+    /// JSON — for exact-store cells, which therefore keep their historical
+    /// byte layout. A run-time `--link-store` override never sets this: the
+    /// stores are byte-equivalent, so the override must not change report
+    /// bytes.
+    pub link_store: Option<String>,
     /// Index (in the campaign's full expansion) of the cell's first scenario.
     /// Identifies the cell's position in expansion order even when the
     /// report covers only a shard of the matrix — [`merge_reports`] sorts by
@@ -340,6 +347,8 @@ fn summarize_cell(group: &[&ScenarioOutcome], cache: &TopologyCache) -> CellRepo
         workload: cell.workload.label(),
         noise: cell.noise.label(),
         scheduler: cell.scheduler.label(),
+        link_store: (cell.link_store != fdn_netsim::LinkStore::Exact)
+            .then(|| cell.link_store.label()),
         first_scenario_index: group
             .iter()
             .map(|o| o.scenario.index)
@@ -417,14 +426,19 @@ fn summarize_cell(group: &[&ScenarioOutcome], cache: &TopologyCache) -> CellRepo
 }
 
 impl CellReport {
-    /// The six-axis cell identity, in the same `/`-joined label format as
+    /// The cell identity, in the same `/`-joined label format as
     /// `Cell::id()` (and as skipped-cell entries): the key reports are
-    /// matched on when diffing and merging.
+    /// matched on when diffing and merging. Six segments for exact-store
+    /// cells; counting cells carry their store as a seventh.
     pub fn cell_id(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}/{}/{}",
             self.family, self.mode, self.encoding, self.workload, self.noise, self.scheduler
-        )
+        );
+        match &self.link_store {
+            Some(store) => format!("{base}/{store}"),
+            None => base,
+        }
     }
 
     fn to_json(&self) -> Json {
@@ -479,6 +493,9 @@ impl CellReport {
         // — when absent, so unsampled, healthy campaigns keep producing the
         // exact bytes they produced before these fields existed (the
         // byte-identity the CI rerun gates compare).
+        if let Some(store) = &self.link_store {
+            fields.push(("link_store", Json::Str(store.clone())));
+        }
         if let Some(curve) = self.inflight_curve {
             fields.push(("inflight_curve", curve.to_json()));
         }
@@ -527,6 +544,12 @@ impl CellReport {
             workload: s("workload")?,
             noise: s("noise")?,
             scheduler: s("scheduler")?,
+            // Exact-store cells omit this field entirely, so every report
+            // written before the counting link store parses unchanged.
+            link_store: j
+                .get("link_store")
+                .and_then(Json::as_str)
+                .map(str::to_string),
             // Reports saved before sharded campaigns lack this index; 0
             // keeps them parseable (their cells are already in order).
             first_scenario_index: j
@@ -813,6 +836,12 @@ impl CampaignReport {
             } else {
                 format!("{:.0}", c.cc_init.p50)
             };
+            // Counting-store cells are annotated on the scheduler column so
+            // the table keeps its column count for downstream diffing.
+            let sched = match &c.link_store {
+                Some(store) => format!("{} [{store}]", md_cell(&c.scheduler)),
+                None => md_cell(&c.scheduler),
+            };
             let _ = writeln!(
                 out,
                 "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {} | {} |",
@@ -821,7 +850,7 @@ impl CampaignReport {
                 md_cell(&c.encoding),
                 md_cell(&c.workload),
                 md_cell(&c.noise),
-                md_cell(&c.scheduler),
+                sched,
                 c.nodes,
                 c.edges,
                 c.cycle_len.p50,
@@ -1121,6 +1150,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: "mix|ed".to_string(),
             scheduler: "random".to_string(),
+            link_store: None,
             first_scenario_index: 0,
             nodes: 5,
             edges: 8,
@@ -1177,6 +1207,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: "noiseless".to_string(),
             scheduler: "random".to_string(),
+            link_store: None,
             first_scenario_index: 0,
             nodes: 5,
             edges: 8,
@@ -1221,6 +1252,7 @@ mod tests {
             workload: "flood(4)".to_string(),
             noise: "noiseless".to_string(),
             scheduler: "random".to_string(),
+            link_store: None,
             first_scenario_index: 0,
             nodes: 5,
             edges: 8,
@@ -1299,6 +1331,7 @@ mod tests {
                 drop_per_mille: 500,
             },
             scheduler: fdn_netsim::SchedulerSpec::Random,
+            link_store: fdn_netsim::LinkStore::Exact,
         };
         let outcome = |index: usize, online: u64, skew: bool| ScenarioOutcome {
             scenario: Scenario {
@@ -1307,6 +1340,7 @@ mod tests {
                 seed: index as u64,
                 construction_seed: 0,
                 max_steps: 1000,
+                link_store: cell.link_store,
             },
             error: None,
             quiescent: true,

@@ -475,8 +475,14 @@ fn drive<R: fdn_netsim::Reactor, O: Observer>(
         Some(links) => Simulation::from_parts(graph.clone(), links, sims),
         None => Simulation::new(graph.clone(), sims),
     };
+    // `with_link_store` converts the queue representation before the first
+    // event; on the replay warm-start path this re-homes the cached exact
+    // table's clone onto the counting store (the registry survives, and the
+    // pristine queues have nothing to lose).
     let mut sim = match built {
-        Ok(s) => s.with_observer(observer),
+        Ok(s) => s
+            .with_link_store(scenario.link_store)
+            .with_observer(observer),
         Err(e) => {
             return (
                 ScenarioOutcome::failed(scenario, nodes_n, edges_n, e.to_string()),
@@ -665,6 +671,7 @@ mod tests {
             seed,
             construction_seed,
             max_steps: 2_000_000,
+            link_store: cell.link_store,
         }
     }
 
@@ -676,6 +683,7 @@ mod tests {
             workload: WorkloadSpec::Flood { payload_bytes: 3 },
             noise: NoiseSpec::FullCorruption,
             scheduler: SchedulerSpec::Random,
+            link_store: fdn_netsim::LinkStore::Exact,
         }
     }
 

@@ -12,7 +12,7 @@ use std::fmt;
 
 use fdn_core::Encoding;
 use fdn_graph::{connectivity, GraphFamily};
-use fdn_netsim::{NoiseSpec, SchedulerSpec};
+use fdn_netsim::{LinkStore, NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
 
 /// Which simulation engine carries the workload.
@@ -157,15 +157,29 @@ pub struct Cell {
     pub noise: NoiseSpec,
     /// Delivery scheduler.
     pub scheduler: SchedulerSpec,
+    /// The link-queue representation this cell is *authored* to run on
+    /// (part of the cell's identity, unlike the run-time `--link-store`
+    /// override recorded in [`Campaign::link_store_override`]). The two
+    /// stores are behaviourally byte-identical, so a campaign only authors
+    /// counting cells where the exact store's per-envelope storage is the
+    /// bottleneck (the `scale`/`huge` big-n sweeps).
+    pub link_store: LinkStore,
 }
 
 impl Cell {
     /// A compact single-line identifier, used in logs and scenario listings.
+    /// Cells on the default exact store keep the historical six-segment
+    /// form; counting cells append a seventh `/counting` segment, so every
+    /// pre-existing id is byte-unchanged.
     pub fn id(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}/{}/{}",
             self.family, self.mode, self.encoding, self.workload, self.noise, self.scheduler
-        )
+        );
+        match self.link_store {
+            LinkStore::Exact => base,
+            LinkStore::Counting => format!("{base}/counting"),
+        }
     }
 }
 
@@ -186,6 +200,13 @@ pub struct Scenario {
     pub construction_seed: u64,
     /// Delivery limit before the run is abandoned as non-quiescent.
     pub max_steps: u64,
+    /// The link-queue representation the engine actually uses for this run:
+    /// the cell's authored store, unless the campaign carries a run-time
+    /// `--link-store` override. Deliberately **not** part of [`Scenario::id`]
+    /// or any report field — the stores are byte-equivalent, so overriding
+    /// the engine must leave every artifact byte-identical (the CI
+    /// representation gate compares exactly that).
+    pub link_store: LinkStore,
 }
 
 impl Scenario {
@@ -310,6 +331,27 @@ pub struct Campaign {
     pub noises: Vec<NoiseSpec>,
     /// Schedulers to sweep.
     pub schedulers: Vec<SchedulerSpec>,
+    /// Families swept a second time on the **counting** link store, after
+    /// the main (exact-store) product. They share every other axis
+    /// (encodings, workloads, noises, schedulers, seeds) but cross
+    /// [`Campaign::counting_modes`] instead of `modes` — big-n presets
+    /// restrict their counting cells to the engine modes that fit the
+    /// budget at that size. Empty for campaigns without a counting sweep.
+    pub counting_families: Vec<GraphFamily>,
+    /// Engine modes of the counting sweep (see
+    /// [`Campaign::counting_families`]).
+    pub counting_modes: Vec<EngineMode>,
+    /// Per-scenario delivery limit of the counting sweep; `None` shares
+    /// [`Campaign::max_steps`]. Big-n counting cells legitimately take an
+    /// order of magnitude more deliveries than the main block's topologies
+    /// (a ring broadcast costs `Θ(n²)` deliveries per message), so presets
+    /// budget the two blocks independently.
+    pub counting_max_steps: Option<u64>,
+    /// Run-time engine override (`fdn-lab run --link-store`): forces every
+    /// scenario onto one queue representation without touching cell
+    /// identity, ids, or any report field. `None` (the default) runs each
+    /// cell on its authored store.
+    pub link_store_override: Option<LinkStore>,
     /// Seeds per cell.
     pub seeds: SeedRange,
     /// Per-scenario delivery limit.
@@ -329,6 +371,10 @@ impl Campaign {
             workloads: vec![WorkloadSpec::Flood { payload_bytes: 4 }],
             noises: vec![NoiseSpec::FullCorruption],
             schedulers: vec![SchedulerSpec::Random],
+            counting_families: vec![],
+            counting_modes: vec![],
+            counting_max_steps: None,
+            link_store_override: None,
             seeds: SeedRange { start: 1, count: 4 },
             max_steps: 5_000_000,
         }
@@ -355,11 +401,51 @@ impl Campaign {
     /// * the workload does not support the topology,
     /// * the encoding is unary with anything but a 0-byte flood (Lemma 7:
     ///   exponential cost makes those runs infeasible).
+    ///
+    /// The main (exact-store) product expands first, then the counting
+    /// block ([`Campaign::counting_families`] ×
+    /// [`Campaign::counting_modes`]) under the same rules, so adding a
+    /// counting sweep never renumbers pre-existing scenarios.
     pub fn expand_with_skips(&self) -> (Vec<Scenario>, Vec<SkippedCell>) {
         let mut scenarios = Vec::new();
         let mut skipped = Vec::new();
         let mut skip_dedup: Vec<String> = Vec::new();
-        for &family in &self.families {
+        self.expand_block(
+            &self.families,
+            &self.modes,
+            LinkStore::Exact,
+            &mut scenarios,
+            &mut skipped,
+            &mut skip_dedup,
+        );
+        self.expand_block(
+            &self.counting_families,
+            &self.counting_modes,
+            LinkStore::Counting,
+            &mut scenarios,
+            &mut skipped,
+            &mut skip_dedup,
+        );
+        (scenarios, skipped)
+    }
+
+    /// Expands one `families` × `modes` block with every cell authored on
+    /// `link_store` (the shared axes come from `self`), appending to the
+    /// running scenario/skip lists.
+    fn expand_block(
+        &self,
+        families: &[GraphFamily],
+        modes: &[EngineMode],
+        link_store: LinkStore,
+        scenarios: &mut Vec<Scenario>,
+        skipped: &mut Vec<SkippedCell>,
+        skip_dedup: &mut Vec<String>,
+    ) {
+        let max_steps = match link_store {
+            LinkStore::Exact => self.max_steps,
+            LinkStore::Counting => self.counting_max_steps.unwrap_or(self.max_steps),
+        };
+        for &family in families {
             // Build once per family: expansion must stay cheap, and the
             // verdict is identical for every inner combination.
             let graph = match family.build() {
@@ -373,7 +459,7 @@ impl Campaign {
                 }
             };
             let two_ec = connectivity::is_two_edge_connected(&graph);
-            for &mode in &self.modes {
+            for &mode in modes {
                 for &encoding in &self.encodings {
                     for &workload in &self.workloads {
                         for &noise in &self.noises {
@@ -385,6 +471,7 @@ impl Campaign {
                                     workload,
                                     noise,
                                     scheduler,
+                                    link_store,
                                 };
                                 let reason = if !two_ec {
                                     Some("graph is not 2-edge-connected (Theorem 3)".to_string())
@@ -423,7 +510,8 @@ impl Campaign {
                                         cell,
                                         seed,
                                         construction_seed: self.seeds.start,
-                                        max_steps: self.max_steps,
+                                        max_steps,
+                                        link_store: self.link_store_override.unwrap_or(link_store),
                                     });
                                 }
                             }
@@ -432,7 +520,6 @@ impl Campaign {
                 }
             }
         }
-        (scenarios, skipped)
     }
 }
 
@@ -488,6 +575,68 @@ mod tests {
             .iter()
             .any(|s| s.cell.starts_with("figure3") && s.cell.contains("token")));
         assert!(skipped.iter().any(|s| s.cell.starts_with("path(4)")));
+    }
+
+    #[test]
+    fn counting_block_expands_after_the_exact_block() {
+        let mut c = matrix();
+        c.counting_families = vec![GraphFamily::Cycle { n: 4 }];
+        c.counting_modes = vec![EngineMode::CycleOnly];
+        c.counting_max_steps = Some(99_000_000);
+        let (scenarios, _) = c.expand_with_skips();
+        // The exact product is untouched (same 36 scenarios, same indices),
+        // the counting block rides behind it: 2 workloads x 2 noises x 2
+        // schedulers x 3 seeds.
+        assert_eq!(scenarios.len(), 36 + 24);
+        let mut base = c.clone();
+        base.counting_families = vec![];
+        base.counting_modes = vec![];
+        assert_eq!(&scenarios[..36], &base.expand()[..]);
+        for s in &scenarios[36..] {
+            assert_eq!(s.cell.link_store, LinkStore::Counting);
+            assert_eq!(s.link_store, LinkStore::Counting);
+            assert_eq!(s.cell.mode, EngineMode::CycleOnly);
+            // The block's own budget, not the campaign default.
+            assert_eq!(s.max_steps, 99_000_000);
+            // The store is the id's seventh segment — counting cells can
+            // never collide with an exact cell of the same axes.
+            assert!(s.cell.id().ends_with("/counting"), "{}", s.cell.id());
+            assert_eq!(s.cell.id().split('/').count(), 7);
+        }
+        for s in &scenarios[..36] {
+            assert_eq!(s.cell.link_store, LinkStore::Exact);
+            assert_eq!(s.link_store, LinkStore::Exact);
+            assert_eq!(s.cell.id().split('/').count(), 6);
+            assert_eq!(s.max_steps, c.max_steps);
+        }
+    }
+
+    #[test]
+    fn link_store_override_changes_the_engine_not_the_identity() {
+        let mut c = matrix();
+        c.counting_families = vec![GraphFamily::Cycle { n: 4 }];
+        c.counting_modes = vec![EngineMode::CycleOnly];
+        let plain = c.expand();
+        c.link_store_override = Some(LinkStore::Counting);
+        let forced = c.expand();
+        // Identity is untouched: same cells, same ids, same indices...
+        assert_eq!(plain.len(), forced.len());
+        for (p, f) in plain.iter().zip(&forced) {
+            assert_eq!(p.cell, f.cell);
+            assert_eq!(p.index, f.index);
+            // ...only the effective engine store differs.
+            assert_eq!(f.link_store, LinkStore::Counting);
+        }
+        c.link_store_override = Some(LinkStore::Exact);
+        let forced_exact = c.expand();
+        assert!(forced_exact
+            .iter()
+            .all(|s| s.link_store == LinkStore::Exact));
+        // Counting-authored cells keep their counting identity even when
+        // forced onto the exact engine (the equivalence gate's direction).
+        assert!(forced_exact
+            .iter()
+            .any(|s| s.cell.link_store == LinkStore::Counting));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   link-indexed event core ([`LinkTable`]): one queue per directed edge and
 //!   an incrementally-maintained non-empty set, so scheduling is `O(active
 //!   links)` — `O(1)` for the default [`RandomScheduler`] — instead of the
-//!   `O(messages)` flat scan of the first-generation engine;
+//!   `O(messages)` flat scan of the first-generation engine. The per-link
+//!   queues come in two behaviourally-identical representations selected by
+//!   [`LinkStore`]: the exact reference backend, and a counting backend that
+//!   run-length-encodes the protocol's identical-pulse traffic so a link
+//!   carrying a million pulses costs one stored run (see [`links`]);
 //! * the channel noise is **alteration noise**: a [`NoiseModel`] may rewrite
 //!   the content of every message arbitrarily, but can neither delete nor
 //!   inject messages — a *fully-defective* network corrupts everything.
@@ -75,9 +79,9 @@ pub mod spec;
 pub mod stats;
 pub mod transcript;
 
-pub use envelope::Envelope;
+pub use envelope::{Envelope, Payload};
 pub use error::SimError;
-pub use links::{LinkId, LinkTable, LinkView};
+pub use links::{LinkId, LinkStore, LinkTable, LinkView};
 pub use noise::{
     BitFlip, Burst, ConstantOne, CrashLink, FullCorruption, NoiseModel, Noiseless, Omission,
     TargetedEdges, OMISSION_DENOM,

@@ -1,0 +1,54 @@
+//! The reference queue backend: one stored [`Envelope`] per in-flight
+//! message, in a `VecDeque` per link. Every push and pop is one stored-entry
+//! operation — the baseline the counting backend is measured against.
+
+use std::collections::VecDeque;
+
+use crate::envelope::Envelope;
+
+use super::LinkId;
+
+/// Per-link FIFO queues of whole envelopes.
+#[derive(Debug, Clone)]
+pub(super) struct ExactQueues {
+    queues: Vec<VecDeque<Envelope>>,
+}
+
+impl ExactQueues {
+    pub(super) fn new(links: usize) -> Self {
+        ExactQueues {
+            queues: vec![VecDeque::new(); links],
+        }
+    }
+
+    /// Appends `env`; returns the queue length after the push and the one
+    /// stored-entry operation it cost.
+    pub(super) fn push(&mut self, link: LinkId, env: Envelope) -> (usize, u64) {
+        let q = &mut self.queues[link.index()];
+        q.push_back(env);
+        (q.len(), 1)
+    }
+
+    /// Removes the oldest envelope; returns it with the remaining queue
+    /// length and the one stored-entry operation it cost. `None` if the link
+    /// is empty or out of range.
+    pub(super) fn pop(&mut self, link: LinkId) -> Option<(Envelope, usize, u64)> {
+        let q = self.queues.get_mut(link.index())?;
+        let env = q.pop_front()?;
+        Some((env, q.len(), 1))
+    }
+
+    pub(super) fn head(&self, link: LinkId) -> Option<&Envelope> {
+        self.queues.get(link.index()).and_then(VecDeque::front)
+    }
+
+    pub(super) fn len(&self, link: LinkId) -> usize {
+        self.queues.get(link.index()).map_or(0, VecDeque::len)
+    }
+
+    pub(super) fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+}

@@ -53,7 +53,7 @@ pub struct Noiseless;
 
 impl NoiseModel for Noiseless {
     fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
-        env.payload.clone()
+        env.payload.to_vec()
     }
 
     fn name(&self) -> &'static str {
@@ -138,7 +138,7 @@ impl BitFlip {
 
 impl NoiseModel for BitFlip {
     fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
-        let mut out = env.payload.clone();
+        let mut out = env.payload.to_vec();
         for byte in &mut out {
             for bit in 0..8 {
                 if self.rng.gen_bool(self.p) {
@@ -178,7 +178,7 @@ impl<N: NoiseModel> NoiseModel for TargetedEdges<N> {
         if self.edges.contains(&Edge::new(env.from, env.to)) {
             self.inner.corrupt(env)
         } else {
-            env.payload.clone()
+            env.payload.to_vec()
         }
     }
 
@@ -188,7 +188,7 @@ impl<N: NoiseModel> NoiseModel for TargetedEdges<N> {
         if self.edges.contains(&Edge::new(env.from, env.to)) {
             self.inner.deliver(env)
         } else {
-            Some(env.payload.clone())
+            Some(env.payload.to_vec())
         }
     }
 
@@ -267,7 +267,7 @@ impl Omission {
 
 impl NoiseModel for Omission {
     fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
-        env.payload.clone()
+        env.payload.to_vec()
     }
 
     fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
@@ -276,7 +276,7 @@ impl NoiseModel for Omission {
         if self.rng.gen_range(0..OMISSION_DENOM) < self.drop_ppm {
             None
         } else {
-            Some(env.payload.clone())
+            Some(env.payload.to_vec())
         }
     }
 
@@ -317,7 +317,7 @@ impl CrashLink {
 
 impl NoiseModel for CrashLink {
     fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
-        env.payload.clone()
+        env.payload.to_vec()
     }
 
     fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
@@ -329,7 +329,7 @@ impl NoiseModel for CrashLink {
         if self.crashed == Some(edge) {
             None
         } else {
-            Some(env.payload.clone())
+            Some(env.payload.to_vec())
         }
     }
 
@@ -369,7 +369,7 @@ impl Burst {
 
 impl NoiseModel for Burst {
     fn corrupt(&mut self, env: &Envelope) -> Vec<u8> {
-        env.payload.clone()
+        env.payload.to_vec()
     }
 
     fn deliver(&mut self, env: &Envelope) -> Option<Vec<u8>> {
@@ -378,7 +378,7 @@ impl NoiseModel for Burst {
         if phase < self.len {
             None
         } else {
-            Some(env.payload.clone())
+            Some(env.payload.to_vec())
         }
     }
 
@@ -396,7 +396,7 @@ mod tests {
         Envelope {
             from: NodeId(0),
             to: NodeId(1),
-            payload,
+            payload: payload.into(),
             seq: 0,
         }
     }
@@ -550,13 +550,13 @@ mod tests {
         let cd = Envelope {
             from: NodeId(2),
             to: NodeId(3),
-            payload: vec![6],
+            payload: vec![6].into(),
             seq: 0,
         };
         let ba = Envelope {
             from: NodeId(1),
             to: NodeId(0),
-            payload: vec![7],
+            payload: vec![7].into(),
             seq: 0,
         };
         assert_eq!(n.deliver(&ab), Some(vec![5])); // pulse 0: before the crash
@@ -608,7 +608,7 @@ mod tests {
         let other = Envelope {
             from: NodeId(2),
             to: NodeId(3),
-            payload: vec![5, 6],
+            payload: vec![5, 6].into(),
             seq: 0,
         };
         assert_eq!(n.corrupt(&other), vec![5, 6]);
@@ -625,7 +625,7 @@ mod tests {
         let other = Envelope {
             from: NodeId(2),
             to: NodeId(3),
-            payload: vec![5, 6],
+            payload: vec![5, 6].into(),
             seq: 0,
         };
         assert_eq!(n.deliver(&other), Some(vec![5, 6]));

@@ -254,10 +254,10 @@ mod tests {
         let neighbors = [NodeId(1)];
         let mut ctx = Context::new(NodeId(0), &neighbors);
         runner.on_start(&mut ctx);
-        assert_eq!(ctx.take_outbox(), vec![(NodeId(1), vec![42])]);
+        assert_eq!(ctx.take_outbox(), vec![(NodeId(1), vec![42].into())]);
         let mut ctx2 = Context::new(NodeId(0), &neighbors);
         runner.on_message(NodeId(1), &[5], &mut ctx2);
-        assert_eq!(ctx2.take_outbox(), vec![(NodeId(1), vec![5])]);
+        assert_eq!(ctx2.take_outbox(), vec![(NodeId(1), vec![5].into())]);
         assert_eq!(runner.output(), Some(vec![5]));
         assert_eq!(runner.inner().out, Some(vec![5]));
         let inner = runner.into_inner();

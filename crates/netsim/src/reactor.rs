@@ -2,6 +2,7 @@
 
 use fdn_graph::NodeId;
 
+use crate::envelope::Payload;
 use crate::observer::PhaseEvent;
 
 /// The per-event execution context handed to a [`Reactor`]: identifies the
@@ -11,7 +12,7 @@ use crate::observer::PhaseEvent;
 pub struct Context<'a> {
     node: NodeId,
     neighbors: &'a [NodeId],
-    outbox: Vec<(NodeId, Vec<u8>)>,
+    outbox: Vec<(NodeId, Payload)>,
     markers: Vec<(usize, PhaseEvent)>,
     markers_enabled: bool,
 }
@@ -40,9 +41,11 @@ impl<'a> Context<'a> {
 
     /// Queues a message to neighbour `to`. Validity (non-empty payload,
     /// `to` actually being a neighbour) is checked by the simulation engine
-    /// when the event handler returns.
-    pub fn send(&mut self, to: NodeId, payload: Vec<u8>) {
-        self.outbox.push((to, payload));
+    /// when the event handler returns. A broadcast can serialize once and
+    /// pass a shared [`Payload`] clone per neighbour; `Vec<u8>` still
+    /// converts implicitly for one-off messages.
+    pub fn send(&mut self, to: NodeId, payload: impl Into<Payload>) {
+        self.outbox.push((to, payload.into()));
     }
 
     /// Number of messages queued so far in this event.
@@ -51,7 +54,7 @@ impl<'a> Context<'a> {
     }
 
     /// Drains the queued messages (used by the engine).
-    pub fn take_outbox(&mut self) -> Vec<(NodeId, Vec<u8>)> {
+    pub fn take_outbox(&mut self) -> Vec<(NodeId, Payload)> {
         std::mem::take(&mut self.outbox)
     }
 
@@ -121,7 +124,10 @@ mod tests {
         ctx.send(NodeId(2), vec![3]);
         assert_eq!(ctx.pending_sends(), 2);
         let out = ctx.take_outbox();
-        assert_eq!(out, vec![(NodeId(1), vec![1, 2]), (NodeId(2), vec![3])]);
+        assert_eq!(
+            out,
+            vec![(NodeId(1), vec![1, 2].into()), (NodeId(2), vec![3].into())]
+        );
         assert_eq!(ctx.pending_sends(), 0);
     }
 

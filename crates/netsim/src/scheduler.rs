@@ -180,7 +180,7 @@ mod tests {
         Envelope {
             from: NodeId(from),
             to: NodeId(to),
-            payload: vec![1],
+            payload: vec![1].into(),
             seq,
         }
     }

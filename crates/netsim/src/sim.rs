@@ -2,9 +2,9 @@
 
 use fdn_graph::{Graph, NodeId};
 
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, Payload};
 use crate::error::SimError;
-use crate::links::{LinkTable, LinkView};
+use crate::links::{LinkStore, LinkTable, LinkView};
 use crate::noise::{NoiseModel, Noiseless};
 use crate::observer::{NullObserver, Observer, PhaseMarker};
 use crate::reactor::{Context, Reactor};
@@ -215,6 +215,30 @@ impl<R: Reactor, O: Observer> Simulation<R, O> {
         self
     }
 
+    /// Selects the per-link queue representation (builder style): the exact
+    /// reference backend or the counting (run-length-encoded) backend. The
+    /// two are behaviourally indistinguishable — transcripts, statistics and
+    /// observer curves are byte-identical (see [`crate::links`]) — so this
+    /// only changes the engine's cost profile. Must be called before the run
+    /// starts: switching discards queued envelopes.
+    pub fn with_link_store(mut self, store: LinkStore) -> Self {
+        debug_assert!(!self.started, "link store chosen after the run started");
+        self.links.convert_store(store);
+        self
+    }
+
+    /// The per-link queue representation in use.
+    pub fn link_store(&self) -> LinkStore {
+        self.links.store()
+    }
+
+    /// Stored queue entries inserted/removed by the event core so far — the
+    /// backend cost measure (see [`crate::links`] and the `counting_core`
+    /// bench).
+    pub fn link_queue_ops(&self) -> u64 {
+        self.links.queue_ops()
+    }
+
     /// Enables transcript recording (off by default; transcripts of long runs
     /// can be large).
     pub fn with_transcript(mut self) -> Self {
@@ -337,7 +361,7 @@ impl<R: Reactor, O: Observer> Simulation<R, O> {
                 t.push(TranscriptEvent::Dropped {
                     from: env.from,
                     to: env.to,
-                    payload: env.payload,
+                    payload: env.payload.to_vec(),
                 });
             }
             return Ok(true);
@@ -474,7 +498,7 @@ impl<R: Reactor, O: Observer> Simulation<R, O> {
         Ok(())
     }
 
-    fn enqueue_send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<(), SimError> {
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, payload: Payload) -> Result<(), SimError> {
         if !self.graph.has_edge(from, to) {
             return Err(SimError::NotNeighbor { from, to });
         }
@@ -493,7 +517,7 @@ impl<R: Reactor, O: Observer> Simulation<R, O> {
             t.push(TranscriptEvent::Sent {
                 from: env.from,
                 to: env.to,
-                payload: env.payload.clone(),
+                payload: env.payload.to_vec(),
             });
         }
         let (env_from, env_to) = (env.from, env.to);
@@ -982,6 +1006,74 @@ mod tests {
         let mut sim = Simulation::new(g, vec![NoMarkers, NoMarkers]).unwrap();
         sim.run().unwrap();
         assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn counting_store_preserves_runs_and_accounting() {
+        use crate::links::LinkStore;
+        use crate::noise::Omission;
+        // The same ring run in both representations: identical reports,
+        // stats and outputs, and exact accounting at quiescence across the
+        // noise spectrum (none, alteration, partial and total deletion).
+        for store in LinkStore::ALL {
+            let noises: Vec<Simulation<RingOnce>> = vec![
+                ring_sim(6).with_link_store(store),
+                ring_sim(6)
+                    .with_link_store(store)
+                    .with_noise(FullCorruption::new(3)),
+                ring_sim(6)
+                    .with_link_store(store)
+                    .with_noise(Omission::new(400, 5)),
+                ring_sim(6)
+                    .with_link_store(store)
+                    .with_noise(Omission::new(1000, 5)),
+            ];
+            for mut sim in noises {
+                assert_eq!(sim.link_store(), store);
+                let report = sim.run().unwrap();
+                assert!(report.quiescent);
+                let s = sim.stats();
+                assert_eq!(
+                    s.delivered_total + s.dropped_total,
+                    s.sent_total,
+                    "quiescent {store} run leaked messages"
+                );
+            }
+        }
+        let run = |store| {
+            let mut sim = ring_sim(6).with_link_store(store).with_transcript();
+            let report = sim.run().unwrap();
+            (report, sim.transcript().unwrap().clone(), sim.outputs())
+        };
+        assert_eq!(run(LinkStore::Exact), run(LinkStore::Counting));
+    }
+
+    #[test]
+    fn from_parts_warm_starts_a_counting_table() {
+        use crate::links::LinkStore;
+        // A counting-store topology survives the into_parts/from_parts
+        // round-trip with its representation intact — the replay-mode warm
+        // start — and replays the run exactly.
+        let mut first = ring_sim(5).with_link_store(LinkStore::Counting);
+        first.run().unwrap();
+        let (graph, links, _) = first.into_parts();
+        assert_eq!(links.store(), LinkStore::Counting);
+        let nodes = (0..5).map(|_| RingOnce::new(5)).collect();
+        let mut warm = Simulation::from_parts(graph, links, nodes).unwrap();
+        assert_eq!(warm.link_store(), LinkStore::Counting);
+        let report = warm.run().unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.steps, 4);
+        assert_eq!(warm.node(NodeId(3)).output(), Some(vec![7, 7]));
+
+        // An exact-store cache converted for a counting run (the runner's
+        // path when `--link-store counting` replays a shared checkpoint).
+        let (graph, mut links, _) = ring_sim(5).into_parts();
+        links.convert_store(LinkStore::Counting);
+        let nodes = (0..5).map(|_| RingOnce::new(5)).collect();
+        let mut warm = Simulation::from_parts(graph, links, nodes).unwrap();
+        assert_eq!(warm.link_store(), LinkStore::Counting);
+        assert_eq!(warm.run().unwrap().steps, 4);
     }
 
     #[test]

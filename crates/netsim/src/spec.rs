@@ -250,7 +250,7 @@ mod tests {
         Envelope {
             from: NodeId(0),
             to: NodeId(1),
-            payload: vec![7, 7],
+            payload: vec![7, 7].into(),
             seq: 0,
         }
     }
@@ -347,13 +347,13 @@ mod tests {
         let (oldest, _) = links.push(Envelope {
             from: NodeId(0),
             to: NodeId(1),
-            payload: vec![1],
+            payload: vec![1].into(),
             seq: 5,
         });
         let (newest, _) = links.push(Envelope {
             from: NodeId(1),
             to: NodeId(2),
-            payload: vec![1],
+            payload: vec![1].into(),
             seq: 6,
         });
         assert_eq!(

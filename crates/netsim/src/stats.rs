@@ -261,7 +261,7 @@ mod tests {
         Envelope {
             from: NodeId(from),
             to: NodeId(to),
-            payload: vec![0; len],
+            payload: vec![0; len].into(),
             seq: 0,
         }
     }

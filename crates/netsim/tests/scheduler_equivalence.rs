@@ -18,7 +18,8 @@
 
 use fdn_graph::{generators, NodeId};
 use fdn_netsim::{
-    Context, NoiseSpec, Reactor, SchedulerSpec, Simulation, Transcript, TranscriptEvent,
+    Context, LinkStore, NoiseSpec, Reactor, SchedulerSpec, Simulation, StatsSnapshot, Transcript,
+    TranscriptEvent,
 };
 
 /// A deterministic chatterer that keeps several messages in flight on the
@@ -72,19 +73,37 @@ impl Reactor for Chatter {
     }
 }
 
-/// Runs the fixed chatter scenario and returns its transcript.
-fn run_chatter(scheduler: SchedulerSpec, noise: NoiseSpec, seed: u64) -> Transcript {
+/// Runs the fixed chatter scenario on the given queue backend, returning
+/// its transcript plus the statistics and queue-op count the equivalence
+/// tests compare across backends.
+fn run_chatter_on(
+    store: LinkStore,
+    scheduler: SchedulerSpec,
+    noise: NoiseSpec,
+    seed: u64,
+) -> (Transcript, StatsSnapshot, u64) {
     let n = 6;
     let g = generators::cycle(n).unwrap();
     let nodes = (0..n).map(|_| Chatter::new(12, 3)).collect();
     let mut sim = Simulation::new(g, nodes)
         .unwrap()
+        .with_link_store(store)
         .with_scheduler_boxed(scheduler.build(seed))
         .with_noise_boxed(noise.build(seed ^ 0x4E01_5E00))
         .with_transcript();
     let report = sim.run().unwrap();
     assert!(report.quiescent);
-    sim.transcript().unwrap().clone()
+    (
+        sim.transcript().unwrap().clone(),
+        sim.stats().snapshot(),
+        sim.link_queue_ops(),
+    )
+}
+
+/// Runs the fixed chatter scenario on the exact (reference) backend and
+/// returns its transcript.
+fn run_chatter(scheduler: SchedulerSpec, noise: NoiseSpec, seed: u64) -> Transcript {
+    run_chatter_on(LinkStore::Exact, scheduler, noise, seed).0
 }
 
 /// FNV-1a fingerprint of a transcript (event kind, endpoints, payload).
@@ -139,6 +158,62 @@ fn golden_transcript_fingerprints_pin_scheduling_semantics() {
             got, expected,
             "{spec}: transcript fingerprint drifted (got {got:#018x})"
         );
+    }
+}
+
+#[test]
+fn counting_store_reproduces_the_golden_fingerprints() {
+    // The compressed backend is held to the *same* pinned transcripts as
+    // the exact one — not merely "equivalent statistics": byte-identical
+    // event streams, so every saved report stays comparable regardless of
+    // which backend produced it.
+    let golden: [(SchedulerSpec, u64); 3] = [
+        (SchedulerSpec::Random, 0x842f_a451_9d27_d8bc),
+        (SchedulerSpec::Fifo, 0x55e9_4c63_ce51_4830),
+        (SchedulerSpec::Lifo, 0x44b5_31bd_a6e3_cd9e),
+    ];
+    for (spec, expected) in golden {
+        let (t, _, _) = run_chatter_on(LinkStore::Counting, spec, NoiseSpec::FullCorruption, 11);
+        let got = fingerprint(&t);
+        assert_eq!(
+            got, expected,
+            "{spec}: counting backend drifted from the golden transcript \
+             (got {got:#018x})"
+        );
+    }
+}
+
+#[test]
+fn counting_and_exact_backends_are_byte_identical_across_the_matrix() {
+    // The equivalence contract at coupled-draw granularity: for every
+    // scheduler x noise (including the deletion models, whose drop decision
+    // consumes an rng draw per consumed envelope) x seed, the two backends
+    // produce the same transcript and the same statistics — while the
+    // counting backend does its work in strictly fewer stored-entry
+    // queue operations.
+    let noises = [
+        NoiseSpec::Noiseless,
+        NoiseSpec::FullCorruption,
+        NoiseSpec::Omission {
+            drop_per_mille: 300,
+        },
+        NoiseSpec::Burst { period: 5, len: 2 },
+    ];
+    for spec in SchedulerSpec::ALL {
+        for noise in noises {
+            for seed in 0..6u64 {
+                let label = format!("{spec}/{noise}/s{seed}");
+                let (te, se, ops_exact) = run_chatter_on(LinkStore::Exact, spec, noise, seed);
+                let (tc, sc, ops_counting) = run_chatter_on(LinkStore::Counting, spec, noise, seed);
+                assert_eq!(te, tc, "{label}: transcripts diverged");
+                assert_eq!(se, sc, "{label}: statistics diverged");
+                assert!(
+                    ops_counting <= ops_exact,
+                    "{label}: counting backend did more queue work \
+                     ({ops_counting} > {ops_exact})"
+                );
+            }
+        }
     }
 }
 
