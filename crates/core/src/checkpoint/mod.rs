@@ -35,6 +35,10 @@ use crate::engine::RobbinsEngine;
 use crate::error::CoreError;
 use crate::full::FullSimulator;
 
+mod serial;
+
+pub use serial::{decode_checkpoint, encode_checkpoint, fnv1a64, CHECKPOINT_FORMAT_VERSION};
+
 /// The frozen construction/online boundary of one node: its idle engine over
 /// the final cycle and its share of `CCinit`.
 #[derive(Debug, Clone)]
@@ -139,6 +143,73 @@ impl ConstructionCheckpoint {
             })?;
         Ok(ConstructionCheckpoint {
             cycle: cycle.expect("drivers were non-empty"),
+            nodes,
+            cc_init,
+        })
+    }
+
+    /// Reassembles a checkpoint from decoded parts, re-running the
+    /// [`capture`](Self::capture) validation so a deserialized checkpoint is
+    /// held to exactly the same quiescence contract as a captured one:
+    /// engines idle, exactly one token holder, nodes covering `0..n` in
+    /// order, and every node's (rotated) view consistent with the cycle.
+    /// `cc_init` is recomputed from the per-node shares, never trusted from
+    /// the wire.
+    fn from_parts(
+        cycle: RobbinsCycle,
+        nodes: Vec<NodeCheckpoint>,
+    ) -> Result<ConstructionCheckpoint, CoreError> {
+        if nodes.is_empty() {
+            return Err(CoreError::MalformedCheckpoint(
+                "checkpoint covers no nodes".into(),
+            ));
+        }
+        let mut cc_init = 0u64;
+        let mut holders = 0usize;
+        for (i, ckpt) in nodes.iter().enumerate() {
+            let node = ckpt.node();
+            if node.index() != i {
+                return Err(CoreError::MalformedCheckpoint(format!(
+                    "node {node} stored at checkpoint slot {i}"
+                )));
+            }
+            if !ckpt.engine.is_idle() {
+                return Err(CoreError::MalformedCheckpoint(format!(
+                    "node {node} is not idle at the construction/online boundary"
+                )));
+            }
+            if ckpt.engine.is_token_holder() {
+                holders += 1;
+            }
+            // The stored view must be a rotation of the cycle's canonical
+            // local view (RotateEdges only permutes occurrence order, so the
+            // occurrence multiset is rotation-invariant).
+            let canonical = cycle.local_view(node).ok_or_else(|| {
+                CoreError::MalformedCheckpoint(format!("node {node} does not occur on the cycle"))
+            })?;
+            let key = |o: &fdn_graph::cycle::Occurrence| (o.prev.0, o.next.0);
+            let mut stored: Vec<_> = ckpt.engine.view().occurrences().iter().map(key).collect();
+            let mut expected: Vec<_> = canonical.occurrences().iter().map(key).collect();
+            stored.sort_unstable();
+            expected.sort_unstable();
+            if stored != expected {
+                return Err(CoreError::MalformedCheckpoint(format!(
+                    "node {node}'s view is inconsistent with the stored cycle"
+                )));
+            }
+            cc_init = cc_init
+                .checked_add(ckpt.construction_pulses)
+                .ok_or_else(|| {
+                    CoreError::MalformedCheckpoint("per-node CCinit shares overflow u64".into())
+                })?;
+        }
+        if holders != 1 {
+            return Err(CoreError::MalformedCheckpoint(format!(
+                "{holders} token holders at the boundary (exactly one expected)"
+            )));
+        }
+        Ok(ConstructionCheckpoint {
+            cycle,
             nodes,
             cc_init,
         })

@@ -227,9 +227,44 @@ impl RobbinsEngine {
         })
     }
 
+    /// Rebuilds an **idle** boundary engine from the serialized checkpoint
+    /// fields: the rotated view, token flag, encoding and the pulse/epoch
+    /// counters frozen at the construction/online boundary. Everything else
+    /// about an idle engine (empty queue, no pending pulses, `AwaitTrigger`
+    /// wait point, derived `dir_from` map) is reconstructed, so an engine
+    /// that was idle when encoded round-trips exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn resume_idle(
+        view: LocalCycleView,
+        is_token_holder: bool,
+        encoding: Encoding,
+        pulses_sent: u64,
+        pulses_received: u64,
+        epochs_completed: u64,
+    ) -> Result<Self, CoreError> {
+        let mut engine = Self::new(view, is_token_holder, encoding)?;
+        engine.pulses_sent = pulses_sent;
+        engine.pulses_received = pulses_received;
+        engine.epochs_completed = epochs_completed;
+        Ok(engine)
+    }
+
     /// The node this engine runs at.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The node's (rotated) local view of the cycle the engine runs over.
+    pub fn view(&self) -> &LocalCycleView {
+        &self.view
+    }
+
+    /// The data-phase encoding the engine was configured with.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
     }
 
     /// Whether this node currently holds the token.

@@ -27,6 +27,10 @@ pub enum CoreError {
     NodeOutOfRange { node: NodeId },
     /// A structural problem with the provided cycle.
     InvalidCycle(String),
+    /// A serialized construction checkpoint could not be decoded (truncated,
+    /// corrupted, or an incompatible format version). Consumers treat this
+    /// as "rebuild from scratch", never as data.
+    MalformedCheckpoint(String),
     /// An engine invariant was violated (indicates a bug or a non-faithful
     /// channel, e.g. message deletion).
     ProtocolViolation(String),
@@ -65,6 +69,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::NodeOutOfRange { node } => write!(f, "node {node} out of range"),
             CoreError::InvalidCycle(msg) => write!(f, "invalid cycle: {msg}"),
+            CoreError::MalformedCheckpoint(msg) => {
+                write!(f, "malformed construction checkpoint: {msg}")
+            }
             CoreError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
@@ -115,6 +122,7 @@ mod tests {
             CoreError::InvalidPaddingParameter { l: 1 },
             CoreError::NodeOutOfRange { node: NodeId(9) },
             CoreError::InvalidCycle("z".into()),
+            CoreError::MalformedCheckpoint("c".into()),
             CoreError::ProtocolViolation("w".into()),
             CoreError::Graph(GraphError::NotConnected),
             CoreError::Sim(SimError::StepLimitExceeded { limit: 3 }),

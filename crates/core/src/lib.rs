@@ -37,7 +37,10 @@ pub mod impossibility;
 pub mod reactors;
 pub mod wire;
 
-pub use checkpoint::{replay_simulators, ConstructionCheckpoint, NodeCheckpoint};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, fnv1a64, replay_simulators, ConstructionCheckpoint,
+    NodeCheckpoint, CHECKPOINT_FORMAT_VERSION,
+};
 pub use construction::{construction_simulators, ConstructionNode, ConstructionSimulator};
 pub use encoding::Encoding;
 pub use engine::RobbinsEngine;

@@ -49,6 +49,7 @@ use fdn_protocols::WorkloadSpec;
 
 use crate::runner::{NOISE_SALT, SCHED_SALT};
 use crate::spec::EncodingSpec;
+use crate::store::CheckpointStore;
 
 /// Step budget of one construct-once distributed construction. Far above the
 /// per-scenario budgets (the n = 120 chorded-random construction takes
@@ -192,12 +193,25 @@ pub struct CachedConstruction {
 #[derive(Debug, Default)]
 pub struct ReplayCache {
     memo: SingleFlight<ReplayKey, Result<Arc<CachedConstruction>, String>>,
+    /// Optional persistent tier (`--store DIR`): consulted on an in-memory
+    /// miss, written after an in-memory build. `None` keeps PR 5 behavior
+    /// exactly.
+    store: Option<Arc<CheckpointStore>>,
 }
 
 impl ReplayCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         ReplayCache::default()
+    }
+
+    /// Creates an empty cache backed by the given persistent store tier
+    /// (`None` for the in-memory-only PR 5 behavior).
+    pub fn with_store(store: Option<Arc<CheckpointStore>>) -> Self {
+        ReplayCache {
+            memo: SingleFlight::default(),
+            store,
+        }
     }
 
     /// The cached construction of `key`, running it on first use. The graph
@@ -221,8 +235,32 @@ impl ReplayCache {
         topology: &TopologyCache,
         key: ReplayKey,
     ) -> Result<Arc<CachedConstruction>, String> {
-        self.memo
-            .get_or_init(key, || Self::build(topology, key).map(Arc::new))
+        self.memo.get_or_init(key, || {
+            // Persistent tier first (still under the single-flight slot, so
+            // one process never loads or builds a key twice). A hit is
+            // exactly as good as a build: `load` re-validated everything,
+            // and the construction is deterministic in the key, so the
+            // decoded boundary state is byte-identical to what the build
+            // would produce.
+            if let Some(hit) = self.store.as_deref().and_then(|s| {
+                let topo = topology.get(key.family).ok()?;
+                let (checkpoint, construction_steps) = s.load(&key, &topo.graph)?;
+                Some(CachedConstruction {
+                    checkpoint,
+                    links: LinkTable::new(&topo.graph),
+                    construction_steps,
+                    construction_seed: key.construction_seed,
+                })
+            }) {
+                return Ok(Arc::new(hit));
+            }
+            let built = Self::build(topology, key).map(Arc::new);
+            // Persist successes only — failures stay process-local markers.
+            if let (Some(store), Ok(c)) = (&self.store, &built) {
+                store.save(&key, &c.checkpoint, c.construction_steps);
+            }
+            built
+        })
     }
 
     fn build(topology: &TopologyCache, key: ReplayKey) -> Result<CachedConstruction, String> {
@@ -347,6 +385,16 @@ impl Caches {
     /// Creates empty caches.
     pub fn new() -> Self {
         Caches::default()
+    }
+
+    /// Creates empty caches whose replay tier is backed by a persistent
+    /// checkpoint store (`None` for in-memory-only).
+    pub fn with_store(store: Option<Arc<CheckpointStore>>) -> Self {
+        Caches {
+            topology: TopologyCache::new(),
+            construction: ReplayCache::with_store(store),
+            baseline: BaselineCache::new(),
+        }
     }
 }
 

@@ -446,8 +446,22 @@ pub fn run_frontier(spec: &FrontierSpec) -> Result<FrontierReport, LabError> {
 pub fn run_frontier_instrumented(
     spec: &FrontierSpec,
 ) -> Result<(FrontierReport, Vec<CellTiming>), LabError> {
+    run_frontier_instrumented_with(&Caches::new(), spec)
+}
+
+/// Like [`run_frontier_instrumented`], but drawing from caller-provided
+/// [`Caches`] — the hook through which `--store DIR` threads a persistent
+/// checkpoint store under the replay tier. The caches only accelerate; the
+/// report bytes are identical whichever caches are passed.
+///
+/// # Errors
+///
+/// Same as [`run_frontier`].
+pub fn run_frontier_instrumented_with(
+    caches: &Caches,
+    spec: &FrontierSpec,
+) -> Result<(FrontierReport, Vec<CellTiming>), LabError> {
     spec.validate()?;
-    let caches = Caches::new();
     let mut cells = Vec::new();
     let mut timings: Vec<CellTiming> = Vec::new();
     let mut skipped: Vec<SkippedCell> = Vec::new();
@@ -491,7 +505,7 @@ pub fn run_frontier_instrumented(
                 }
                 let watch = crate::timing::Stopwatch::start();
                 let cell = bisect_cell(
-                    &caches,
+                    caches,
                     spec,
                     family,
                     mode,

@@ -37,6 +37,14 @@ impl Json {
         )
     }
 
+    /// Convenience constructor for `u64` counters. Counters large enough to
+    /// lose integer precision in a JSON number (above 2^53) do not occur in
+    /// reports; the float detour stays confined to this module, which keeps
+    /// callers in the fdn-lint D4 accounting scope float-free.
+    pub fn num_u64(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+
     /// The value at `key`, if `self` is an object containing it.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -80,6 +88,48 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders the document on a single line with no whitespace and no
+    /// trailing newline — the shape `fromJson()` expressions and
+    /// `$GITHUB_OUTPUT` lines want (an output value must not contain
+    /// newlines). Deterministic for the same reason [`render`](Self::render)
+    /// is: objects are association lists in insertion order.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -352,6 +402,37 @@ mod tests {
         assert_eq!(Json::Num(42.0).render(), "42\n");
         assert_eq!(Json::Num(0.25).render(), "0.25\n");
         assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_parses_back() {
+        let doc = Json::obj(vec![
+            (
+                "include",
+                Json::Arr(vec![Json::obj(vec![
+                    ("shard", Json::Str("0of2".into())),
+                    ("index", Json::num_u64(0)),
+                ])]),
+            ),
+            ("empty", Json::Arr(vec![])),
+            ("none", Json::Obj(vec![])),
+        ]);
+        let text = doc.render_compact();
+        assert!(!text.contains('\n') && !text.contains(' '), "{text}");
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert_eq!(
+            text,
+            r#"{"include":[{"shard":"0of2","index":0}],"empty":[],"none":{}}"#
+        );
+    }
+
+    #[test]
+    fn num_u64_renders_exact_integers() {
+        assert_eq!(Json::num_u64(0).render_compact(), "0");
+        assert_eq!(
+            Json::num_u64(9_007_199_254_740_992).render_compact(),
+            "9007199254740992"
+        );
     }
 
     #[test]

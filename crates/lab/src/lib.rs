@@ -55,12 +55,14 @@
 pub mod cache;
 pub mod diff;
 pub mod error;
+pub mod fleet;
 pub mod frontier;
 pub mod json;
 pub mod presets;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod store;
 pub mod timing;
 pub mod trace;
 
@@ -70,10 +72,11 @@ pub use cache::{
 };
 pub use diff::{diff_reports, CellChange, CellDelta, DiffTolerance, ReportDiff};
 pub use error::LabError;
+pub use fleet::{DispatchOptions, FleetOutcome, FleetPlan, ShardPlan};
 pub use frontier::{
-    diff_frontier_reports, run_frontier, run_frontier_instrumented, FrontierCell,
-    FrontierCellDelta, FrontierDiff, FrontierProbe, FrontierReport, FrontierSpec, FrontierStatus,
-    FrontierTolerance, FRONTIER_AXIS,
+    diff_frontier_reports, run_frontier, run_frontier_instrumented, run_frontier_instrumented_with,
+    FrontierCell, FrontierCellDelta, FrontierDiff, FrontierProbe, FrontierReport, FrontierSpec,
+    FrontierStatus, FrontierTolerance, FRONTIER_AXIS,
 };
 pub use json::Json;
 pub use presets::PRESET_NAMES;
@@ -83,12 +86,16 @@ pub use report::{
 };
 pub use runner::{
     run_campaign, run_expanded, run_scenario, run_scenario_observed, run_scenario_sampled,
-    run_scenario_with, run_shard, run_shard_instrumented, CellTiming, InflightCurve,
-    ScenarioOutcome,
+    run_scenario_with, run_shard, run_shard_instrumented, run_shard_instrumented_with, CellTiming,
+    InflightCurve, ScenarioOutcome,
 };
+pub use store::{CheckpointStore, StoreStats, STORE_FORMAT_VERSION};
 pub use timing::Stopwatch;
 
 pub use spec::{
     shard_slice, Campaign, Cell, EncodingSpec, EngineMode, Scenario, SeedRange, Shard, SkippedCell,
 };
-pub use trace::{run_trace, run_trace_instrumented, CellTrace, TraceOptions, TraceReport};
+pub use trace::{
+    run_trace, run_trace_instrumented, run_trace_instrumented_with, CellTrace, TraceOptions,
+    TraceReport,
+};

@@ -3,13 +3,20 @@
 //!
 //! ```text
 //! fdn-lab run [matrix flags] [--threads N] [--out DIR] [--shard K/M]
-//!              [--sample-every K] [--timings PATH]
-//! fdn-lab frontier [frontier flags] [--threads N] [--out DIR] [--timings PATH]
+//!              [--store DIR] [--sample-every K] [--timings PATH]
+//! fdn-lab frontier [frontier flags] [--threads N] [--out DIR] [--store DIR]
+//!              [--timings PATH]
 //!              # bisect the omission drop-rate axis per cell
 //! fdn-lab trace [matrix flags] [--sample-every K] [--top-links K]
-//!              [--threads N] [--out DIR] [--timings PATH]
+//!              [--threads N] [--out DIR] [--store DIR] [--timings PATH]
 //!              # one deeply-observed run per cell:
 //!              # NAME.trace.{jsonl,json,md} (samples, Perfetto, phase tables)
+//! fdn-lab fleet [matrix flags] --shards M [--emit-matrix] [--manifest-only]
+//!              [--store DIR] [--out DIR] [--threads N] [--timings PATH]
+//!              # plan the campaign into M cell-atomic shards; print the plan
+//!              # (GitHub Actions matrix / JSON manifest) or run every shard
+//!              # as a local worker subprocess sharing one checkpoint store,
+//!              # then merge through the ordinary `merge` path
 //! fdn-lab list-scenarios [matrix flags] [--family SUBSTR] [--noise SUBSTR]
 //! fdn-lab report --input FILE [--format md|csv|json]
 //! fdn-lab merge SHARD.json... [--out FILE]   # recombine per-shard reports
@@ -36,13 +43,15 @@
 //! ```
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use fdn_graph::GraphFamily;
 use fdn_lab::{
-    diff_frontier_reports, diff_reports, merge_reports, run_expanded, run_frontier_instrumented,
-    run_shard, run_shard_instrumented, run_trace_instrumented, shard_slice, Campaign,
-    CampaignReport, CellTiming, DiffTolerance, FrontierReport, FrontierSpec, FrontierTolerance,
-    Json, LabError, Shard, Stopwatch, TraceOptions,
+    diff_frontier_reports, diff_reports, merge_reports, run_frontier_instrumented_with,
+    run_shard_instrumented_with, run_trace_instrumented_with, shard_slice, Caches, Campaign,
+    CampaignReport, CellTiming, CheckpointStore, DiffTolerance, DispatchOptions, FleetPlan,
+    FrontierReport, FrontierSpec, FrontierTolerance, Json, LabError, Shard, Stopwatch, StoreStats,
+    TraceOptions,
 };
 use fdn_netsim::{NoiseSpec, SchedulerSpec};
 use fdn_protocols::WorkloadSpec;
@@ -65,6 +74,7 @@ fn dispatch(args: &[String]) -> Result<(), LabError> {
         Some("run") => cmd_run(&args[1..]),
         Some("frontier") => cmd_frontier(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("list-scenarios") => cmd_list(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
@@ -90,6 +100,12 @@ fn usage() -> String {
     \x20                 layer attached; write NAME.trace.{jsonl,json,md}\n\
     \x20                 (sampled time series, Perfetto/Chrome trace-event\n\
     \x20                 JSON, markdown phase breakdown)\n\
+    \x20 fleet           plan the campaign into --shards M cell-atomic shards;\n\
+    \x20                 with --emit-matrix / --manifest-only print the plan\n\
+    \x20                 (GitHub Actions include-list / JSON manifest),\n\
+    \x20                 otherwise dispatch every shard as a local `run`\n\
+    \x20                 subprocess sharing one --store, then merge through\n\
+    \x20                 the ordinary `merge` path\n\
     \x20 list-scenarios  print the expanded matrix without running it\n\
     \x20                 (--family SUBSTR / --noise SUBSTR filter the listing)\n\
     \x20 report          re-render a saved JSON report (--input FILE)\n\
@@ -121,6 +137,16 @@ fn usage() -> String {
     \x20 --out DIR                       report directory [default: lab-out]\n\
     \x20 --shard K/M                     run only the K-th of M deterministic\n\
     \x20                                 cell slices (recombine with `merge`)\n\
+    \x20 --store DIR                     (run, frontier, trace, fleet) persist\n\
+    \x20                                 replay-mode construction checkpoints\n\
+    \x20                                 in a content-addressed on-disk store;\n\
+    \x20                                 corrupt or stale entries are rebuilt,\n\
+    \x20                                 report bytes never change\n\
+    \x20 --shards M                      (fleet) number of shards to plan\n\
+    \x20 --emit-matrix                   (fleet) print the GitHub Actions\n\
+    \x20                                 matrix include-list and exit\n\
+    \x20 --manifest-only                 (fleet) print the JSON manifest and\n\
+    \x20                                 exit without dispatching workers\n\
     \x20 --format md|csv|json            (report command) output format\n\
     \x20 --sample-every K                (run, trace) attach the in-flight\n\
     \x20                                 sampler, one sample per K deliveries\n\
@@ -191,6 +217,29 @@ struct RunOptions {
     sample_every: Option<u64>,
     /// `--timings PATH`: write the per-cell wall-clock sidecar.
     timings: Option<PathBuf>,
+    /// `--store DIR`: persistent checkpoint store under the replay cache.
+    store: Option<PathBuf>,
+}
+
+/// Opens the checkpoint store named by `--store`, if any, and builds the
+/// run's caches around it. Store stats land in stderr and the `--timings`
+/// sidecar only — report bytes are identical with or without a store.
+fn open_caches(store: Option<&Path>) -> Result<(Caches, Option<Arc<CheckpointStore>>), LabError> {
+    let store = store
+        .map(|dir| CheckpointStore::open(dir).map(Arc::new))
+        .transpose()
+        .map_err(LabError::Usage)?;
+    Ok((Caches::with_store(store.clone()), store))
+}
+
+/// Narrates a finished run's store traffic on stderr (never into reports).
+fn report_store_stats(store: Option<&Arc<CheckpointStore>>) -> Option<StoreStats> {
+    let stats = store.map(|s| s.stats())?;
+    eprintln!(
+        "checkpoint store: {} hit(s), {} miss(es), {} rejected, {} write(s), {} write error(s)",
+        stats.hits, stats.misses, stats.rejected, stats.writes, stats.write_errors
+    );
+    Some(stats)
 }
 
 /// The first pass over a command's flags: only `--preset` matters, every
@@ -276,6 +325,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
     let mut shard = None;
     let mut sample_every = None;
     let mut timings = None;
+    let mut store = None;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
@@ -321,6 +371,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
                 );
             }
             "--timings" => timings = Some(PathBuf::from(flags.value(flag)?)),
+            "--store" => store = Some(PathBuf::from(flags.value(flag)?)),
             other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -331,6 +382,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, LabError> {
         shard,
         sample_every,
         timings,
+        store,
     })
 }
 
@@ -421,19 +473,18 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
     // A shard is allowed to be empty (more shards than cells): it still
     // writes a report so a fleet driver can merge all M shards uniformly.
     // An unsharded empty expansion stays an error.
-    let instrumented = opts.sample_every.is_some() || opts.timings.is_some();
-    let (report, timings) = if instrumented {
-        if opts.shard.is_none() && scenarios.is_empty() {
-            return Err(LabError::EmptyCampaign);
-        }
-        run_shard_instrumented(&opts.campaign, scenarios, skipped, opts.sample_every)
-    } else {
-        let report = match opts.shard {
-            Some(_) => run_shard(&opts.campaign, scenarios, skipped),
-            None => run_expanded(&opts.campaign, scenarios, skipped)?,
-        };
-        (report, Vec::new())
-    };
+    if opts.shard.is_none() && scenarios.is_empty() {
+        return Err(LabError::EmptyCampaign);
+    }
+    let (caches, store) = open_caches(opts.store.as_deref())?;
+    let (report, timings) = run_shard_instrumented_with(
+        &caches,
+        &opts.campaign,
+        scenarios,
+        skipped,
+        opts.sample_every,
+    );
+    let store_stats = report_store_stats(store.as_ref());
     let elapsed = started.elapsed();
     eprintln!(
         "{} scenarios finished in {elapsed:.2?} ({:.1} scenarios/s)",
@@ -459,7 +510,14 @@ fn cmd_run(args: &[String]) -> Result<(), LabError> {
         &report.to_markdown_with_wall_clock(Some(elapsed.as_secs_f64())),
     )?;
     if let Some(path) = &opts.timings {
-        write_timings(path, "run", &report.name, elapsed.as_secs_f64(), &timings)?;
+        write_timings(
+            path,
+            "run",
+            &report.name,
+            elapsed.as_secs_f64(),
+            &timings,
+            store_stats,
+        )?;
     }
     let failed: Vec<&fdn_lab::CellReport> = report
         .cells
@@ -493,16 +551,19 @@ fn write_report(dir: &Path, stem: &str, ext: &str, contents: &str) -> Result<(),
     Ok(())
 }
 
-/// Writes the `--timings` sidecar: per-cell wall clock, kept out of every
-/// report so the byte-identity diff gates never see wall time.
+/// Writes the `--timings` sidecar: per-cell wall clock plus (when a store
+/// was attached) the checkpoint-store counters, kept out of every report so
+/// the byte-identity diff gates never see wall time or cache behaviour. CI's
+/// warm-store gate reads the `store` object from here.
 fn write_timings(
     path: &Path,
     command: &str,
     name: &str,
     wall_s: f64,
     cells: &[CellTiming],
+    store: Option<StoreStats>,
 ) -> Result<(), LabError> {
-    let doc = Json::obj(vec![
+    let mut fields = vec![
         ("command", Json::Str(command.to_string())),
         ("name", Json::Str(name.to_string())),
         ("wall_s", Json::Num(wall_s)),
@@ -515,13 +576,26 @@ fn write_timings(
                         Json::obj(vec![
                             ("cell", Json::Str(t.cell.clone())),
                             ("wall_ms", Json::Num(t.wall_ms)),
-                            ("runs", Json::Num(t.runs as f64)),
+                            ("runs", Json::num_u64(t.runs as u64)),
                         ])
                     })
                     .collect(),
             ),
         ),
-    ]);
+    ];
+    if let Some(s) = store {
+        fields.push((
+            "store",
+            Json::obj(vec![
+                ("hits", Json::num_u64(s.hits)),
+                ("misses", Json::num_u64(s.misses)),
+                ("rejected", Json::num_u64(s.rejected)),
+                ("writes", Json::num_u64(s.writes)),
+                ("write_errors", Json::num_u64(s.write_errors)),
+            ]),
+        ));
+    }
+    let doc = Json::obj(fields);
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir)?;
     }
@@ -538,6 +612,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
     let mut threads = None;
     let mut out_dir = PathBuf::from("lab-out");
     let mut timings_path: Option<PathBuf> = None;
+    let mut store_dir: Option<PathBuf> = None;
 
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
@@ -569,6 +644,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
                 spec.verify_probes = parse_num_bounded(flag, flags.value(flag)?, 1000)? as u16;
             }
             "--timings" => timings_path = Some(PathBuf::from(flags.value(flag)?)),
+            "--store" => store_dir = Some(PathBuf::from(flags.value(flag)?)),
             other => return Err(LabError::Usage(format!("unknown flag `{other}`"))),
         }
     }
@@ -590,7 +666,9 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
         spec.seeds.count,
     );
     let started = Stopwatch::start();
-    let (report, timings) = run_frontier_instrumented(&spec)?;
+    let (caches, store) = open_caches(store_dir.as_deref())?;
+    let (report, timings) = run_frontier_instrumented_with(&caches, &spec)?;
+    let store_stats = report_store_stats(store.as_ref());
     let elapsed = started.elapsed();
     eprintln!(
         "{} cells bisected with {} probes in {elapsed:.2?}",
@@ -616,6 +694,7 @@ fn cmd_frontier(args: &[String]) -> Result<(), LabError> {
             &report.name,
             elapsed.as_secs_f64(),
             &timings,
+            store_stats,
         )?;
     }
     println!(
@@ -696,7 +775,9 @@ fn cmd_trace(args: &[String]) -> Result<(), LabError> {
         opts.campaign.name, trace_opts.sample_every,
     );
     let started = Stopwatch::start();
-    let (report, timings) = run_trace_instrumented(&opts.campaign, trace_opts)?;
+    let (caches, store) = open_caches(opts.store.as_deref())?;
+    let (report, timings) = run_trace_instrumented_with(&caches, &opts.campaign, trace_opts)?;
+    let store_stats = report_store_stats(store.as_ref());
     let elapsed = started.elapsed();
     eprintln!("{} cell(s) traced in {elapsed:.2?}", report.cells.len());
     std::fs::create_dir_all(&opts.out_dir)?;
@@ -709,7 +790,14 @@ fn cmd_trace(args: &[String]) -> Result<(), LabError> {
     write_report(&opts.out_dir, &stem, "json", &report.to_perfetto_json())?;
     write_report(&opts.out_dir, &stem, "md", &report.to_markdown())?;
     if let Some(path) = &timings_path {
-        write_timings(path, "trace", &report.name, elapsed.as_secs_f64(), &timings)?;
+        write_timings(
+            path,
+            "trace",
+            &report.name,
+            elapsed.as_secs_f64(),
+            &timings,
+            store_stats,
+        )?;
     }
     println!(
         "trace `{}`: {} cell(s), {} skipped combination(s)",
@@ -731,6 +819,101 @@ fn cmd_trace(args: &[String]) -> Result<(), LabError> {
                 " — NOT successful"
             },
         );
+    }
+    Ok(())
+}
+
+/// `fdn-lab fleet`: plan a campaign into `--shards M` cell-atomic shards and
+/// either print the plan (`--emit-matrix` for a GitHub Actions include-list,
+/// `--manifest-only` for the JSON manifest) or dispatch every shard as a
+/// local `run` subprocess sharing one checkpoint store, merging the results
+/// through the ordinary `merge` path. The plan is a pure function of the
+/// matrix arguments and `M`, so the CI matrix and a local fleet execute the
+/// same shards.
+fn cmd_fleet(args: &[String]) -> Result<(), LabError> {
+    // Fleet/execution flags are pulled out first; everything left over is
+    // the campaign matrix selection, forwarded to the workers verbatim
+    // (validated here by the same parser the workers will use).
+    let mut shards: Option<usize> = None;
+    let mut emit_matrix = false;
+    let mut manifest_only = false;
+    let mut store: Option<PathBuf> = None;
+    let mut out_dir = PathBuf::from("lab-out");
+    let mut threads: Option<usize> = None;
+    let mut timings_path: Option<PathBuf> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--shards" => {
+                shards = Some(parse_num_bounded(flag, flags.value(flag)?, 4096)? as usize);
+            }
+            "--emit-matrix" => emit_matrix = true,
+            "--manifest-only" => manifest_only = true,
+            "--store" => store = Some(PathBuf::from(flags.value(flag)?)),
+            "--out" => out_dir = PathBuf::from(flags.value(flag)?),
+            "--threads" => threads = Some(parse_num(flag, flags.value(flag)?)? as usize),
+            "--timings" => timings_path = Some(PathBuf::from(flags.value(flag)?)),
+            other => {
+                rest.push(other.to_string());
+                if takes_value(other) {
+                    rest.push(flags.value(other)?.to_string());
+                }
+            }
+        }
+    }
+    let shards = shards.ok_or_else(|| LabError::Usage("fleet requires --shards M".into()))?;
+    let opts = parse_run_options(&rest)?;
+    if opts.shard.is_some() {
+        return Err(LabError::Usage(
+            "--shard is chosen by the fleet driver; use --shards M to set the shard count".into(),
+        ));
+    }
+    let plan = FleetPlan::plan(&opts.campaign, &rest, shards)?;
+    if emit_matrix {
+        // Single-line compact JSON — fit for `>> "$GITHUB_OUTPUT"`.
+        println!("{}", plan.emit_matrix().render_compact());
+        return Ok(());
+    }
+    if manifest_only {
+        print!("{}", plan.manifest().render());
+        return Ok(());
+    }
+    eprintln!(
+        "fleet `{}`: {} scenarios across {} shard(s), one worker subprocess each",
+        plan.name,
+        plan.scenario_count,
+        plan.shard_count(),
+    );
+    std::fs::create_dir_all(&out_dir)?;
+    let manifest_path = out_dir.join(format!("{}.fleet.json", plan.name));
+    std::fs::write(&manifest_path, plan.manifest().render())?;
+    println!("wrote {}", manifest_path.display());
+    let started = Stopwatch::start();
+    let outcome = plan.dispatch(&DispatchOptions {
+        exe: std::env::current_exe()?,
+        out_dir,
+        store,
+        threads_per_worker: threads,
+    })?;
+    let elapsed = started.elapsed();
+    eprintln!(
+        "fleet `{}`: merged {} shard report(s) in {elapsed:.2?}",
+        plan.name,
+        outcome.shard_reports.len(),
+    );
+    println!("wrote {}", outcome.merged_report().display());
+    if let Some(path) = &timings_path {
+        // Workers report their own store traffic on their (inherited)
+        // stderr; the driver's sidecar carries per-shard dispatch spans.
+        write_timings(
+            path,
+            "fleet",
+            &plan.name,
+            elapsed.as_secs_f64(),
+            &outcome.shard_timings,
+            None,
+        )?;
     }
     Ok(())
 }

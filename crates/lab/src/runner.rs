@@ -619,14 +619,27 @@ pub fn run_shard_instrumented(
     skipped: Vec<crate::spec::SkippedCell>,
     sample_every: Option<u64>,
 ) -> (CampaignReport, Vec<CellTiming>) {
-    let caches = Caches::new();
+    run_shard_instrumented_with(&Caches::new(), campaign, scenarios, skipped, sample_every)
+}
+
+/// Like [`run_shard_instrumented`], but drawing from caller-provided
+/// [`Caches`] — the hook through which `--store DIR` threads a persistent
+/// checkpoint store under the replay tier. The caches only accelerate;
+/// the report bytes are identical whichever caches are passed.
+pub fn run_shard_instrumented_with(
+    caches: &Caches,
+    campaign: &Campaign,
+    scenarios: Vec<Scenario>,
+    skipped: Vec<crate::spec::SkippedCell>,
+    sample_every: Option<u64>,
+) -> (CampaignReport, Vec<CellTiming>) {
     let timed: Vec<(ScenarioOutcome, f64)> = scenarios
         .into_par_iter()
         .map(|s| {
             let watch = crate::timing::Stopwatch::start();
             let outcome = match sample_every {
-                Some(every) => run_scenario_sampled(&caches, s, every),
-                None => run_scenario_with(&caches, s),
+                Some(every) => run_scenario_sampled(caches, s, every),
+                None => run_scenario_with(caches, s),
             };
             (outcome, watch.elapsed_ms())
         })

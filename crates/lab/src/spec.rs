@@ -253,6 +253,13 @@ impl Shard {
         }
         Ok(Shard { index, count })
     }
+
+    /// The filename-safe form of this shard (`KofM`), used in shard report
+    /// stems (`NAME.shardKofM.json`) by the CLI, the fleet driver and the CI
+    /// matrix — one definition so all three always agree.
+    pub fn file_tag(&self) -> String {
+        format!("{}of{}", self.index, self.count)
+    }
 }
 
 impl fmt::Display for Shard {

@@ -157,6 +157,22 @@ pub fn run_trace_instrumented(
     campaign: &Campaign,
     opts: TraceOptions,
 ) -> Result<(TraceReport, Vec<CellTiming>), LabError> {
+    run_trace_instrumented_with(&Caches::new(), campaign, opts)
+}
+
+/// Like [`run_trace_instrumented`], but drawing from caller-provided
+/// [`Caches`] — the hook through which `--store DIR` threads a persistent
+/// checkpoint store under the replay tier. The caches only accelerate; the
+/// trace artifacts are identical whichever caches are passed.
+///
+/// # Errors
+///
+/// Same as [`run_trace`].
+pub fn run_trace_instrumented_with(
+    caches: &Caches,
+    campaign: &Campaign,
+    opts: TraceOptions,
+) -> Result<(TraceReport, Vec<CellTiming>), LabError> {
     let (scenarios, skipped) = campaign.expand_with_skips();
     // One representative run per cell: expansion lists each cell's seeds
     // contiguously, so the first occurrence of a cell id is its first seed.
@@ -172,12 +188,11 @@ pub fn run_trace_instrumented(
     if firsts.is_empty() {
         return Err(LabError::EmptyCampaign);
     }
-    let caches = Caches::new();
     let (cells, timings): (Vec<CellTrace>, Vec<CellTiming>) = firsts
         .into_par_iter()
         .map(|s| {
             let watch = crate::timing::Stopwatch::start();
-            let trace = trace_scenario(&caches, s, opts);
+            let trace = trace_scenario(caches, s, opts);
             let timing = CellTiming {
                 cell: trace.cell_id(),
                 wall_ms: watch.elapsed_ms(),

@@ -156,12 +156,14 @@ const D1_ALLOWED: [&str; 3] = [
 /// Report-producing modules (rule D2 scope): everything whose output is
 /// byte-compared in CI. `HashMap`/`HashSet` here require a pragma arguing
 /// why unordered state cannot leak (lookup-only, or sorted before render).
-const D2_SCOPE: [&str; 8] = [
+const D2_SCOPE: [&str; 10] = [
     "crates/lab/src/report.rs",
     "crates/lab/src/json.rs",
     "crates/lab/src/diff.rs",
     "crates/lab/src/trace.rs",
     "crates/lab/src/frontier.rs",
+    "crates/lab/src/store.rs",
+    "crates/lab/src/fleet.rs",
     "crates/netsim/src/observer.rs",
     "crates/netsim/src/stats.rs",
     "crates/netsim/src/transcript.rs",
@@ -184,11 +186,13 @@ const D3_FACTORY_IDENTS: [&str; 4] = ["StdRng", "SeedableRng", "seed_from_u64", 
 const D3_BANNED_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
 
 /// Delivery/pulse accounting paths (rule D4 scope): the simulator event
-/// loop, link queues, counters and the construction engines. Floats here
-/// either round (breaking exact accounting invariants) or accumulate in
-/// platform-dependent order; the fixed-point ppm omission axis exists
-/// precisely to keep this set float-free.
-const D4_SCOPE: [&str; 7] = [
+/// loop, link queues, counters, the construction engines, and the
+/// checkpoint store + fleet driver (whose on-disk entries and manifests
+/// must be byte-canonical). Floats here either round (breaking exact
+/// accounting invariants) or accumulate in platform-dependent order; the
+/// fixed-point ppm omission axis exists precisely to keep this set
+/// float-free.
+const D4_SCOPE: [&str; 9] = [
     "crates/netsim/src/sim.rs",
     "crates/netsim/src/links",
     "crates/netsim/src/envelope.rs",
@@ -196,6 +200,8 @@ const D4_SCOPE: [&str; 7] = [
     "crates/netsim/src/transcript.rs",
     "crates/netsim/src/noise.rs",
     "crates/core/src/",
+    "crates/lab/src/store.rs",
+    "crates/lab/src/fleet.rs",
 ];
 
 /// The `println!`-family macros rule D5 flags.
@@ -470,6 +476,21 @@ mod tests {
             1
         );
         assert!(check_file("crates/netsim/src/spec.rs", src, &policy).is_empty());
+        // The checkpoint store and the fleet driver are in both the D4
+        // (float-free accounting) and D2 (ordered containers) scopes: their
+        // on-disk entries and manifests are byte-compared artifacts.
+        for path in ["crates/lab/src/store.rs", "crates/lab/src/fleet.rs"] {
+            assert_eq!(
+                check_file(path, "let x: f64 = y;", &policy).len(),
+                1,
+                "{path}"
+            );
+            assert_eq!(
+                check_file(path, "use std::collections::HashMap;", &policy).len(),
+                1,
+                "{path}"
+            );
+        }
     }
 
     #[test]
