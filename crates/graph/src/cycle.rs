@@ -214,7 +214,12 @@ impl RobbinsCycle {
             }
             arcs.insert((u, v));
         }
-        for &(u, v) in &arcs {
+        // Walk the sequence (not the set) so the reported arc of an invalid
+        // cycle is the first offender in sequence order, independent of
+        // HashSet iteration order.
+        for i in 0..seq.len() {
+            let u = seq[i];
+            let v = seq[(i + 1) % seq.len()];
             if arcs.contains(&(v, u)) {
                 return Err(GraphError::InvalidCycle(format!(
                     "edge ({u}, {v}) is traversed in both directions"

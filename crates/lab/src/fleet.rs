@@ -191,6 +191,7 @@ impl FleetPlan {
         let threads = opts.threads_per_worker.or_else(|| {
             // Default: split the machine between the workers instead of
             // oversubscribing it M-fold.
+            // fdn-lint: allow(F3) -- worker thread-count default only; merged report bytes are cmp-gated identical across thread counts
             std::thread::available_parallelism()
                 .ok()
                 .map(|n| (n.get() / self.shard_count().max(1)).max(1))

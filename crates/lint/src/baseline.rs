@@ -145,6 +145,7 @@ mod tests {
             line,
             rule,
             message: String::new(),
+            path: Vec::new(),
         }
     }
 

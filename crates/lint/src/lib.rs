@@ -9,16 +9,21 @@
 //! this crate enforces it *statically*, at the source level, on every file
 //! of every PR.
 //!
-//! The tool is a zero-dependency (workspace-internal only) lexical scanner:
-//! [`scanner`] tokenizes Rust sources with full awareness of comments,
-//! strings, raw strings and char-vs-lifetime ambiguity; [`rules`] matches
-//! the determinism rules D1–D6 over the code tokens under per-rule path
-//! policies; [`pragma`] implements the inline
+//! The tool is a zero-dependency (workspace-internal only) two-layer
+//! analyzer. The lexical layer: [`scanner`] tokenizes Rust sources with full
+//! awareness of comments, strings, raw strings and char-vs-lifetime
+//! ambiguity; [`rules`] matches the determinism rules D1–D6 over the code
+//! tokens under per-rule path policies. The flow layer: [`graph`] extracts
+//! the workspace item/call graph from the same token streams
+//! (`fdn-lint graph` exports it as JSON or DOT), and [`flow`] propagates
+//! nondeterminism taint from sources to report sinks along it, reporting
+//! rules F1–F3 with full source→sink paths (`fdn-lint why FILE:LINE`).
+//! Shared machinery: [`pragma`] implements the inline
 //! `// fdn-lint: allow(<rule>) -- <reason>` suppression form (reason
 //! mandatory); [`baseline`] grandfathers findings recorded in the committed
-//! `lint-baseline.json`; [`report`] renders deterministic JSON, markdown
-//! and text. Unbaselined findings exit with code 2 — the same gate contract
-//! as `fdn-lab diff`.
+//! `lint-baseline.json`; [`report`] renders deterministic JSON, markdown,
+//! text and GitHub annotations. Unbaselined findings exit with code 2 — the
+//! same gate contract as `fdn-lab diff`.
 //!
 //! ```no_run
 //! use fdn_lint::{check_file, Baseline, LintReport, PathPolicy};
@@ -34,6 +39,8 @@
 //! ```
 
 pub mod baseline;
+pub mod flow;
+pub mod graph;
 pub mod pragma;
 pub mod report;
 pub mod rules;
@@ -41,8 +48,48 @@ pub mod scanner;
 pub mod workspace;
 
 pub use baseline::{Baseline, BaselineEntry};
+pub use graph::{Callee, FnNode, WorkspaceGraph};
 pub use pragma::{Pragma, Pragmas};
 pub use report::{FindingStatus, LintReport};
 pub use rules::{check_file, Finding, PathPolicy, RuleId, ALL_RULES};
 pub use scanner::{scan, ScannedFile, Token, TokenKind};
 pub use workspace::{discover, relative};
+
+use std::collections::BTreeMap;
+
+/// Builds the workspace call graph from `(path, source)` pairs. Token
+/// streams are test-mod-masked exactly like the lexical pass, so `#[cfg(test)]`
+/// modules contribute neither nodes nor edges.
+pub fn build_graph(sources: &[(String, String)]) -> WorkspaceGraph {
+    let raws = sources
+        .iter()
+        .map(|(path, text)| {
+            let scanned = scanner::scan(text);
+            let tokens = scanner::mask_cfg_test(&scanned.tokens);
+            graph::items::extract_file(path, &tokens)
+        })
+        .collect();
+    WorkspaceGraph::build(raws)
+}
+
+/// Runs the full analysis — lexical rules per file, then flow rules over
+/// the whole file set's call graph — and returns the merged, sorted
+/// findings. `sources` are `(workspace-relative path, text)` pairs; the
+/// flow rules see exactly the files passed, so single-file invocations get
+/// single-file graphs (the CI self-scan passes the whole workspace).
+pub fn lint_sources(sources: &[(String, String)], policy: &PathPolicy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut raws = Vec::new();
+    let mut pragmas: BTreeMap<String, Pragmas> = BTreeMap::new();
+    for (path, text) in sources {
+        findings.extend(rules::check_file(path, text, policy));
+        let scanned = scanner::scan(text);
+        pragmas.insert(path.clone(), pragma::collect(&scanned));
+        let tokens = scanner::mask_cfg_test(&scanned.tokens);
+        raws.push(graph::items::extract_file(path, &tokens));
+    }
+    let g = WorkspaceGraph::build(raws);
+    findings.extend(flow::analyze(&g, &pragmas, policy));
+    findings.sort();
+    findings
+}

@@ -1,10 +1,13 @@
 //! The `fdn-lint` command line: scan the workspace (or explicit paths) for
-//! determinism-contract violations.
+//! determinism-contract violations, export the call graph, or explain a
+//! flow finding.
 //!
 //! ```text
-//! fdn-lint [PATHS...] [--root DIR] [--format text|json|md]
+//! fdn-lint [PATHS...] [--root DIR] [--format text|json|md|github]
 //!          [--baseline FILE | --no-baseline] [--write-baseline]
-//!          [--apply-all-rules] [--list-rules]
+//!          [--prune-baseline] [--apply-all-rules] [--list-rules]
+//! fdn-lint graph [--root DIR] [--format json|dot]
+//! fdn-lint why FILE:LINE [--root DIR]
 //! ```
 //!
 //! Exit codes mirror `fdn-lab diff`: 0 when every finding is baselined (or
@@ -14,7 +17,8 @@
 use std::path::{Path, PathBuf};
 
 use fdn_lint::{
-    check_file, discover, relative, Baseline, Finding, LintReport, PathPolicy, ALL_RULES,
+    build_graph, discover, flow, lint_sources, relative, Baseline, LintReport, PathPolicy,
+    ALL_RULES,
 };
 
 /// Exit code when unbaselined findings are present.
@@ -35,13 +39,13 @@ fn main() {
     }
 }
 
-/// Parsed command line.
+/// Parsed command line of the default (scan) mode.
 struct Options {
     /// Explicit files/directories to scan (workspace walk when empty).
     paths: Vec<PathBuf>,
     /// Workspace root: paths are reported relative to it.
     root: PathBuf,
-    /// `text`, `json` or `md`.
+    /// `text`, `json`, `md` or `github`.
     format: String,
     /// Baseline file (`None` = `<root>/lint-baseline.json` when present).
     baseline: Option<PathBuf>,
@@ -49,6 +53,8 @@ struct Options {
     no_baseline: bool,
     /// Write the scan's findings as the new baseline and exit.
     write_baseline: bool,
+    /// Rewrite the baseline dropping entries that no longer fire.
+    prune_baseline: bool,
     /// Ignore all path carve-outs (fixture/CI use).
     apply_all_rules: bool,
 }
@@ -58,18 +64,26 @@ fn usage() -> String {
         "fdn-lint — determinism static analysis for the fully-defective workspace\n\
          \n\
          Usage: fdn-lint [PATHS...] [flags]\n\
+         \x20      fdn-lint graph [--root DIR] [--format json|dot]\n\
+         \x20      fdn-lint why FILE:LINE [--root DIR]\n\
          \n\
          With no PATHS, scans every .rs file under --root (default: the\n\
          current directory), excluding target/, dot-directories and\n\
-         tests/fixtures corpora.\n\
+         tests/fixtures corpora. The flow rules (F1-F3) propagate taint over\n\
+         the call graph of exactly the scanned file set.\n\
+         \n\
+         `graph` exports that call graph (byte-deterministic JSON or DOT);\n\
+         `why` re-runs the scan and prints the source->sink path of every\n\
+         flow finding anchored at FILE:LINE.\n\
          \n\
          Flags:\n\
         \x20 --root DIR          workspace root for path policies and the\n\
         \x20                     default baseline [default: .]\n\
-        \x20 --format FMT        text | json | md [default: text]\n\
+        \x20 --format FMT        text | json | md | github [default: text]\n\
         \x20 --baseline FILE     baseline file [default: ROOT/lint-baseline.json]\n\
         \x20 --no-baseline       ignore any baseline file\n\
         \x20 --write-baseline    record current findings as the baseline\n\
+        \x20 --prune-baseline    rewrite the baseline dropping stale entries\n\
         \x20 --apply-all-rules   ignore path allowlists/scopes (fixture gate)\n\
         \x20 --list-rules        print the rule table and exit\n\
          \n\
@@ -93,6 +107,7 @@ fn parse(args: &[String]) -> Result<Option<Options>, String> {
         baseline: None,
         no_baseline: false,
         write_baseline: false,
+        prune_baseline: false,
         apply_all_rules: false,
     };
     let mut it = args.iter();
@@ -116,36 +131,36 @@ fn parse(args: &[String]) -> Result<Option<Options>, String> {
             "--root" => opts.root = PathBuf::from(value("--root")?),
             "--format" => {
                 let f = value("--format")?;
-                if !["text", "json", "md"].contains(&f.as_str()) {
-                    return Err(format!("unknown format `{f}` (text|json|md)"));
+                if !["text", "json", "md", "github"].contains(&f.as_str()) {
+                    return Err(format!("unknown format `{f}` (text|json|md|github)"));
                 }
                 opts.format = f;
             }
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--no-baseline" => opts.no_baseline = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--prune-baseline" => opts.prune_baseline = true,
             "--apply-all-rules" => opts.apply_all_rules = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
+    if opts.prune_baseline && (opts.write_baseline || opts.no_baseline) {
+        return Err("--prune-baseline conflicts with --write-baseline/--no-baseline".to_string());
+    }
     Ok(Some(opts))
 }
 
-/// Runs the scan; `Ok(true)` means the gate passed.
-fn run(args: &[String]) -> Result<bool, String> {
-    let Some(opts) = parse(args)? else {
-        return Ok(true);
-    };
-
-    // Resolve the file set: explicit paths (files or directories) or the
-    // default workspace walk. Sorted either way — report bytes must not
-    // depend on argument or directory-entry order.
+/// Resolves the scanned file set — explicit paths (files or directories) or
+/// the default workspace walk — and reads each file as a
+/// `(workspace-relative path, text)` pair. Sorted either way: report bytes
+/// must not depend on argument or directory-entry order.
+fn collect_sources(root: &Path, paths: &[PathBuf]) -> Result<Vec<(String, String)>, String> {
     let mut files: Vec<PathBuf> = Vec::new();
-    if opts.paths.is_empty() {
-        files = discover(&opts.root).map_err(|e| format!("walking {:?}: {e}", opts.root))?;
+    if paths.is_empty() {
+        files = discover(root).map_err(|e| format!("walking {root:?}: {e}"))?;
     } else {
-        for p in &opts.paths {
+        for p in paths {
             if p.is_dir() {
                 files.extend(discover(p).map_err(|e| format!("walking {p:?}: {e}"))?);
             } else {
@@ -155,16 +170,32 @@ fn run(args: &[String]) -> Result<bool, String> {
         files.sort();
         files.dedup();
     }
+    files
+        .iter()
+        .map(|path| {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+            Ok((relative(root, path), source))
+        })
+        .collect()
+}
 
+/// Runs the requested mode; `Ok(true)` means the gate passed.
+fn run(args: &[String]) -> Result<bool, String> {
+    match args.first().map(String::as_str) {
+        Some("graph") => return run_graph(&args[1..]),
+        Some("why") => return run_why(&args[1..]),
+        _ => {}
+    }
+
+    let Some(opts) = parse(args)? else {
+        return Ok(true);
+    };
+    let sources = collect_sources(&opts.root, &opts.paths)?;
     let policy = PathPolicy {
         apply_all_rules: opts.apply_all_rules,
     };
-    let mut findings: Vec<Finding> = Vec::new();
-    for path in &files {
-        let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
-        let rel = relative(&opts.root, path);
-        findings.extend(check_file(&rel, &source, &policy));
-    }
+    let findings = lint_sources(&sources, &policy);
 
     let baseline_path = opts
         .baseline
@@ -183,19 +214,117 @@ fn run(args: &[String]) -> Result<bool, String> {
         return Ok(true);
     }
 
-    let baseline = if opts.no_baseline {
+    let mut baseline = if opts.no_baseline {
         Baseline::empty()
     } else {
         load_baseline(&baseline_path)?
     };
 
-    let report = LintReport::new(files.len(), findings, &baseline);
+    if opts.prune_baseline {
+        let stale = baseline.stale(&findings);
+        if !stale.is_empty() {
+            baseline.entries.retain(|e| !stale.contains(e));
+            std::fs::write(&baseline_path, baseline.to_json_string())
+                .map_err(|e| format!("writing {baseline_path:?}: {e}"))?;
+        }
+        eprintln!(
+            "fdn-lint: pruned {} stale entr(y/ies), {} kept in {}",
+            stale.len(),
+            baseline.entries.len(),
+            baseline_path.display()
+        );
+    }
+
+    let report = LintReport::new(sources.len(), findings, &baseline);
     match opts.format.as_str() {
         "json" => print!("{}", report.to_json_string()),
         "md" => print!("{}", report.to_markdown()),
+        "github" => print!("{}", report.to_github()),
         _ => print!("{}", report.to_text()),
     }
     Ok(report.is_clean())
+}
+
+/// `fdn-lint graph`: export the workspace call graph.
+fn run_graph(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = "json".to_string();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(value("--root")?),
+            "--format" => {
+                let f = value("--format")?;
+                if !["json", "dot"].contains(&f.as_str()) {
+                    return Err(format!("unknown graph format `{f}` (json|dot)"));
+                }
+                format = f;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let sources = collect_sources(&root, &paths)?;
+    let graph = build_graph(&sources);
+    if format == "dot" {
+        print!("{}", graph.to_dot());
+    } else {
+        let roles = flow::roles(&graph, &PathPolicy::default());
+        print!("{}", graph.to_json_string(&roles));
+    }
+    Ok(true)
+}
+
+/// `fdn-lint why FILE:LINE`: print the source→sink path of every flow
+/// finding anchored at that location.
+fn run_why(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--root requires a value".to_string())?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            loc => target = Some(loc.to_string()),
+        }
+    }
+    let target = target.ok_or_else(|| "why requires a FILE:LINE argument".to_string())?;
+    let (file, line) = target
+        .rsplit_once(':')
+        .ok_or_else(|| format!("`{target}` is not FILE:LINE"))?;
+    let line: u32 = line
+        .parse()
+        .map_err(|_| format!("`{target}` is not FILE:LINE"))?;
+
+    let sources = collect_sources(&root, &[])?;
+    let findings = lint_sources(&sources, &PathPolicy::default());
+    let mut matched = false;
+    for f in findings
+        .iter()
+        .filter(|f| f.file == file && f.line == line && !f.path.is_empty())
+    {
+        matched = true;
+        println!("{}:{} [{}] {}", f.file, f.line, f.rule.name(), f.message);
+        for (i, hop) in f.path.iter().enumerate() {
+            println!("  {} {hop}", if i == 0 { "source" } else { "  via " });
+        }
+    }
+    if !matched {
+        println!("no flow finding anchored at {file}:{line}");
+    }
+    Ok(true)
 }
 
 /// Loads the baseline, treating a missing file as empty (a fresh checkout

@@ -93,13 +93,24 @@ impl LintReport {
                     self.findings
                         .iter()
                         .map(|(f, status)| {
-                            Json::obj(vec![
+                            let mut fields = vec![
                                 ("file", Json::Str(f.file.clone())),
                                 ("line", Json::Num(f.line as f64)),
                                 ("rule", Json::Str(f.rule.name().to_string())),
                                 ("message", Json::Str(f.message.clone())),
                                 ("status", Json::Str(status.name().to_string())),
-                            ])
+                            ];
+                            // Flow findings carry the source→sink call path;
+                            // lexical findings keep the original byte shape.
+                            if !f.path.is_empty() {
+                                fields.push((
+                                    "path",
+                                    Json::Arr(
+                                        f.path.iter().map(|p| Json::Str(p.clone())).collect(),
+                                    ),
+                                ));
+                            }
+                            Json::obj(fields)
                         })
                         .collect(),
                 ),
@@ -188,6 +199,12 @@ impl LintReport {
                 },
                 f.message
             ));
+            for (i, hop) in f.path.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {} {hop}\n",
+                    if i == 0 { "source" } else { "  via " }
+                ));
+            }
         }
         for e in &self.stale {
             out.push_str(&format!(
@@ -206,6 +223,58 @@ impl LintReport {
         ));
         out
     }
+
+    /// Renders the report as GitHub Actions workflow commands, one per
+    /// finding: unbaselined findings as `::error`, baselined as `::warning`,
+    /// stale baseline entries as `::notice` — so findings annotate the
+    /// offending lines inline on PRs.
+    pub fn to_github(&self) -> String {
+        let mut out = String::new();
+        for (f, status) in &self.findings {
+            let level = match status {
+                FindingStatus::New => "error",
+                FindingStatus::Baselined => "warning",
+            };
+            let mut message = f.message.clone();
+            if !f.path.is_empty() {
+                message.push_str(&format!(" [path: {}]", f.path.join(" -> ")));
+            }
+            out.push_str(&format!(
+                "::{level} file={},line={},title={} {}::{}\n",
+                github_escape_property(&f.file),
+                f.line,
+                f.rule.name(),
+                github_escape_property(f.rule.title()),
+                github_escape_data(&message)
+            ));
+        }
+        for e in &self.stale {
+            out.push_str(&format!(
+                "::notice file={},line={},title=stale baseline entry::{} no longer fires at {}:{}\n",
+                github_escape_property(&e.file),
+                e.line,
+                e.rule.name(),
+                github_escape_property(&e.file),
+                e.line
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes the message part of a GitHub workflow command (`%`, CR, LF).
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property value (message escapes plus the
+/// property delimiters `:` and `,`).
+fn github_escape_property(s: &str) -> String {
+    github_escape_data(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
 }
 
 #[cfg(test)]
@@ -219,6 +288,7 @@ mod tests {
             line,
             rule,
             message: format!("violation in {file}"),
+            path: Vec::new(),
         }
     }
 
@@ -256,6 +326,42 @@ mod tests {
         assert_eq!(a.to_json_string(), b.to_json_string());
         let json = a.to_json_string();
         assert!(json.find("a.rs").unwrap() < json.find("b.rs").unwrap());
+    }
+
+    #[test]
+    fn github_format_escapes_and_levels() {
+        let old = finding("a.rs", 1, RuleId::D1);
+        let mut new = finding("b,c.rs", 2, RuleId::F1);
+        new.message = "taint\nacross lines: 100%".to_string();
+        new.path = vec![
+            "x::src (a.rs:1)".to_string(),
+            "x::sink (b.rs:9)".to_string(),
+        ];
+        let baseline = Baseline::from_findings(std::slice::from_ref(&old));
+        let report = LintReport::new(2, vec![old, new], &baseline);
+        let gh = report.to_github();
+        assert!(gh.contains("::warning file=a.rs,line=1,"));
+        assert!(gh.contains("::error file=b%2Cc.rs,line=2,title=F1 "));
+        assert!(gh.contains("taint%0Aacross lines: 100%25"));
+        assert!(gh.contains("[path: x::src (a.rs:1) -> x::sink (b.rs:9)]"));
+        assert!(!gh.contains("\n\n"), "one command per line");
+    }
+
+    #[test]
+    fn flow_path_renders_in_json_and_text_only_when_present() {
+        let lexical = finding("a.rs", 1, RuleId::D1);
+        let mut flowf = finding("a.rs", 3, RuleId::F2);
+        flowf.path = vec![
+            "m::rows (a.rs:3)".to_string(),
+            "m::render (a.rs:9)".to_string(),
+        ];
+        let report = LintReport::new(1, vec![lexical, flowf], &Baseline::empty());
+        let json = report.to_json_string();
+        // Exactly one finding carries a "path" array.
+        assert_eq!(json.matches("\"path\"").count(), 1);
+        let text = report.to_text();
+        assert!(text.contains("source m::rows (a.rs:3)"));
+        assert!(text.contains("  via  m::render (a.rs:9)"));
     }
 
     #[test]

@@ -13,9 +13,14 @@
 //! | D4   | float arithmetic in delivery/pulse accounting paths |
 //! | D5   | `println!`/`eprintln!` output outside CLI mains and bench binaries |
 //! | D6   | `unsafe` blocks anywhere in the workspace |
+//! | F1   | clock/entropy/float taint flowing through the call graph into a report sink |
+//! | F2   | map-iteration-order taint reaching a sink without a sorting boundary |
+//! | F3   | environment-dependence taint (env vars, thread counts) reaching a sink |
 //! | P1   | malformed `fdn-lint:` pragmas (never honoured, always reported) |
 //!
-//! Rules are lexical (see [`crate::scanner`]); where a lexical check cannot
+//! D1–D6 and P1 are lexical (see [`crate::scanner`]); F1–F3 are *flow*
+//! rules computed over the workspace call graph (see [`crate::flow`]) and
+//! only fire on whole-workspace scans. Where a lexical check cannot
 //! prove safety (a `HashMap` that is only ever *indexed*, an `f64`
 //! probability that feeds a seeded draw), the escape hatch is an inline
 //! pragma whose mandatory `-- reason` documents the argument. Path policies
@@ -39,18 +44,27 @@ pub enum RuleId {
     D5,
     /// `unsafe` code.
     D6,
+    /// Clock/entropy/float taint reaching a report sink through calls.
+    F1,
+    /// Map-iteration-order taint reaching a sink without sorting.
+    F2,
+    /// Environment-dependence taint reaching a sink.
+    F3,
     /// Malformed suppression pragma.
     P1,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::D1,
     RuleId::D2,
     RuleId::D3,
     RuleId::D4,
     RuleId::D5,
     RuleId::D6,
+    RuleId::F1,
+    RuleId::F2,
+    RuleId::F3,
     RuleId::P1,
 ];
 
@@ -69,6 +83,9 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
+            RuleId::F1 => "F1",
+            RuleId::F2 => "F2",
+            RuleId::F3 => "F3",
             RuleId::P1 => "P1",
         }
     }
@@ -82,6 +99,9 @@ impl RuleId {
             RuleId::D4 => "float arithmetic in accounting path",
             RuleId::D5 => "print outside CLI/bench binaries",
             RuleId::D6 => "unsafe code",
+            RuleId::F1 => "clock/entropy/float taint reaches a report sink",
+            RuleId::F2 => "map-iteration-order taint reaches a sink unsorted",
+            RuleId::F3 => "environment dependence reaches a sink",
             RuleId::P1 => "malformed fdn-lint pragma",
         }
     }
@@ -111,6 +131,22 @@ impl RuleId {
                  human-facing output belongs to CLI mains and bench binaries."
             }
             RuleId::D6 => "The workspace forbids unsafe code (also enforced at compile time).",
+            RuleId::F1 => {
+                "A wall-clock read, entropy RNG or float computed in a helper still poisons the \
+                 report it flows into; taint is tracked along the call graph and only a \
+                 sanctioned boundary (timing::Stopwatch, the seeded factories, Json::num_u64) \
+                 clears it."
+            }
+            RuleId::F2 => {
+                "HashMap/HashSet iteration order leaking through helpers into rendered bytes is \
+                 the classic nondeterminism bug; a path is clean only if it passes an explicit \
+                 sort or an ordered (BTree) collection before the sink."
+            }
+            RuleId::F3 => {
+                "Environment variables and detected thread counts vary per machine; any value \
+                 derived from them that reaches a byte-gated artifact breaks the cross-machine \
+                 cmp contract."
+            }
             RuleId::P1 => {
                 "A suppression without a parseable rule list and written reason is a silent \
                  hole in the contract; it is reported instead of honoured."
@@ -130,6 +166,10 @@ pub struct Finding {
     pub rule: RuleId,
     /// Human-readable description of the specific violation.
     pub message: String,
+    /// For flow rules (F1–F3): the source→sink call path, each entry
+    /// `module::Owner::fn (file:line)`. Empty for lexical findings. Not part
+    /// of the baseline identity — that stays (file, rule, line).
+    pub path: Vec<String>,
 }
 
 /// Where each rule applies and where it is pre-sanctioned.
@@ -147,7 +187,7 @@ pub struct PathPolicy {
 /// Path prefixes whose files may read the wall clock (rule D1): the single
 /// lab timing helper, the criterion shim (a benchmark harness *is* a timer)
 /// and the bench crate.
-const D1_ALLOWED: [&str; 3] = [
+pub(crate) const D1_ALLOWED: [&str; 3] = [
     "crates/lab/src/timing.rs",
     "crates/shims/criterion/",
     "crates/bench/",
@@ -156,7 +196,7 @@ const D1_ALLOWED: [&str; 3] = [
 /// Report-producing modules (rule D2 scope): everything whose output is
 /// byte-compared in CI. `HashMap`/`HashSet` here require a pragma arguing
 /// why unordered state cannot leak (lookup-only, or sorted before render).
-const D2_SCOPE: [&str; 10] = [
+pub(crate) const D2_SCOPE: [&str; 10] = [
     "crates/lab/src/report.rs",
     "crates/lab/src/json.rs",
     "crates/lab/src/diff.rs",
@@ -171,7 +211,7 @@ const D2_SCOPE: [&str; 10] = [
 
 /// The seeded RNG factories (rule D3): the only places allowed to construct
 /// generators, each taking an explicit seed from the scenario spec.
-const D3_ALLOWED: [&str; 4] = [
+pub(crate) const D3_ALLOWED: [&str; 4] = [
     "crates/netsim/src/noise.rs",
     "crates/netsim/src/scheduler.rs",
     "crates/graph/src/generators.rs",
@@ -214,7 +254,7 @@ const D5_ALLOWED: [&str; 1] = ["crates/shims/criterion/"];
 impl PathPolicy {
     /// True for paths under a test/bench/example tree — exempt from D1, D3
     /// and D5 (their output and timing never feed byte-gated artifacts).
-    fn is_test_path(&self, path: &str) -> bool {
+    pub(crate) fn is_test_path(&self, path: &str) -> bool {
         !self.apply_all_rules
             && (path.starts_with("tests/")
                 || path.starts_with("examples/")
@@ -223,12 +263,12 @@ impl PathPolicy {
                 || path.contains("/examples/"))
     }
 
-    fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    pub(crate) fn in_any(path: &str, prefixes: &[&str]) -> bool {
         prefixes.iter().any(|p| path == *p || path.starts_with(p))
     }
 
     /// D1 applies unless the file is a sanctioned timing module or test.
-    fn d1_applies(&self, path: &str) -> bool {
+    pub(crate) fn d1_applies(&self, path: &str) -> bool {
         self.apply_all_rules || (!self.is_test_path(path) && !Self::in_any(path, &D1_ALLOWED))
     }
 
@@ -243,12 +283,12 @@ impl PathPolicy {
     }
 
     /// D3 entropy constructors are flagged everywhere outside tests.
-    fn d3_banned_applies(&self, path: &str) -> bool {
+    pub(crate) fn d3_banned_applies(&self, path: &str) -> bool {
         self.apply_all_rules || !self.is_test_path(path)
     }
 
     /// D4 applies only inside the accounting scope.
-    fn d4_applies(&self, path: &str) -> bool {
+    pub(crate) fn d4_applies(&self, path: &str) -> bool {
         self.apply_all_rules || Self::in_any(path, &D4_SCOPE)
     }
 
@@ -278,6 +318,7 @@ pub fn check_file(path: &str, source: &str, policy: &PathPolicy) -> Vec<Finding>
                 line,
                 rule,
                 message,
+                path: Vec::new(),
             });
         }
     };
@@ -368,6 +409,7 @@ pub fn check_file(path: &str, source: &str, policy: &PathPolicy) -> Vec<Finding>
             line: m.line,
             rule: RuleId::P1,
             message: format!("malformed fdn-lint pragma: {}", m.problem),
+            path: Vec::new(),
         });
     }
 
@@ -379,7 +421,7 @@ pub fn check_file(path: &str, source: &str, policy: &PathPolicy) -> Vec<Finding>
 /// exponent (`e`/`E` followed by an optional sign and a digit — so the `e`
 /// of an `0usize` suffix does not count), or an explicit `f32`/`f64`
 /// suffix. Hex literals are excluded: `0xE3` is not an exponent.
-fn is_float_literal(text: &str) -> bool {
+pub(crate) fn is_float_literal(text: &str) -> bool {
     if text.starts_with("0x") || text.starts_with("0X") {
         return false;
     }

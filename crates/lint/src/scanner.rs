@@ -124,6 +124,12 @@ pub fn scan(source: &str) -> ScannedFile {
                 text.push(chars[i]);
                 bump!(1);
             }
+            // CRLF sources: the '\r' before the newline is line-ending
+            // noise, not comment text (it would otherwise poison the
+            // mandatory `-- reason` tail of a pragma).
+            if text.ends_with('\r') {
+                text.pop();
+            }
             out.comments.push(CommentLine {
                 line: start_line,
                 text,

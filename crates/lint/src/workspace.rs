@@ -2,9 +2,23 @@
 //!
 //! Walks a root directory for `.rs` sources in **sorted path order** — the
 //! file order is part of the byte-determinism contract of the JSON report.
-//! Build output (`target/`), VCS metadata and this crate's seeded-violation
-//! corpus (`tests/fixtures/`) are excluded from the default walk; fixture
-//! files are only ever linted when passed to the CLI explicitly.
+//!
+//! The walk is extension-driven, not directory-list-driven: every `.rs`
+//! file under the root is included unless a rule below excludes it, so the
+//! root `examples/` and `tests/` trees, per-crate `tests/`, `benches/` and
+//! `src/bin/` directories, and the vendored `crates/shims/` all get linted
+//! without being enumerated anywhere (the shims are instead made inert by
+//! the *path policies*, not by the walk). The only exclusions are:
+//!
+//! - build output (`target/`) and dot-prefixed directories (VCS metadata,
+//!   editor state),
+//! - this crate's seeded-violation corpus (any `tests/fixtures/`
+//!   directory), whose files are deliberate rule trips and are only ever
+//!   linted when passed to the CLI explicitly.
+//!
+//! `lint_gate.rs` pins the walked set against an independent enumeration of
+//! the real tree, so a gap here fails CI rather than silently un-linting a
+//! source tree.
 
 use std::fs;
 use std::io;

@@ -4,7 +4,8 @@
 //! ignores and the default `fdn-lint` walk excludes). It exists to prove,
 //! on every CI run, that the gate still *fails* when it should: linted
 //! explicitly with `--apply-all-rules`, it must produce at least one
-//! finding for every rule D1–D6 plus a P1, and exit 2.
+//! finding for every rule D1–D6, the flow rules F1–F3, plus a P1, and
+//! exit 2.
 
 use std::collections::{HashMap, HashSet};
 use std::time::{Instant, SystemTime};
@@ -54,6 +55,56 @@ fn still_flagged() -> Instant {
 fn sanctioned() {
     // fdn-lint: allow(D6) -- fixture: demonstrates a justified suppression
     unsafe { std::hint::unreachable_unchecked() }
+}
+
+/// F1 — wall-clock taint flowing *through a helper* into a report sink:
+/// neither function is individually more than a D1 site, but the call edge
+/// from the render function makes the pair a flow violation.
+fn helper_now_pulses() -> u64 {
+    Instant::now().elapsed().as_millis() as u64
+}
+
+/// The F1 sink (matched by the `render*` name heuristic).
+fn render_cells() -> u64 {
+    helper_now_pulses()
+}
+
+/// F2 — map-iteration order leaking through a helper into a render
+/// function with no sort on the path.
+fn unstable_rows(stats: &HashMap<String, u64>) -> Vec<String> {
+    stats.keys().cloned().collect()
+}
+
+/// The F2 sink.
+fn render_rows(stats: &HashMap<String, u64>) -> Vec<String> {
+    unstable_rows(stats)
+}
+
+/// F3 — environment dependence feeding a report sink.
+fn shard_width_from_env() -> usize {
+    std::env::var("FDN_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The F3 sink.
+fn render_shard_plan() -> usize {
+    shard_width_from_env()
+}
+
+/// Flow control case: the same map-iteration shape as `unstable_rows`, but
+/// the path to the sink sorts — the sorting boundary must keep this pair
+/// out of the report.
+fn stable_rows(stats: &HashMap<String, u64>) -> Vec<String> {
+    let mut rows: Vec<String> = stats.keys().cloned().collect();
+    rows.sort();
+    rows
+}
+
+/// Not a finding: `stable_rows` sorts, so no F2 fires here.
+fn render_sorted_rows(stats: &HashMap<String, u64>) -> Vec<String> {
+    stable_rows(stats)
 }
 
 /// Non-findings: the scanner must NOT flag any of these.

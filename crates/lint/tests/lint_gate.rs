@@ -64,7 +64,7 @@ fn violation_fixture_trips_every_rule_and_exits_2() {
     );
     assert_eq!(out.status.code(), Some(2), "seeded violations must gate");
     let json = stdout(&out);
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "P1"] {
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "F1", "F2", "F3", "P1"] {
         assert!(
             json.contains(&format!("\"rule\": \"{rule}\"")),
             "fixture must trip {rule}; report was:\n{json}"
@@ -73,6 +73,13 @@ fn violation_fixture_trips_every_rule_and_exits_2() {
     // The justified suppression is honoured: exactly one D6 finding (the
     // bare `unsafe`), not two.
     assert_eq!(json.matches("\"rule\": \"D6\"").count(), 1);
+    // The sorting boundary is honoured: exactly one F2 (the unsorted pair),
+    // not two — `stable_rows`/`render_sorted_rows` stays out of the report.
+    assert_eq!(json.matches("\"rule\": \"F2\"").count(), 1);
+    // Flow findings carry their call path for `fdn-lint why`.
+    assert!(json.contains("\"path\": ["), "{json}");
+    assert!(json.contains("helper_now_pulses"), "{json}");
+    assert!(json.contains("render_cells"), "{json}");
     // Decoys stay invisible: nothing is reported from the comment/string
     // section of the fixture except the deliberately-unsuppressed println.
     assert!(!json.contains("is invisible"));
@@ -111,6 +118,71 @@ fn workspace_self_scan_is_clean() {
     assert!(
         json.contains("\"stale_baseline_entries\": []"),
         "stale baseline entries should be removed:\n{json}"
+    );
+}
+
+#[test]
+fn workspace_walk_covers_every_source_tree() {
+    // Independent enumeration of the real tree, applying only the
+    // *documented* exclusions (target/, dot-dirs, tests/fixtures). If
+    // `discover` ever diverges — a new skip rule, a missed directory class —
+    // this test names the exact paths that fell out of (or crept into) the
+    // lint gate.
+    fn enumerate(dir: &Path, out: &mut Vec<PathBuf>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
+                    continue;
+                }
+                enumerate(&path, out);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let mut expected = Vec::new();
+    enumerate(&root, &mut expected);
+    expected.sort();
+    let walked = fdn_lint::discover(&root).unwrap();
+    let to_rel = |ps: &[PathBuf]| {
+        ps.iter()
+            .map(|p| fdn_lint::relative(&root, p))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        to_rel(&walked),
+        to_rel(&expected),
+        "discover() and the documented exclusion rules disagree"
+    );
+
+    // Document (and defend) one representative per covered source tree:
+    // root crate, root examples/, root tests/, crate tests/, benches/,
+    // bin targets and the vendored shims are all inside the gate.
+    let rels = to_rel(&walked);
+    for must_cover in [
+        "src/lib.rs",
+        "examples/quickstart.rs",
+        "tests/equivalence.rs",
+        "crates/core/tests/construction.rs",
+        "crates/bench/benches/end_to_end.rs",
+        "crates/bench/src/bin/report.rs",
+        "crates/shims/rand/src/lib.rs",
+    ] {
+        assert!(
+            rels.contains(&must_cover.to_string()),
+            "walk lost {must_cover}"
+        );
+    }
+    assert!(
+        !rels.iter().any(|r| r.contains("tests/fixtures/")),
+        "the seeded-violation corpus must stay out of the default walk"
     );
 }
 
@@ -175,11 +247,139 @@ fn markdown_report_carries_the_rule_table() {
         None,
     );
     let md = stdout(&out);
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "P1"] {
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "F1", "F2", "F3", "P1"] {
         assert!(md.contains(&format!("| {rule} |")), "rule table row {rule}");
     }
     assert!(md.contains("## Findings"));
     assert!(md.contains("violations.rs"));
+}
+
+#[test]
+fn github_format_emits_workflow_error_annotations() {
+    let out = fdn_lint(
+        &[
+            "--apply-all-rules",
+            "--no-baseline",
+            "--format",
+            "github",
+            &fixture_path(),
+        ],
+        None,
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let text = stdout(&out);
+    assert!(
+        text.lines().any(|l| l.starts_with("::error file=")),
+        "expected ::error annotations, got:\n{text}"
+    );
+    // Every annotation carries a line= property and a rule title.
+    for line in text.lines().filter(|l| l.starts_with("::error")) {
+        assert!(line.contains(",line="), "{line}");
+        assert!(line.contains(",title="), "{line}");
+    }
+    // Flow findings append their call path to the annotation message.
+    assert!(text.contains("[path:"), "{text}");
+}
+
+#[test]
+fn prune_baseline_drops_stale_entries_and_keeps_live_ones() {
+    let dir = scratch("prune");
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    let file = src.join("engine.rs");
+    std::fs::write(
+        &file,
+        "fn f() { let t = std::time::Instant::now(); }\nfn g() { println!(\"hi\"); }\n",
+    )
+    .unwrap();
+
+    let root = dir.to_string_lossy().into_owned();
+    // Grandfather both findings, then fix only the D1.
+    let out = fdn_lint(&["--root", &root, "--write-baseline"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::write(&file, "fn f() {}\nfn g() { println!(\"hi\"); }\n").unwrap();
+
+    // Prune: the stale D1 entry is dropped, the live D5 entry survives.
+    let out = fdn_lint(
+        &["--root", &root, "--prune-baseline", "--format", "json"],
+        Some(&dir),
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let baseline_text = std::fs::read_to_string(dir.join("lint-baseline.json")).unwrap();
+    assert!(
+        !baseline_text.contains("\"rule\": \"D1\""),
+        "{baseline_text}"
+    );
+    assert!(
+        baseline_text.contains("\"rule\": \"D5\""),
+        "{baseline_text}"
+    );
+    // The same scan's report sees no stale entries after the rewrite.
+    assert!(stdout(&out).contains("\"stale_baseline_entries\": []"));
+
+    // Round-trip: pruning again is a no-op on the file bytes.
+    let before = std::fs::read(dir.join("lint-baseline.json")).unwrap();
+    let out = fdn_lint(&["--root", &root, "--prune-baseline"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    let after = std::fs::read(dir.join("lint-baseline.json")).unwrap();
+    assert_eq!(before, after, "idempotent prune must not rewrite bytes");
+
+    // --prune-baseline conflicts with the other baseline modes.
+    let out = fdn_lint(
+        &["--root", &root, "--prune-baseline", "--write-baseline"],
+        Some(&dir),
+    );
+    assert_eq!(out.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn graph_export_is_byte_deterministic_and_well_formed() {
+    let root = workspace_root();
+    let a = fdn_lint(&["graph", "--format", "json"], Some(&root));
+    let b = fdn_lint(&["graph", "--format", "json"], Some(&root));
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "same workspace, different graph bytes");
+    let json = stdout(&a);
+    for key in ["\"tool\": \"fdn-lint-graph\"", "\"fns\":", "\"edges\":"] {
+        assert!(json.contains(key), "missing {key}");
+    }
+    // The flow roles ride along so the export documents the taint model.
+    assert!(json.contains("\"sink\""), "{}", &json[..500]);
+
+    let dot = fdn_lint(&["graph", "--format", "dot"], Some(&root));
+    assert_eq!(dot.status.code(), Some(0));
+    assert!(stdout(&dot).starts_with("digraph"));
+}
+
+#[test]
+fn why_prints_the_source_to_sink_path() {
+    let dir = scratch("why");
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("lib.rs"),
+        "fn helper_now() -> u64 { let t = std::time::Instant::now(); 0 }\n\
+         fn render_cells() -> u64 { helper_now() }\n",
+    )
+    .unwrap();
+
+    let root = dir.to_string_lossy().into_owned();
+    let out = fdn_lint(&["why", "--root", &root, "src/lib.rs:1"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    assert!(text.contains("[F1]"), "{text}");
+    assert!(text.contains("source"), "{text}");
+    assert!(text.contains("via"), "{text}");
+    assert!(text.contains("render_cells"), "{text}");
+
+    // A location with no flow finding says so instead of printing nothing.
+    let out = fdn_lint(&["why", "--root", &root, "src/lib.rs:99"], Some(&dir));
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("no flow finding anchored at"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

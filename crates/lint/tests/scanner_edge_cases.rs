@@ -2,7 +2,7 @@
 //! exactly as the CLI uses it: `check_file` with the permissive
 //! `apply_all_rules` policy, so any token leak becomes a visible finding.
 
-use fdn_lint::{check_file, Baseline, Finding, LintReport, PathPolicy, RuleId};
+use fdn_lint::{build_graph, check_file, Baseline, Finding, LintReport, PathPolicy, RuleId};
 
 fn lint(source: &str) -> Vec<Finding> {
     check_file(
@@ -81,6 +81,86 @@ fn doc_comments_mentioning_the_marker_are_not_directives() {
     // suppress nor be reported as malformed.
     let src = "//! The `// fdn-lint: allow(<rule>) -- <reason>` form.\nfn ok() {}";
     assert!(lint(src).is_empty());
+}
+
+#[test]
+fn crlf_sources_keep_line_numbers_and_pragma_reasons() {
+    let unix = "fn f() {\n    let t = Instant::now();\n}\n";
+    let dos = unix.replace('\n', "\r\n");
+    let a = lint(unix);
+    let b = lint(&dos);
+    assert_eq!(rules(&a), vec![RuleId::D1]);
+    assert_eq!(
+        (a[0].line, a[0].rule),
+        (b[0].line, b[0].rule),
+        "CRLF must not shift finding lines"
+    );
+
+    // A trailing '\r' left on the comment text would corrupt the pragma's
+    // `-- reason` tail (or turn the pragma into a P1).
+    let src = "fn f() {\r\n\
+               // fdn-lint: allow(D1) -- stderr-only timing sidecar\r\n\
+               let t = Instant::now();\r\n\
+               }\r\n";
+    assert!(
+        lint(src).is_empty(),
+        "CRLF pragma must suppress without firing P1: {:?}",
+        lint(src)
+    );
+}
+
+#[test]
+fn shebang_line_is_inert_and_does_not_shift_lines() {
+    let src = "#!/usr/bin/env run-cargo-script\n\
+               fn f() { let t = Instant::now(); }\n";
+    let findings = lint(src);
+    assert_eq!(rules(&findings), vec![RuleId::D1]);
+    assert_eq!(findings[0].line, 2, "shebang occupies line 1");
+}
+
+#[test]
+fn raw_strings_inside_macro_invocations_stay_opaque() {
+    // The raw string rides inside a macro's token tree — its contents
+    // (including the unbalanced quote and would-be violations) are data.
+    let src = "fn fingerprint_row() {\n\
+               let q = write!(w, r#\"Instant::now() \" unsafe {{\"#);\n\
+               let t = SystemTime::now();\n\
+               }\n";
+    let findings = lint(src);
+    assert_eq!(rules(&findings), vec![RuleId::D1], "{findings:?}");
+    assert_eq!(findings[0].line, 3, "only the real SystemTime counts");
+}
+
+#[test]
+fn impl_with_multi_line_where_clause_keeps_method_ownership() {
+    let src = "struct Frontier<T> { items: Vec<T> }\n\
+               impl<T> Frontier<T>\n\
+               where\n\
+                   T: Clone + Ord,\n\
+                   T: Default,\n\
+               {\n\
+                   fn render_frontier(&self) -> u64 {\n\
+                       helper()\n\
+                   }\n\
+               }\n\
+               fn helper() -> u64 { 0 }\n";
+    let g = build_graph(&[("crates/x/src/lib.rs".to_string(), src.to_string())]);
+    let caller = g
+        .fns
+        .iter()
+        .position(|f| f.name == "render_frontier")
+        .expect("method inside where-clause impl is extracted");
+    assert_eq!(
+        g.fns[caller].owner.as_deref(),
+        Some("Frontier"),
+        "multi-line where clause must not detach the method from its impl"
+    );
+    // The call edge out of the method still resolves to the free helper.
+    let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+    assert!(
+        g.internal_callees_of(caller).contains(&helper),
+        "missing render_frontier -> helper edge"
+    );
 }
 
 #[test]

@@ -137,6 +137,7 @@ impl Stats {
     pub fn since(&self, earlier: &Stats) -> Stats {
         // fdn-lint: allow(D2) -- value-keyed difference of two maps; insertion order cannot leak
         let mut per_edge = HashMap::new();
+        // fdn-lint: allow(F2) -- map-to-map difference keyed by the same edges; iteration order cannot reach rendered bytes (snapshot() sorts)
         for (e, v) in &self.per_edge_sent {
             let before = earlier.per_edge_sent.get(e).copied().unwrap_or(0);
             if *v > before {
@@ -198,7 +199,7 @@ impl StatsSnapshot {
     /// The deepest per-link FIFO queue observed at any instant of the run.
     pub fn max_link_high_water(&self) -> u64 {
         self.per_link_high_water
-            .iter()
+            .iter() // fdn-lint: allow(F2) -- sorted Vec field (shares its name with Stats' HashMap); order-independent max fold besides
             .map(|&(_, c)| c)
             .max()
             .unwrap_or(0)
@@ -207,7 +208,7 @@ impl StatsSnapshot {
     /// The heaviest per-edge load (messages on the busiest edge).
     pub fn max_sent_on_edge(&self) -> u64 {
         self.per_edge_sent
-            .iter()
+            .iter() // fdn-lint: allow(F2) -- sorted Vec field (shares its name with Stats' HashMap); order-independent max fold besides
             .map(|&(_, c)| c)
             .max()
             .unwrap_or(0)
@@ -218,7 +219,9 @@ impl StatsSnapshot {
     /// run-cumulative and carried through unchanged, as in [`Stats::since`].
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut per_edge_sent = Vec::new();
+        // fdn-lint: allow(F2) -- both operands are the sorted Vec field of StatsSnapshot (name shared with Stats' HashMap); merge order is the sorted order
         let mut before = earlier.per_edge_sent.iter().copied().peekable();
+        // fdn-lint: allow(F2) -- sorted Vec field of StatsSnapshot, not a map; see above
         for &(e, now) in &self.per_edge_sent {
             let mut prev = 0;
             while let Some(&(be, bc)) = before.peek() {
